@@ -1,0 +1,41 @@
+"""Shared configuration of the benchmark suite.
+
+Each benchmark regenerates one paper figure/table at a reproducible
+scale and records the headline numbers in ``extra_info`` so that
+``pytest benchmarks/ --benchmark-only`` output documents paper-vs-
+measured (see EXPERIMENTS.md).
+
+Scale is controlled by environment variables so the suite can be run
+larger on beefier machines:
+
+* ``REPRO_BENCH_USERS`` (default 120) — synthetic users per dataset;
+* ``REPRO_BENCH_DAYS`` (default 4) — recording period;
+* ``REPRO_BENCH_SEED`` (default 0).
+"""
+
+import os
+
+import pytest
+
+from repro.cdr.datasets import synthesize
+
+BENCH_USERS = int(os.environ.get("REPRO_BENCH_USERS", "120"))
+BENCH_DAYS = int(os.environ.get("REPRO_BENCH_DAYS", "4"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+def bench_scale():
+    """The (n_users, days, seed) triple used across the suite."""
+    return BENCH_USERS, BENCH_DAYS, BENCH_SEED
+
+
+@pytest.fixture(scope="session")
+def civ_dataset():
+    """Session-cached synth-civ dataset at benchmark scale."""
+    return synthesize("synth-civ", n_users=BENCH_USERS, days=BENCH_DAYS, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def sen_dataset():
+    """Session-cached synth-sen dataset at benchmark scale."""
+    return synthesize("synth-sen", n_users=BENCH_USERS, days=BENCH_DAYS, seed=BENCH_SEED)

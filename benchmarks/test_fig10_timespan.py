@@ -1,0 +1,38 @@
+"""Benchmark: Fig. 10 — accuracy vs dataset timespan.
+
+Paper shape asserted: shorter datasets anonymize more accurately (1-day
+datasets are about twice as precise as 2-week ones in the paper), with
+the degradation flattening as the timespan grows.
+"""
+
+from benchmarks.conftest import bench_scale
+from repro.experiments import fig10
+
+
+def test_fig10_timespan_sweep(benchmark):
+    n_users, days, seed = bench_scale()
+    days = max(days, 4)
+    report = benchmark.pedantic(
+        lambda: fig10.run(
+            n_users=n_users, days=days, seed=seed, timespans=(1, 2, days)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    for preset in ("synth-civ", "synth-sen"):
+        series = report.data[preset]
+        first, last = series[0], series[-1]
+        # Shorter-or-equal median accuracy for the 1-day prefix, with a
+        # noise allowance.
+        assert first["median_spatial_m"] <= last["median_spatial_m"] * 1.25, preset
+        assert first["median_temporal_min"] <= last["median_temporal_min"] * 1.25, preset
+        benchmark.extra_info[preset] = [
+            {
+                "days": s["days"],
+                "median_km": round(s["median_spatial_m"] / 1000, 2),
+                "median_min": round(s["median_temporal_min"], 1),
+            }
+            for s in series
+        ]
+    benchmark.extra_info["paper"] = "1-day datasets ~2x more precise than 2-week ones"

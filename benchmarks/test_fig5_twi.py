@@ -1,0 +1,36 @@
+"""Benchmark: Fig. 5 — the temporal long tail behind low anonymizability.
+
+Paper shape asserted: spatial stretch distributions are lighter-tailed
+than temporal ones (Fig. 5a), and the temporal component dominates the
+anonymization cost for the large majority of fingerprints (Fig. 5b).
+"""
+
+from benchmarks.conftest import bench_scale
+from repro.experiments import fig5
+
+
+def test_fig5_tail_weight_and_ratio(benchmark):
+    n_users, days, seed = bench_scale()
+    report = benchmark.pedantic(
+        lambda: fig5.run(n_users=n_users, days=days, seed=seed),
+        rounds=1,
+        iterations=1,
+    )
+
+    twi = report.data["twi_median"]
+    assert twi["temporal"] > twi["spatial"]
+    heavy = report.data["twi_heavy_fraction"]
+    assert heavy["temporal"] > heavy["spatial"]
+
+    dominance = report.data["temporal_dominant_fraction"]
+    for preset, frac in dominance.items():
+        assert frac > 0.6, preset
+
+    benchmark.extra_info["twi_median"] = {k: round(v, 2) for k, v in twi.items()}
+    benchmark.extra_info["temporal_dominant_fraction"] = {
+        p: round(v, 2) for p, v in dominance.items()
+    }
+    benchmark.extra_info["paper"] = (
+        "Fig5a: spatial TWI<1.5 in ~85% of cases, temporal >=1.5 in ~70%; "
+        "Fig5b: temporal > spatial for ~95% of fingerprints"
+    )

@@ -1,0 +1,39 @@
+"""Benchmark: Fig. 7 — accuracy of GLOVE 2-anonymized datasets.
+
+Paper shape asserted: full 2-anonymity with a sizable fraction of
+samples at (or near) the original granularity — something Fig. 4 shows
+uniform generalization cannot deliver at any granularity.
+"""
+
+from benchmarks.conftest import bench_scale
+from repro.experiments import fig7
+
+
+def test_fig7_glove_accuracy(benchmark):
+    n_users, days, seed = bench_scale()
+    report = benchmark.pedantic(
+        lambda: fig7.run(n_users=n_users, days=days, seed=seed),
+        rounds=1,
+        iterations=1,
+    )
+
+    for preset in ("synth-civ", "synth-sen"):
+        stats = report.data[preset]
+        assert stats["k_anonymous"], preset
+        # Paper: 20-40% of samples keep original spatial accuracy and
+        # 70-80% stay within 2 km.  At reproduction scale (a hundred-odd
+        # users instead of 82k-320k) the crowd is far thinner and both
+        # shares sit lower — exactly the size effect the paper's own
+        # Fig. 11 documents.  The assertions pin the qualitative shape
+        # (a sizable share at original accuracy, a larger one within
+        # 2 km); EXPERIMENTS.md records measured-vs-paper values.
+        assert stats["frac_original_spatial"] > 0.08, preset
+        assert stats["frac_within_2km"] > 0.2, preset
+        assert stats["frac_within_2km"] > stats["frac_original_spatial"], preset
+        benchmark.extra_info[preset] = {
+            key: round(val, 3) if isinstance(val, float) else val
+            for key, val in stats.items()
+        }
+    benchmark.extra_info["paper"] = (
+        "20-40% keep original spatial accuracy; 70-80% within ~2km/~2h"
+    )

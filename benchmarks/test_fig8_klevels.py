@@ -1,0 +1,34 @@
+"""Benchmark: Fig. 8 — privacy/accuracy trade-off across k levels.
+
+Paper shape asserted: accuracy degrades monotonically as k grows from
+2 to 5 (share of samples at original granularity drops ~40% -> ~15% in
+the paper), while k-anonymity always holds.
+"""
+
+from benchmarks.conftest import bench_scale
+from repro.experiments import fig8
+
+
+def test_fig8_k_sweep(benchmark):
+    n_users, days, seed = bench_scale()
+    report = benchmark.pedantic(
+        lambda: fig8.run(n_users=n_users, days=days, seed=seed, ks=(2, 3, 5)),
+        rounds=1,
+        iterations=1,
+    )
+
+    per_k = report.data["per_k"]
+    assert all(stats["k_anonymous"] for stats in per_k.values())
+    assert (
+        per_k[2]["frac_original_spatial"]
+        >= per_k[3]["frac_original_spatial"]
+        >= per_k[5]["frac_original_spatial"]
+    )
+    assert per_k[2]["frac_within_2h"] >= per_k[5]["frac_within_2h"]
+
+    benchmark.extra_info["frac_original_spatial_by_k"] = {
+        k: round(v["frac_original_spatial"], 3) for k, v in per_k.items()
+    }
+    benchmark.extra_info["paper"] = (
+        "original spatial accuracy share: ~40% (k=2) -> ~25% (k=3) -> ~15% (k=5)"
+    )

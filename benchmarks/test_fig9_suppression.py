@@ -1,0 +1,40 @@
+"""Benchmark: Fig. 9 — the suppression trade-off.
+
+Paper shape asserted: suppressing a small fraction of over-stretched
+samples improves mean accuracy substantially (paper: mean position
+accuracy 5 km -> ~1 km for <8% discarded; mean time accuracy halved
+for ~4% discarded), with monotone threshold/discard curves.
+"""
+
+from benchmarks.conftest import bench_scale
+from repro.experiments import fig9
+
+
+def test_fig9_suppression_tradeoff(benchmark):
+    n_users, days, seed = bench_scale()
+    report = benchmark.pedantic(
+        lambda: fig9.run(n_users=n_users, days=days, seed=seed),
+        rounds=1,
+        iterations=1,
+    )
+
+    baseline_mean = report.data["baseline"]["mean_spatial_m"]
+    sweep = report.data["spatial_sweep"]
+    # The 15 km threshold point: a modest discard buys a big gain.
+    point = next(p for p in sweep if p["threshold_m"] == 15_000.0)
+    assert point["mean_m"] < baseline_mean * 0.75
+    assert point["discarded_fraction"] < 0.35
+
+    tsweep = report.data["temporal_sweep"]
+    t_base = report.data["baseline"]["mean_temporal_min"]
+    t_point = next(p for p in tsweep if p["threshold_min"] == 360.0)
+    assert t_point["mean_min"] < t_base
+
+    benchmark.extra_info["baseline_mean_spatial_km"] = round(baseline_mean / 1000, 2)
+    benchmark.extra_info["at_15km_6h"] = {
+        "mean_spatial_km": round(point["mean_m"] / 1000, 2),
+        "discarded": round(point["discarded_fraction"], 3),
+    }
+    benchmark.extra_info["paper"] = (
+        "mean position accuracy >5km -> ~1km while discarding <8% of samples"
+    )

@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the computational substrate.
+
+The paper's CUDA implementation evaluates Eq. 10 on 20-50k fingerprint
+pairs per second (Section 6.3, GeForce GT 740).  These benchmarks
+measure the NumPy kernels standing in for it, plus the other hot
+operations of the GLOVE loop.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.core.config import GloveConfig, StretchConfig
+from repro.core.glove import glove
+from repro.core.merge import merge_fingerprints
+from repro.core.pairwise import PaddedFingerprints, one_vs_all, pairwise_matrix
+from repro.core.reshape import reshape_sample_array
+
+
+def test_one_vs_all_kernel(benchmark, civ_dataset):
+    """Pairs/second of the Eq. 10 kernel (paper: 20-50k pairs/s on GPU)."""
+    fps = list(civ_dataset)
+    packed = PaddedFingerprints(fps)
+    probe = fps[0]
+
+    result = benchmark(lambda: one_vs_all(probe.data, probe.count, packed))
+    assert result.shape == (len(fps),)
+    pairs_per_call = len(fps)
+    benchmark.extra_info["pairs_per_call"] = pairs_per_call
+    benchmark.extra_info["mean_fp_len"] = round(civ_dataset.mean_fingerprint_length, 1)
+    benchmark.extra_info["paper"] = "CUDA PoC: 20-50k pairs/s on a GT 740"
+
+
+def test_pairwise_matrix_build(benchmark, civ_dataset):
+    """Full initial stretch matrix (the GLOVE initialization phase)."""
+    fps = list(civ_dataset)[:60]
+    mat = benchmark.pedantic(lambda: pairwise_matrix(fps), rounds=1, iterations=1)
+    assert np.isfinite(mat[0, 1])
+    benchmark.extra_info["n_fingerprints"] = len(fps)
+
+
+def test_merge_operation(benchmark, civ_dataset):
+    """One specialized-generalization merge (Eq. 12-13 + matching)."""
+    fps = list(civ_dataset)
+    a, b = fps[0], fps[1]
+    merged = benchmark(lambda: merge_fingerprints(a, b))
+    assert merged.count == 2
+
+
+def test_reshape_operation(benchmark, rng=np.random.default_rng(0)):
+    """Temporal-overlap resolution over a 200-sample fingerprint."""
+    data = np.column_stack(
+        [
+            rng.uniform(0, 1e5, 200),
+            np.full(200, 100.0),
+            rng.uniform(0, 1e5, 200),
+            np.full(200, 100.0),
+            rng.uniform(0, 5_000, 200),
+            rng.uniform(1, 240, 200),
+        ]
+    )
+    out = benchmark(lambda: reshape_sample_array(data))
+    assert out.shape[0] <= 200
+
+
+def test_glove_end_to_end(benchmark, civ_dataset):
+    """Complete GLOVE 2-anonymization at benchmark scale."""
+    result = benchmark.pedantic(
+        lambda: glove(civ_dataset, GloveConfig(k=2)), rounds=1, iterations=1
+    )
+    assert result.dataset.is_k_anonymous(2)
+    benchmark.extra_info["n_users"] = len(civ_dataset)
+    benchmark.extra_info["n_merges"] = result.stats.n_merges
+    benchmark.extra_info["paper"] = "d4d datasets: ~60 GPU-hours each at 82k-320k users"

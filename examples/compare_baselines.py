@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Scenario: head-to-head of GLOVE against the two baselines.
+
+Reproduces, at example scale, the comparisons the paper makes:
+
+* against *uniform spatiotemporal generalization* (Fig. 4 vs Fig. 7):
+  at a comparable granularity budget, GLOVE anonymizes everyone while
+  uniform coarsening anonymizes almost no one;
+* against *W4M-LC* (Table 2): GLOVE keeps every fingerprint, fabricates
+  nothing, and its position/time errors are a fraction of W4M's.
+
+Run:  python examples/compare_baselines.py
+"""
+
+from dataclasses import replace
+
+from repro import GloveConfig, SuppressionConfig, glove
+from repro.analysis import extent_accuracy, utility_report
+from repro.core.suppression import suppress_dataset
+from repro.baselines import (
+    GeneralizationLevel,
+    W4MConfig,
+    generalize_dataset,
+    w4m_lc,
+)
+from repro.cdr import synthesize
+
+
+def main() -> None:
+    dataset = synthesize("synth-civ", n_users=120, days=3, seed=3)
+    print(f"dataset: {dataset}\n")
+
+    # --- Baseline 1: uniform generalization at 2.5 km / 60 min.
+    level = GeneralizationLevel(2_500.0, 60.0)
+    coarse = generalize_dataset(dataset, level)
+    anonymous = sum(
+        count
+        for size, count in coarse.anonymity_histogram().items()
+        if size >= 2
+    )
+    print(
+        f"uniform {level.label}: {anonymous / coarse.n_users:.0%} of users "
+        "2-anonymous; every sample degraded to "
+        f"{level.spatial_m / 1000:g} km / {level.temporal_min:g} min"
+    )
+
+    # --- GLOVE at the same privacy target.  As in the paper's Table 2
+    # accounting, error statistics are computed over the samples that
+    # survive suppression (the release itself keeps every fingerprint
+    # via the keep-at-least-one safeguard).
+    suppression = SuppressionConfig(
+        spatial_threshold_m=15_000.0, temporal_threshold_min=360.0
+    )
+    g = glove(dataset, GloveConfig(k=2, suppression=suppression))
+    survivors, _ = suppress_dataset(
+        glove(dataset, GloveConfig(k=2)).dataset,
+        replace(suppression, keep_at_least_one=False),
+    )
+    spatial, temporal = extent_accuracy(g.dataset)
+    print(
+        f"GLOVE k=2:      100% of users 2-anonymous; "
+        f"{float(spatial(200.0)):.0%} of samples keep the original 100 m, "
+        f"median {spatial.median / 1000:.2f} km / {temporal.median:.0f} min"
+    )
+
+    # --- Baseline 2: W4M-LC with the paper's suggested settings.
+    w = w4m_lc(dataset, W4MConfig(k=2, delta_m=2_000.0, trash_fraction=0.10))
+    g_report = utility_report(dataset, survivors, "GLOVE", mode="cover")
+    # Fingerprint retention is a property of the *release* (safeguarded),
+    # not of the error-accounting dataset.
+    g_release = utility_report(dataset, g.dataset, "GLOVE", mode="cover")
+
+    print("\nTable-2-style comparison (k=2):")
+    header = f"{'':>24} {'W4M-LC':>12} {'GLOVE':>12}"
+    print(header)
+    rows = [
+        (
+            "discarded fingerprints",
+            w.stats.discarded_fingerprints,
+            g_release.discarded_fingerprints,
+        ),
+        (
+            "created samples",
+            f"{w.stats.created_fraction:.0%}",
+            "0%",
+        ),
+        (
+            "deleted samples",
+            f"{w.stats.deleted_fraction:.0%}",
+            f"{g.stats.suppression.discarded_fraction:.0%}",
+        ),
+        (
+            "mean position error",
+            f"{w.stats.mean_position_error_m / 1000:.1f} km",
+            f"{g_report.mean_position_error_m / 1000:.1f} km",
+        ),
+        (
+            "mean time error",
+            f"{w.stats.mean_time_error_min:.0f} min",
+            f"{g_report.mean_time_error_min:.0f} min",
+        ),
+    ]
+    for label, wv, gv in rows:
+        print(f"{label:>24} {str(wv):>12} {str(gv):>12}")
+
+    assert g_report.mean_time_error_min < w.stats.mean_time_error_min
+    print("\nGLOVE preserves truthfulness and wins on accuracy  [OK]")
+
+
+if __name__ == "__main__":
+    main()

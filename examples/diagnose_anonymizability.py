@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Scenario: diagnose *why* a dataset resists anonymization.
+
+Reproduces the paper's Section 5 analysis pipeline on a synthetic
+nationwide dataset:
+
+1. k-gap CDF — how far is each user from k-anonymity?
+2. uniform-generalization sweep — why the legacy fix fails (Fig. 4);
+3. stretch decomposition — the temporal long tail (Fig. 5a/5b);
+4. the actionable conclusion: specialized generalization (GLOVE).
+
+Run:  python examples/diagnose_anonymizability.py
+"""
+
+import numpy as np
+
+from repro import GloveConfig, glove, kgap
+from repro.analysis import (
+    generalization_sweep,
+    kgap_cdf,
+    tail_weight_analysis,
+    temporal_ratio_cdf,
+)
+from repro.baselines import PAPER_LEVELS
+from repro.cdr import synthesize
+
+
+def main() -> None:
+    dataset = synthesize("synth-civ", n_users=120, days=3, seed=1)
+    print(f"dataset: {dataset}\n")
+
+    # 1. The k-gap CDF (Fig. 3a): nobody is anonymous, but the gap is
+    #    small for most users.
+    cdf, result = kgap_cdf(dataset, k=2)
+    print("k-gap (k=2):")
+    print(f"  2-anonymous users: {result.fraction_anonymous():.0%}")
+    for q in (0.25, 0.5, 0.75, 0.95):
+        print(f"  p{int(q * 100)}: {cdf.quantile(q):.3f}")
+
+    # 2. Why not just coarsen everything?  (Fig. 4)
+    print("\nuniform generalization sweep (fraction 2-anonymized):")
+    sweep = generalization_sweep(dataset, PAPER_LEVELS, k=2)
+    for level in PAPER_LEVELS:
+        print(f"  {level.label:>8}: {float(sweep[level](0.0)):.0%}")
+    print("  -> even 20 km / 8 h bins leave most users unique")
+
+    # 3. The culprit: a long-tailed *temporal* stretch distribution.
+    twi = tail_weight_analysis(dataset, k=2, result=result)
+    ratio = temporal_ratio_cdf(dataset, k=2, result=result)
+    print("\nstretch decomposition:")
+    print(
+        f"  median TWI: spatial {np.median(twi['spatial']):.2f}, "
+        f"temporal {np.median(twi['temporal']):.2f} "
+        "(>= 1.5 means exponential-or-heavier tail)"
+    )
+    print(
+        f"  temporal stretch exceeds spatial for {1 - float(ratio(0.5)):.0%} "
+        "of fingerprints"
+    )
+    print("  -> where users go is easy to hide; *when* they are active is not")
+
+    # 4. The fix: per-sample specialized generalization.
+    anonymized = glove(dataset, GloveConfig(k=2))
+    print(
+        f"\nGLOVE: 2-anonymized all {anonymized.dataset.n_users} users "
+        f"({anonymized.stats.n_merges} merges)  [OK]"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Scenario: utility-aware anonymization with an assumed adversary.
+
+Two advanced features on top of the quickstart workflow:
+
+1. **Utility audit** (paper Section 2.4): verify that the analyses a
+   data consumer cares about — home/work detection, commuting flows,
+   population density, visit entropy — still work on the anonymized
+   release.
+2. **Partial anonymization** (paper Section 7): when the data owner is
+   willing to assume the adversary only observes office-hours activity,
+   GLOVE can restrict generalization to that exposed window and leave
+   everything else at original granularity, recovering utility.
+
+Run:  python examples/utility_and_partial.py
+"""
+
+from repro import GloveConfig, glove
+from repro.analysis import extent_accuracy
+from repro.core.partial import partial_glove, time_window_model
+from repro.cdr import synthesize
+from repro.utility import compare_utility
+
+
+def main() -> None:
+    original = synthesize("synth-civ", n_users=120, days=3, seed=9)
+    print(f"dataset: {original}\n")
+
+    # --- Full-length anonymization + utility audit.
+    full = glove(original, GloveConfig(k=2))
+    audit = compare_utility(original, full.dataset)
+    print("utility audit of the full-length 2-anonymized release:")
+    print(f"  home displacement (median): {audit.home_median_displacement_m:,.0f} m")
+    print(f"  commuting matrix cosine:    {audit.od_cosine:.2f}")
+    print(f"  density map cosine:         {audit.density_cosine:.2f}")
+    print(f"  visit-entropy correlation:  {audit.entropy_correlation:.2f}")
+
+    # --- Partial anonymization under an office-hours adversary.
+    partial = partial_glove(original, time_window_model(9, 17), GloveConfig(k=2))
+    print(
+        f"\npartial anonymization (adversary sees 09:00-17:00 activity, "
+        f"{partial.exposed_fraction:.0%} of samples):"
+    )
+    assert partial.exposed_result.dataset.is_k_anonymous(2)
+    print("  exposed sub-fingerprints are 2-anonymous  [OK]")
+
+    s_full, t_full = extent_accuracy(full.dataset)
+    s_part, t_part = extent_accuracy(partial.dataset)
+    print(
+        "  samples keeping original spatial accuracy: "
+        f"{float(s_full(200.0)):.0%} (full) -> {float(s_part(200.0)):.0%} (partial)"
+    )
+    print(
+        "  median time extent: "
+        f"{t_full.median:.0f} min (full) -> {t_part.median:.0f} min (partial)"
+    )
+    audit_p = compare_utility(original, partial.dataset)
+    print(f"  home displacement (median): {audit_p.home_median_displacement_m:,.0f} m")
+    print(
+        "\ntrade-off: the partial release is conditional on the adversary "
+        "assumption — an attacker with night-time knowledge could still "
+        "re-identify users (which is why the paper defaults to full-length)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""repro -- reproduction of "Hiding Mobile Traffic Fingerprints with GLOVE".
+
+Gramaglia & Fiore, ACM CoNEXT 2015 (DOI 10.1145/2716281.2836111).
+
+The package is organized as:
+
+* :mod:`repro.core` -- the paper's contribution: spatiotemporal samples,
+  mobile fingerprints, the stretch-effort / k-gap anonymizability
+  metric, and the GLOVE k-anonymization algorithm.
+* :mod:`repro.geo` -- geodesy substrate (Lambert azimuthal equal-area
+  projection, 100 m grid).
+* :mod:`repro.cdr` -- synthetic nationwide CDR datasets standing in for
+  the restricted Orange D4D data.
+* :mod:`repro.analysis` -- anonymizability and accuracy analyses
+  (CDFs, Tail Weight Index, error metrics, radius of gyration).
+* :mod:`repro.baselines` -- uniform spatiotemporal generalization and
+  the W4M-LC comparator.
+* :mod:`repro.attacks` -- record-linkage attacks used to validate
+  k-anonymity of the output.
+* :mod:`repro.experiments` -- one module per paper figure/table.
+
+Quickstart::
+
+    from repro import GloveConfig, glove
+    from repro.cdr import synthesize
+
+    dataset = synthesize("synth-civ", n_users=200, days=3, seed=7)
+    result = glove(dataset, GloveConfig(k=2))
+    assert result.dataset.is_k_anonymous(2)
+"""
+
+from repro.core import (
+    Fingerprint,
+    FingerprintDataset,
+    GloveConfig,
+    GloveResult,
+    Sample,
+    StretchConfig,
+    SuppressionConfig,
+    fingerprint_stretch,
+    glove,
+    kgap,
+    sample_stretch,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Sample",
+    "Fingerprint",
+    "FingerprintDataset",
+    "StretchConfig",
+    "SuppressionConfig",
+    "GloveConfig",
+    "GloveResult",
+    "glove",
+    "kgap",
+    "sample_stretch",
+    "fingerprint_stretch",
+    "__version__",
+]

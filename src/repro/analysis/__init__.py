@@ -1,0 +1,62 @@
+"""Analysis toolkit: anonymizability and accuracy measurements.
+
+* :mod:`repro.analysis.cdf` -- empirical CDFs (every figure of the
+  paper is a CDF or a statistic of one).
+* :mod:`repro.analysis.twi` -- the Tail Weight Index of Section 5.3.
+* :mod:`repro.analysis.anonymizability` -- the Section 5 analyses
+  (k-gap CDFs, generalization sweeps, stretch decomposition).
+* :mod:`repro.analysis.accuracy` -- accuracy of anonymized datasets
+  (Section 7: extent CDFs, matched errors, created/deleted counts).
+* :mod:`repro.analysis.gyration` -- radius of gyration (Section 7.3).
+* :mod:`repro.analysis.sparsity` -- (eps, delta)-sparsity (Section 5).
+"""
+
+from repro.analysis.accuracy import (
+    AccuracyReport,
+    extent_accuracy,
+    matched_errors,
+    utility_report,
+)
+from repro.analysis.anonymizability import (
+    generalization_sweep,
+    kgap_cdf,
+    kgap_curves,
+    tail_weight_analysis,
+    temporal_ratio_cdf,
+)
+from repro.analysis.bootstrap import ConfidenceInterval, bootstrap_ci, bootstrap_fraction_ci
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.diversity import (
+    MeetingDisclosure,
+    group_span_diversity,
+    location_diversity,
+    meeting_disclosure,
+)
+from repro.analysis.gyration import radius_of_gyration, gyration_summary
+from repro.analysis.sparsity import eps_delta_sparsity
+from repro.analysis.twi import gaussian_twi_norm, tail_weight_index
+
+__all__ = [
+    "EmpiricalCDF",
+    "tail_weight_index",
+    "gaussian_twi_norm",
+    "kgap_cdf",
+    "kgap_curves",
+    "generalization_sweep",
+    "tail_weight_analysis",
+    "temporal_ratio_cdf",
+    "extent_accuracy",
+    "matched_errors",
+    "utility_report",
+    "AccuracyReport",
+    "radius_of_gyration",
+    "gyration_summary",
+    "eps_delta_sparsity",
+    "bootstrap_ci",
+    "bootstrap_fraction_ci",
+    "ConfidenceInterval",
+    "location_diversity",
+    "meeting_disclosure",
+    "MeetingDisclosure",
+    "group_span_diversity",
+]

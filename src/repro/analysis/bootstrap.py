@@ -1,0 +1,93 @@
+"""Bootstrap confidence intervals for the evaluation statistics.
+
+The paper reports point estimates (medians, means, CDF fractions) on
+single datasets.  At the reproduction's reduced scale, sampling noise
+is non-negligible, so EXPERIMENTS.md quotes bootstrap intervals
+alongside the measured values; this module provides the resampling
+machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided percentile bootstrap interval.
+
+    Attributes
+    ----------
+    estimate:
+        The statistic on the full sample.
+    low, high:
+        Interval bounds at the requested confidence level.
+    confidence:
+        The nominal coverage (e.g. 0.95).
+    """
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def width(self) -> float:
+        """Interval width."""
+        return self.high - self.low
+
+    def __str__(self) -> str:
+        return f"{self.estimate:.4g} [{self.low:.4g}, {self.high:.4g}]"
+
+
+def bootstrap_ci(
+    values: np.ndarray,
+    statistic: Callable[[np.ndarray], float] = np.median,
+    n_resamples: int = 1_000,
+    confidence: float = 0.95,
+    rng: Optional[np.random.Generator] = None,
+) -> ConfidenceInterval:
+    """Percentile bootstrap CI of ``statistic`` over ``values``."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError("values must be a non-empty 1-d array")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if n_resamples < 10:
+        raise ValueError("n_resamples must be at least 10")
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    estimate = float(statistic(values))
+    idx = rng.integers(0, values.size, size=(n_resamples, values.size))
+    stats = np.array([statistic(values[row]) for row in idx])
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(stats, [alpha, 1.0 - alpha])
+    return ConfidenceInterval(
+        estimate=estimate, low=float(low), high=float(high), confidence=confidence
+    )
+
+
+def bootstrap_fraction_ci(
+    successes: np.ndarray,
+    n_resamples: int = 1_000,
+    confidence: float = 0.95,
+    rng: Optional[np.random.Generator] = None,
+) -> ConfidenceInterval:
+    """Bootstrap CI of a Bernoulli fraction (e.g. "fraction 2-anonymous")."""
+    successes = np.asarray(successes, dtype=np.float64)
+    if ((successes != 0) & (successes != 1)).any():
+        raise ValueError("successes must be 0/1 indicators")
+    return bootstrap_ci(
+        successes,
+        statistic=np.mean,
+        n_resamples=n_resamples,
+        confidence=confidence,
+        rng=rng,
+    )

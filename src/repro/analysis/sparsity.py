@@ -1,0 +1,38 @@
+"""(eps, delta)-sparsity of a fingerprint database (paper Section 5).
+
+Narayanan & Shmatikov's sparsity notion, transplanted to the k-gap
+dissimilarity: a database is ``(eps, delta)``-sparse when at most a
+``delta`` fraction of records have another record within dissimilarity
+``eps``.  The paper notes such scalar summaries are less informative
+than full k-gap CDFs, but the measure is provided for completeness and
+cross-checking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def eps_delta_sparsity(matrix: np.ndarray, eps: float) -> float:
+    """Smallest ``delta`` for which the database is ``(eps, delta)``-sparse.
+
+    Parameters
+    ----------
+    matrix:
+        Symmetric pairwise dissimilarity matrix with ``+inf`` diagonal
+        (e.g. from :func:`repro.core.pairwise.pairwise_matrix`).
+    eps:
+        Dissimilarity radius.
+
+    Returns
+    -------
+    The fraction of records whose nearest neighbour lies within
+    ``eps``.  0 means every record is isolated at radius ``eps``
+    (maximally sparse / unique); 1 means nobody is.
+    """
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("matrix must be square")
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    nearest = matrix.min(axis=1)
+    return float((nearest <= eps).mean())

@@ -1,0 +1,38 @@
+"""Record-linkage attacks used to *validate* anonymization.
+
+The paper motivates GLOVE with two published attacks: re-identification
+from the top-N most-visited locations (Zang & Bolot, MobiCom 2011) and
+from a handful of random spatiotemporal points (de Montjoye et al.,
+2013).  This subpackage implements both as measurement tools: run them
+against the original dataset to reproduce the "high uniqueness"
+premise, and against GLOVE output to verify that no adversary knowing
+any subset of a user's samples can narrow him down to fewer than ``k``
+candidates.
+"""
+
+from repro.attacks.cross_database import (
+    CheckinDatabase,
+    CrossDatabaseOutcome,
+    cross_database_attack,
+    simulate_checkin_database,
+)
+from repro.attacks.knowledge import random_sample_knowledge, top_locations_knowledge
+from repro.attacks.record_linkage import (
+    AttackOutcome,
+    linkage_attack,
+    uniqueness_given_random_points,
+    uniqueness_given_top_locations,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "linkage_attack",
+    "uniqueness_given_top_locations",
+    "uniqueness_given_random_points",
+    "top_locations_knowledge",
+    "random_sample_knowledge",
+    "CheckinDatabase",
+    "CrossDatabaseOutcome",
+    "simulate_checkin_database",
+    "cross_database_attack",
+]

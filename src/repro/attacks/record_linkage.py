@@ -1,0 +1,118 @@
+"""Record-linkage attacks against (anonymized) fingerprint datasets.
+
+The adversary holds spatiotemporal side information about a target and
+tries to pin the target's record down inside the published dataset.
+The attack returns the *candidate set*: published subscribers
+consistent with every constraint.  A candidate set of size one breaks
+the target's privacy; k-anonymity guarantees the set never shrinks
+below ``k`` when the target is present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.knowledge import (
+    constraint_matches_fingerprint,
+    random_sample_knowledge,
+    top_locations_knowledge,
+)
+from repro.core.dataset import FingerprintDataset
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Result of running a linkage attack over every user of a dataset.
+
+    Attributes
+    ----------
+    candidate_counts:
+        For each attacked user, the number of *subscribers* (group
+        counts included) consistent with the adversary knowledge.
+    """
+
+    candidate_counts: np.ndarray
+
+    @property
+    def uniqueness(self) -> float:
+        """Fraction of users pinned down to a single subscriber."""
+        return float((self.candidate_counts == 1).mean())
+
+    def fraction_identified_within(self, k: int) -> float:
+        """Fraction of users narrowed to a *non-empty* set below ``k``.
+
+        An empty candidate set (possible when suppression removed the
+        known samples from the publication) identifies nobody and does
+        not count: the adversary learns the target is absent-looking,
+        not who the target is.
+        """
+        counts = self.candidate_counts
+        return float(((counts >= 1) & (counts < k)).mean())
+
+    @property
+    def min_candidates(self) -> int:
+        """Worst-case candidate-set size across attacked users."""
+        return int(self.candidate_counts.min())
+
+    def worst_nonempty_candidates(self) -> int:
+        """Smallest non-empty candidate set (0 if all sets are empty)."""
+        nonempty = self.candidate_counts[self.candidate_counts >= 1]
+        if nonempty.size == 0:
+            return 0
+        return int(nonempty.min())
+
+
+def linkage_attack(
+    published: FingerprintDataset, constraints
+) -> int:
+    """Candidate subscribers consistent with one target's constraints.
+
+    Returns the total number of subscribers (sum of group counts) whose
+    published fingerprints match *all* constraints.
+    """
+    total = 0
+    for fp in published:
+        if all(constraint_matches_fingerprint(c, fp) for c in constraints):
+            total += fp.count
+    return total
+
+
+def uniqueness_given_top_locations(
+    original: FingerprintDataset,
+    published: Optional[FingerprintDataset] = None,
+    n_locations: int = 3,
+) -> AttackOutcome:
+    """Zang & Bolot's attack: adversary knows each user's top-N locations.
+
+    Knowledge is always extracted from the *original* data (that is
+    what an adversary observes in the world); the candidate search runs
+    against ``published`` (defaults to the original itself, which
+    reproduces the high-uniqueness premise).
+    """
+    if published is None:
+        published = original
+    counts = [
+        linkage_attack(published, top_locations_knowledge(fp, n_locations))
+        for fp in original
+    ]
+    return AttackOutcome(candidate_counts=np.asarray(counts, dtype=np.int64))
+
+
+def uniqueness_given_random_points(
+    original: FingerprintDataset,
+    published: Optional[FingerprintDataset] = None,
+    n_points: int = 4,
+    seed: int = 0,
+) -> AttackOutcome:
+    """de Montjoye et al.'s attack: adversary knows N random samples."""
+    if published is None:
+        published = original
+    rng = np.random.default_rng(seed)
+    counts = [
+        linkage_attack(published, random_sample_knowledge(fp, n_points, rng))
+        for fp in original
+    ]
+    return AttackOutcome(candidate_counts=np.asarray(counts, dtype=np.int64))

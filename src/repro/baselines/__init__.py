@@ -1,0 +1,31 @@
+"""Baseline anonymization techniques the paper compares against.
+
+* :mod:`repro.baselines.generalization` -- legacy uniform
+  spatiotemporal generalization (the Fig. 4 sweep): every sample of
+  every user is coarsened to the same space/time bin sizes.
+* :mod:`repro.baselines.w4m` -- a reimplementation of W4M-LC ("Wait
+  for Me" with linear spatiotemporal distance and chunking; Abul,
+  Bonchi, Nanni 2010), the state-of-the-art comparator of Table 2.
+"""
+
+from repro.baselines.generalization import (
+    PAPER_LEVELS,
+    GeneralizationLevel,
+    generalize_dataset,
+    generalize_sample_array,
+)
+from repro.baselines.nwa import NWAConfig, NWAResult, nwa
+from repro.baselines.w4m import W4MConfig, W4MResult, w4m_lc
+
+__all__ = [
+    "GeneralizationLevel",
+    "PAPER_LEVELS",
+    "generalize_dataset",
+    "generalize_sample_array",
+    "W4MConfig",
+    "W4MResult",
+    "w4m_lc",
+    "NWAConfig",
+    "NWAResult",
+    "nwa",
+]

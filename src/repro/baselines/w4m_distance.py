@@ -1,0 +1,138 @@
+"""Linear spatiotemporal (LST) trajectory distance used by W4M-LC.
+
+W4M models a moving object as a polyline in (x, y, t): between
+consecutive samples the object moves linearly at constant speed.  The
+LST distance of two trajectories is the average Euclidean distance
+between their linearly interpolated positions over their common time
+window.  Trajectories with disjoint time windows are incomparable and
+receive a large penalty so that clustering never groups them.
+
+This is a from-scratch reimplementation of the distance described in
+Abul, Bonchi & Nanni, "Anonymization of moving objects databases by
+clustering and perturbation" (Information Systems 35(8), 2010), the
+comparator of the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fingerprint import Fingerprint
+from repro.core.sample import DT, DX, DY, T, X, Y
+
+#: Penalty rate (metres per minute of temporal gap) for trajectories
+#: whose time windows do not overlap.
+DISJOINT_PENALTY_M_PER_MIN = 1_000.0
+
+#: Timestamps per pair used to discretize the common window.
+DEFAULT_SYNC_POINTS = 48
+
+
+@dataclass(frozen=True)
+class PointTrajectory:
+    """A trajectory as time-ordered points (midpoints of CDR samples).
+
+    Attributes
+    ----------
+    uid:
+        Subscriber identifier.
+    t:
+        ``(m,)`` strictly increasing timestamps, minutes.
+    x, y:
+        ``(m,)`` planar positions, metres.
+    """
+
+    uid: str
+    t: np.ndarray
+    x: np.ndarray
+    y: np.ndarray
+
+    @property
+    def m(self) -> int:
+        """Number of trajectory points."""
+        return self.t.shape[0]
+
+    @property
+    def t_start(self) -> float:
+        """First timestamp."""
+        return float(self.t[0])
+
+    @property
+    def t_end(self) -> float:
+        """Last timestamp."""
+        return float(self.t[-1])
+
+    def positions_at(self, times: np.ndarray) -> np.ndarray:
+        """Linearly interpolated ``(len(times), 2)`` positions.
+
+        Times outside the trajectory's span clamp to the first/last
+        position (the object "waits" at its known location, W4M's
+        uncertainty semantics).
+        """
+        px = np.interp(times, self.t, self.x)
+        py = np.interp(times, self.t, self.y)
+        return np.column_stack([px, py])
+
+    @classmethod
+    def from_fingerprint(cls, fp: Fingerprint) -> "PointTrajectory":
+        """Trajectory of a fingerprint's sample midpoints.
+
+        Samples sharing a midpoint minute are averaged so timestamps
+        stay strictly increasing.
+        """
+        t = fp.data[:, T] + fp.data[:, DT] / 2.0
+        x = fp.data[:, X] + fp.data[:, DX] / 2.0
+        y = fp.data[:, Y] + fp.data[:, DY] / 2.0
+        order = np.argsort(t, kind="stable")
+        t, x, y = t[order], x[order], y[order]
+        uniq, inverse = np.unique(t, return_inverse=True)
+        if uniq.shape[0] != t.shape[0]:
+            xs = np.zeros(uniq.shape[0])
+            ys = np.zeros(uniq.shape[0])
+            counts = np.bincount(inverse)
+            np.add.at(xs, inverse, x)
+            np.add.at(ys, inverse, y)
+            x, y, t = xs / counts, ys / counts, uniq
+        return cls(uid=fp.uid, t=t, x=x, y=y)
+
+
+def lst_distance(
+    a: PointTrajectory,
+    b: PointTrajectory,
+    sync_points: int = DEFAULT_SYNC_POINTS,
+) -> float:
+    """LST distance between two trajectories, in metres.
+
+    Average Euclidean distance over a uniform discretization of the
+    common time window; disjoint windows incur the centroid distance
+    plus a per-minute gap penalty.
+    """
+    lo = max(a.t_start, b.t_start)
+    hi = min(a.t_end, b.t_end)
+    if hi <= lo:
+        gap = lo - hi
+        ca = np.array([a.x.mean(), a.y.mean()])
+        cb = np.array([b.x.mean(), b.y.mean()])
+        return float(np.hypot(*(ca - cb)) + gap * DISJOINT_PENALTY_M_PER_MIN)
+    times = np.linspace(lo, hi, sync_points)
+    pa = a.positions_at(times)
+    pb = b.positions_at(times)
+    return float(np.hypot(pa[:, 0] - pb[:, 0], pa[:, 1] - pb[:, 1]).mean())
+
+
+def lst_distance_matrix(
+    trajectories,
+    sync_points: int = DEFAULT_SYNC_POINTS,
+) -> np.ndarray:
+    """Symmetric LST distance matrix with ``+inf`` diagonal."""
+    trajs = list(trajectories)
+    n = len(trajs)
+    mat = np.full((n, n), np.inf, dtype=np.float64)
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = lst_distance(trajs[i], trajs[j], sync_points)
+            mat[i, j] = d
+            mat[j, i] = d
+    return mat

@@ -1,0 +1,61 @@
+"""Synthetic CDR substrate.
+
+The paper's evaluation runs on two Orange "Data for Development" CDR
+datasets (Ivory Coast and Senegal) that are distributed under
+non-disclosure agreements.  This subpackage is the reproduction's
+substitute: a generative model of nationwide cellular networks and of
+subscriber behaviour that produces movement micro-data with the
+statistical properties the paper's findings rest on — sparse, bursty,
+circadian event timing; strong spatial locality (median radius of
+gyration around 2 km, long-tailed mean); Zipf-distributed city sizes;
+heterogeneous per-user activity rates.
+
+* :mod:`repro.cdr.antenna` -- cities and antenna placement.
+* :mod:`repro.cdr.population` -- subscriber anchors (home, work,
+  secondary places).
+* :mod:`repro.cdr.activity` -- event timing (circadian profile, bursty
+  sessions, per-user rate heterogeneity).
+* :mod:`repro.cdr.mobility` -- where each event is logged (anchor
+  schedule, preferential return, exploration).
+* :mod:`repro.cdr.generator` -- end-to-end dataset synthesis.
+* :mod:`repro.cdr.datasets` -- named presets (``synth-civ``,
+  ``synth-sen``, ``abidjan``, ``dakar``).
+* :mod:`repro.cdr.filtering` -- the paper's Section 3 screening rules.
+* :mod:`repro.cdr.io` -- CSV serialization of events and fingerprints.
+"""
+
+from repro.cdr.antenna import AntennaNetwork, AntennaNetworkConfig
+from repro.cdr.datasets import PRESETS, preset_config, synthesize
+from repro.cdr.filtering import filter_min_samples_per_day, filter_active_days
+from repro.cdr.generator import CDRGenerator, GeneratorConfig
+from repro.cdr.io import (
+    read_events_csv,
+    read_fingerprints_csv,
+    write_events_csv,
+    write_fingerprints_csv,
+)
+from repro.cdr.population import Population, PopulationConfig
+from repro.cdr.activity import ActivityConfig, ActivityModel
+from repro.cdr.mobility import MobilityConfig, MobilityModel
+
+__all__ = [
+    "AntennaNetwork",
+    "AntennaNetworkConfig",
+    "Population",
+    "PopulationConfig",
+    "ActivityModel",
+    "ActivityConfig",
+    "MobilityModel",
+    "MobilityConfig",
+    "CDRGenerator",
+    "GeneratorConfig",
+    "synthesize",
+    "preset_config",
+    "PRESETS",
+    "filter_min_samples_per_day",
+    "filter_active_days",
+    "read_events_csv",
+    "write_events_csv",
+    "read_fingerprints_csv",
+    "write_fingerprints_csv",
+]

@@ -1,0 +1,60 @@
+"""Dataset screening rules (paper Section 3).
+
+The paper filters the Ivory Coast dataset to users "that have [at
+least] one sample per day" on average, while the Senegal dataset comes
+pre-limited to users "active for more than 75% of the 2-week time
+span".  Both rules are implemented here against the epoch-based sample
+times of a fingerprint dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import FingerprintDataset
+from repro.core.sample import T
+
+MINUTES_PER_DAY = 24 * 60
+
+
+def filter_min_samples_per_day(
+    dataset: FingerprintDataset, min_per_day: float = 1.0, days: int = None
+) -> FingerprintDataset:
+    """Keep users averaging at least ``min_per_day`` samples per day.
+
+    ``days`` defaults to the dataset's observed timespan rounded up to
+    whole days (minimum one day).
+    """
+    if days is None:
+        t_min, t_max = dataset.time_extent()
+        days = max(1, int(np.ceil((t_max - t_min) / MINUTES_PER_DAY)))
+    if days < 1:
+        raise ValueError("days must be at least 1")
+    out = FingerprintDataset(name=dataset.name)
+    for fp in dataset:
+        if fp.m / days >= min_per_day:
+            out.add(fp)
+    return out
+
+
+def filter_active_days(
+    dataset: FingerprintDataset, min_active_fraction: float = 0.75, days: int = None
+) -> FingerprintDataset:
+    """Keep users with samples on at least a fraction of the recording days.
+
+    A day counts as active when the user has at least one sample whose
+    interval starts within it.
+    """
+    if not 0.0 < min_active_fraction <= 1.0:
+        raise ValueError("min_active_fraction must be in (0, 1]")
+    if days is None:
+        t_min, t_max = dataset.time_extent()
+        days = max(1, int(np.ceil((t_max - t_min) / MINUTES_PER_DAY)))
+    if days < 1:
+        raise ValueError("days must be at least 1")
+    out = FingerprintDataset(name=dataset.name)
+    for fp in dataset:
+        active_days = np.unique((fp.data[:, T] // MINUTES_PER_DAY).astype(np.int64))
+        if active_days.size / days >= min_active_fraction:
+            out.add(fp)
+    return out

@@ -1,0 +1,125 @@
+"""CSV serialization of CDR events and fingerprint datasets.
+
+Two formats are supported:
+
+* **event CSV** -- one row per original-granularity sample
+  (``uid,t_min,x_m,y_m``), the closest analogue of a raw CDR dump;
+* **fingerprint CSV** -- one row per (possibly generalized) sample
+  (``uid,count,x,dx,y,dy,t,dt``), capable of round-tripping GLOVE
+  output including group counts.
+
+Both formats are plain text so anonymized datasets can be published and
+inspected without this library.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.core.dataset import FingerprintDataset
+from repro.core.fingerprint import Fingerprint
+from repro.core.sample import DEFAULT_DT_MIN, DEFAULT_DX_M, DEFAULT_DY_M, NCOLS
+
+PathLike = Union[str, Path]
+
+EVENT_HEADER = ["uid", "t_min", "x_m", "y_m"]
+FINGERPRINT_HEADER = ["uid", "count", "x", "dx", "y", "dy", "t", "dt"]
+
+
+def write_events_csv(dataset: FingerprintDataset, path: PathLike) -> int:
+    """Write original-granularity samples as an event CSV; returns row count.
+
+    Raises ``ValueError`` when a fingerprint is generalized (extent
+    differing from the original 100 m / 1 min granularity), since the
+    event format cannot represent it.
+    """
+    n = 0
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(EVENT_HEADER)
+        for fp in dataset:
+            for row in fp.data:
+                x, dx, y, dy, t, dt = row
+                if dx != DEFAULT_DX_M or dy != DEFAULT_DY_M or dt != DEFAULT_DT_MIN:
+                    raise ValueError(
+                        f"fingerprint {fp.uid!r} is generalized; "
+                        "use write_fingerprints_csv instead"
+                    )
+                writer.writerow([fp.uid, f"{t:.0f}", f"{x:.1f}", f"{y:.1f}"])
+                n += 1
+    return n
+
+
+def read_events_csv(path: PathLike, name: str = None) -> FingerprintDataset:
+    """Read an event CSV back into a fingerprint dataset."""
+    by_user: Dict[str, List[List[float]]] = {}
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader)
+        if header != EVENT_HEADER:
+            raise ValueError(f"unexpected event CSV header: {header}")
+        for rec in reader:
+            uid, t, x, y = rec
+            by_user.setdefault(uid, []).append(
+                [float(x), DEFAULT_DX_M, float(y), DEFAULT_DY_M, float(t), DEFAULT_DT_MIN]
+            )
+    dataset = FingerprintDataset(name=name or Path(path).stem)
+    for uid in sorted(by_user):
+        dataset.add(Fingerprint(uid, np.asarray(by_user[uid], dtype=np.float64)))
+    return dataset
+
+
+def write_fingerprints_csv(dataset: FingerprintDataset, path: PathLike) -> int:
+    """Write a (generalized) fingerprint dataset; returns row count."""
+    n = 0
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(FINGERPRINT_HEADER)
+        for fp in dataset:
+            for row in fp.data:
+                x, dx, y, dy, t, dt = row
+                writer.writerow(
+                    [fp.uid, fp.count]
+                    + [f"{v:.3f}" for v in (x, dx, y, dy, t, dt)]
+                )
+                n += 1
+    return n
+
+
+def read_fingerprints_csv(path: PathLike, name: str = None) -> FingerprintDataset:
+    """Read a fingerprint CSV produced by :func:`write_fingerprints_csv`.
+
+    Group membership lists are not serialized; each row group is
+    restored with synthetic member labels ``<uid>#0 .. <uid>#count-1``.
+    """
+    rows_by_user: Dict[str, List[List[float]]] = {}
+    counts: Dict[str, int] = {}
+    order: List[str] = []
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader)
+        if header != FINGERPRINT_HEADER:
+            raise ValueError(f"unexpected fingerprint CSV header: {header}")
+        for rec in reader:
+            uid, count = rec[0], int(rec[1])
+            if uid not in rows_by_user:
+                order.append(uid)
+            rows_by_user.setdefault(uid, []).append([float(v) for v in rec[2:]])
+            counts[uid] = count
+    dataset = FingerprintDataset(name=name or Path(path).stem)
+    for uid in order:
+        count = counts[uid]
+        members = tuple(f"{uid}#{i}" for i in range(count)) if count > 1 else (uid,)
+        dataset.add(
+            Fingerprint(
+                uid,
+                np.asarray(rows_by_user[uid], dtype=np.float64),
+                count=count,
+                members=members,
+            )
+        )
+    return dataset

@@ -1,0 +1,125 @@
+"""Statistical characterization of CDR traces.
+
+DESIGN.md argues the synthetic substrate is a valid substitute for the
+restricted D4D datasets because it reproduces the statistics the
+paper's findings rest on.  This module computes those statistics so the
+claim is testable (see ``tests/cdr/test_trace_stats.py``) and
+documentable in EXPERIMENTS.md:
+
+* circadian activity profile (events per hour of day);
+* inter-event time distribution (sparsity and burstiness);
+* per-user event-rate heterogeneity;
+* distinct locations per user and visit-frequency concentration;
+* radius-of-gyration distribution (locality + long tail).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.gyration import radius_of_gyration
+from repro.core.dataset import FingerprintDataset
+from repro.core.sample import DX, DY, T, X, Y
+
+MINUTES_PER_DAY = 24 * 60
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Dataset-level statistics of a movement micro-data collection.
+
+    Attributes
+    ----------
+    hourly_profile:
+        ``(24,)`` normalized share of events per hour of day.
+    median_interevent_min / p90_interevent_min:
+        Quantiles of the within-user inter-event time distribution.
+    burstiness:
+        Goh-Barabasi burstiness coefficient
+        ``(sigma - mu) / (sigma + mu)`` of inter-event times
+        (0 = Poisson, -> 1 = extremely bursty).
+    rate_p90_over_p10:
+        Heterogeneity of per-user daily event rates.
+    median_locations_per_user:
+        Median count of distinct visited cells.
+    top_location_share:
+        Median (over users) share of events at the user's single most
+        visited location.
+    rg_median_m / rg_mean_m:
+        Radius-of-gyration summary.
+    """
+
+    hourly_profile: np.ndarray
+    median_interevent_min: float
+    p90_interevent_min: float
+    burstiness: float
+    rate_p90_over_p10: float
+    median_locations_per_user: float
+    top_location_share: float
+    rg_median_m: float
+    rg_mean_m: float
+
+
+def trace_statistics(dataset: FingerprintDataset) -> TraceStatistics:
+    """Compute the full statistics bundle of a dataset."""
+    if len(dataset) == 0:
+        raise ValueError("dataset is empty")
+
+    hour_counts = np.zeros(24)
+    inter_events = []
+    rates = []
+    n_locations = []
+    top_shares = []
+    rgs = []
+
+    t_min, t_max = dataset.time_extent()
+    days = max((t_max - t_min) / MINUTES_PER_DAY, 1e-9)
+
+    for fp in dataset:
+        times = np.sort(fp.data[:, T])
+        hours = ((times % MINUTES_PER_DAY) // 60).astype(int)
+        np.add.at(hour_counts, hours, 1)
+        if times.size >= 2:
+            inter_events.append(np.diff(times))
+        rates.append(fp.m / days)
+        centers = Counter(
+            zip(
+                (fp.data[:, X] + fp.data[:, DX] / 2.0).round(-2).tolist(),
+                (fp.data[:, Y] + fp.data[:, DY] / 2.0).round(-2).tolist(),
+            )
+        )
+        n_locations.append(len(centers))
+        top_shares.append(max(centers.values()) / fp.m)
+        rgs.append(radius_of_gyration(fp))
+
+    gaps = np.concatenate(inter_events) if inter_events else np.array([0.0])
+    mu, sigma = float(gaps.mean()), float(gaps.std())
+    burstiness = (sigma - mu) / (sigma + mu) if (sigma + mu) > 0 else 0.0
+
+    rates = np.asarray(rates)
+    p10, p90 = np.quantile(rates, [0.1, 0.9])
+
+    return TraceStatistics(
+        hourly_profile=hour_counts / hour_counts.sum(),
+        median_interevent_min=float(np.median(gaps)),
+        p90_interevent_min=float(np.quantile(gaps, 0.9)),
+        burstiness=float(burstiness),
+        rate_p90_over_p10=float(p90 / max(p10, 1e-9)),
+        median_locations_per_user=float(np.median(n_locations)),
+        top_location_share=float(np.median(top_shares)),
+        rg_median_m=float(np.median(rgs)),
+        rg_mean_m=float(np.mean(rgs)),
+    )
+
+
+def night_day_ratio(stats: TraceStatistics) -> float:
+    """Mean night-hour (1-5 am) to evening-hour (6-10 pm) activity ratio."""
+    night = stats.hourly_profile[1:5].mean()
+    evening = stats.hourly_profile[18:22].mean()
+    if evening == 0:
+        return 0.0
+    return float(night / evening)

@@ -1,0 +1,62 @@
+"""Core data model and the GLOVE algorithm.
+
+Public surface:
+
+* data model -- :class:`~repro.core.sample.Sample`,
+  :class:`~repro.core.fingerprint.Fingerprint`,
+  :class:`~repro.core.dataset.FingerprintDataset`;
+* anonymizability metric -- :func:`~repro.core.stretch.sample_stretch`,
+  :func:`~repro.core.stretch.fingerprint_stretch`,
+  :func:`~repro.core.kgap.kgap`;
+* anonymization -- :func:`~repro.core.glove.glove` with
+  :class:`~repro.core.config.GloveConfig`.
+"""
+
+from repro.core.config import GloveConfig, StretchConfig, SuppressionConfig
+from repro.core.dataset import FingerprintDataset
+from repro.core.fingerprint import Fingerprint
+from repro.core.glove import GloveResult, GloveStats, glove
+from repro.core.kgap import KGapResult, kgap, stretch_decomposition
+from repro.core.merge import merge_fingerprints
+from repro.core.pairwise import PaddedFingerprints, one_vs_all, pairwise_matrix
+from repro.core.parallel import parallel_pairwise_matrix
+from repro.core.partial import (
+    PartialResult,
+    partial_glove,
+    time_window_model,
+    top_locations_model,
+)
+from repro.core.reshape import reshape_fingerprint
+from repro.core.sample import Sample
+from repro.core.stretch import fingerprint_stretch, sample_stretch, stretch_matrix
+from repro.core.suppression import SuppressionStats, suppress_dataset
+
+__all__ = [
+    "Sample",
+    "Fingerprint",
+    "FingerprintDataset",
+    "StretchConfig",
+    "SuppressionConfig",
+    "GloveConfig",
+    "GloveResult",
+    "GloveStats",
+    "glove",
+    "kgap",
+    "KGapResult",
+    "stretch_decomposition",
+    "sample_stretch",
+    "fingerprint_stretch",
+    "stretch_matrix",
+    "merge_fingerprints",
+    "reshape_fingerprint",
+    "suppress_dataset",
+    "SuppressionStats",
+    "pairwise_matrix",
+    "one_vs_all",
+    "PaddedFingerprints",
+    "parallel_pairwise_matrix",
+    "partial_glove",
+    "PartialResult",
+    "top_locations_model",
+    "time_window_model",
+]

@@ -1,0 +1,165 @@
+"""Fingerprint datasets (databases of movement micro-data).
+
+A dataset is an ordered collection of fingerprints with unique
+pseudo-identifiers, plus helpers for the subsetting operations used in
+the paper's generality analysis (Section 7.3): time-span restriction and
+random user sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.fingerprint import Fingerprint
+from repro.core.sample import DT, T
+
+
+class FingerprintDataset:
+    """An ordered collection of :class:`Fingerprint` with unique uids."""
+
+    def __init__(self, fingerprints: Iterable[Fingerprint] = (), name: str = "dataset"):
+        self.name = str(name)
+        self._fps: List[Fingerprint] = []
+        self._index: Dict[str, int] = {}
+        for fp in fingerprints:
+            self.add(fp)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, fp: Fingerprint) -> None:
+        """Append a fingerprint; uids must be unique within the dataset."""
+        if fp.uid in self._index:
+            raise ValueError(f"duplicate uid {fp.uid!r} in dataset {self.name!r}")
+        self._index[fp.uid] = len(self._fps)
+        self._fps.append(fp)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._fps)
+
+    def __iter__(self) -> Iterator[Fingerprint]:
+        return iter(self._fps)
+
+    def __getitem__(self, key) -> Fingerprint:
+        if isinstance(key, str):
+            return self._fps[self._index[key]]
+        return self._fps[key]
+
+    def __contains__(self, uid: str) -> bool:
+        return uid in self._index
+
+    def __repr__(self) -> str:
+        return (
+            f"FingerprintDataset(name={self.name!r}, users={self.n_users}, "
+            f"fingerprints={len(self)}, samples={self.n_samples})"
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregate properties
+    # ------------------------------------------------------------------
+    @property
+    def uids(self) -> List[str]:
+        """Pseudo-identifiers of all fingerprints, in insertion order."""
+        return [fp.uid for fp in self._fps]
+
+    @property
+    def n_users(self) -> int:
+        """Total subscribers represented (sum of group counts)."""
+        return sum(fp.count for fp in self._fps)
+
+    @property
+    def n_samples(self) -> int:
+        """Total number of samples across all fingerprints."""
+        return sum(fp.m for fp in self._fps)
+
+    @property
+    def mean_fingerprint_length(self) -> float:
+        """Average samples per fingerprint (the ``n-bar`` of Section 6.3)."""
+        if not self._fps:
+            return 0.0
+        return self.n_samples / len(self._fps)
+
+    def time_extent(self) -> tuple:
+        """``(t_min, t_max)`` covering every sample interval, in minutes."""
+        if not self._fps or all(fp.m == 0 for fp in self._fps):
+            return (0.0, 0.0)
+        t_min = min(float(fp.data[0, T]) for fp in self._fps if fp.m)
+        t_max = max(float((fp.data[:, T] + fp.data[:, DT]).max()) for fp in self._fps if fp.m)
+        return (t_min, t_max)
+
+    # ------------------------------------------------------------------
+    # Subsetting (paper Section 7.3)
+    # ------------------------------------------------------------------
+    def restrict_timespan(self, days: float, name: Optional[str] = None) -> "FingerprintDataset":
+        """Dataset restricted to the first ``days`` days of the recording.
+
+        Fingerprints left with no samples are dropped, mirroring the
+        timespan analysis of Fig. 10.
+        """
+        if days <= 0:
+            raise ValueError(f"days must be positive, got {days}")
+        t0 = self.time_extent()[0]
+        horizon = t0 + days * 24.0 * 60.0
+        out = FingerprintDataset(name=name or f"{self.name}-{days:g}d")
+        for fp in self._fps:
+            sub = fp.restrict_time(t0, horizon)
+            if sub.m > 0:
+                out.add(sub)
+        return out
+
+    def sample_users(
+        self,
+        fraction: float,
+        rng: np.random.Generator,
+        name: Optional[str] = None,
+    ) -> "FingerprintDataset":
+        """Random subset retaining ``fraction`` of the fingerprints.
+
+        Mirrors the dataset-size analysis of Fig. 11.  At least one
+        fingerprint is always retained.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        n_keep = max(1, int(round(fraction * len(self._fps))))
+        idx = rng.choice(len(self._fps), size=n_keep, replace=False)
+        out = FingerprintDataset(name=name or f"{self.name}-{int(fraction * 100)}pct")
+        for i in sorted(idx):
+            out.add(self._fps[int(i)])
+        return out
+
+    # ------------------------------------------------------------------
+    # Anonymity auditing
+    # ------------------------------------------------------------------
+    def anonymity_histogram(self) -> Dict[int, int]:
+        """Map anonymity-set size -> number of subscribers in sets of that size.
+
+        Expands each published fingerprint back to per-subscriber records
+        (one per group member) and groups identical traces: the size of a
+        trace's group is the anonymity-set size of each of its members.
+        """
+        counts: Dict[bytes, int] = {}
+        for fp in self._fps:
+            key = fp.trace_key()
+            counts[key] = counts.get(key, 0) + fp.count
+        hist: Dict[int, int] = {}
+        for size in counts.values():
+            hist[size] = hist.get(size, 0) + size
+        return hist
+
+    def min_anonymity(self) -> int:
+        """Smallest anonymity-set size over all subscribers (0 if empty)."""
+        hist = self.anonymity_histogram()
+        if not hist:
+            return 0
+        return min(hist)
+
+    def is_k_anonymous(self, k: int) -> bool:
+        """Whether every subscriber is hidden in a crowd of at least ``k``."""
+        if len(self) == 0:
+            return True
+        return self.min_anonymity() >= k

@@ -1,0 +1,265 @@
+"""The GLOVE k-anonymization algorithm (paper Alg. 1, Section 6).
+
+GLOVE greedily merges the two not-yet-anonymized fingerprints at
+minimum fingerprint stretch effort (Eq. 10) until every fingerprint
+hides at least ``k`` subscribers:
+
+1. compute the stretch effort between all fingerprint pairs;
+2. repeatedly pick the closest pair, merge it through specialized
+   generalization (Eq. 12-13 with two-stage matching), and re-insert the
+   merged fingerprint, recomputing its efforts to the remaining ones;
+3. a merged fingerprint reaching ``count >= k`` is final and leaves the
+   working set.
+
+The loop of Alg. 1 ends when fewer than two non-anonymized fingerprints
+remain.  With unfavourable group-size arithmetic a single non-anonymous
+fingerprint can be left over; to honour the paper's "k-anonymity of all
+fingerprints by design" guarantee, the leftover is merged into its
+nearest *finished* group (documented design decision, see DESIGN.md).
+
+Complexity is O(|M|^2 n-bar^2) as in the paper's Section 6.3; the bulk
+Eq. 10 evaluations run on the vectorized kernels of
+:mod:`repro.core.pairwise` (the reproduction's stand-in for the paper's
+CUDA implementation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import GloveConfig, StretchConfig, SuppressionConfig
+from repro.core.dataset import FingerprintDataset
+from repro.core.fingerprint import Fingerprint
+from repro.core.merge import merge_fingerprints
+from repro.core.pairwise import one_vs_all
+from repro.core.reshape import reshape_fingerprint
+from repro.core.sample import NCOLS
+from repro.core.suppression import SuppressionStats, suppress_dataset
+
+
+@dataclass
+class GloveStats:
+    """Bookkeeping of one GLOVE run.
+
+    Attributes
+    ----------
+    n_input_fingerprints:
+        Fingerprints in the input dataset.
+    n_output_fingerprints:
+        Groups in the anonymized output.
+    n_merges:
+        Pairwise merge operations performed.
+    leftover_merged:
+        Whether a final non-anonymous leftover had to be folded into an
+        already-finished group.
+    suppression:
+        Sample-suppression statistics (zero counts when disabled).
+    """
+
+    n_input_fingerprints: int = 0
+    n_output_fingerprints: int = 0
+    n_merges: int = 0
+    leftover_merged: bool = False
+    suppression: Optional[SuppressionStats] = None
+
+
+@dataclass(frozen=True)
+class GloveResult:
+    """Anonymized dataset plus run statistics."""
+
+    dataset: FingerprintDataset
+    stats: GloveStats
+    config: GloveConfig
+
+
+class _WorkingSet:
+    """Growable padded tensor of live fingerprints.
+
+    Duck-types the :class:`repro.core.pairwise.PaddedFingerprints`
+    interface (``data``, ``mask``, ``lengths``, ``counts``) so the
+    one-vs-all kernel can be reused while slots are added and retired.
+    Merged fingerprints never have more samples than the shorter parent,
+    so the sample capacity ``m_max`` is fixed by the input dataset.
+    """
+
+    def __init__(self, fingerprints: List[Fingerprint]):
+        n = len(fingerprints)
+        capacity = 2 * n  # n inputs + at most n-1 merge products
+        m_max = max(fp.m for fp in fingerprints)
+        self.data = np.zeros((capacity, m_max, NCOLS), dtype=np.float64)
+        self.mask = np.zeros((capacity, m_max), dtype=bool)
+        self.lengths = np.zeros(capacity, dtype=np.int64)
+        self.counts = np.zeros(capacity, dtype=np.int64)
+        self.fps: List[Optional[Fingerprint]] = [None] * capacity
+        self.size = 0
+        for fp in fingerprints:
+            self.append(fp)
+
+    def append(self, fp: Fingerprint) -> int:
+        """Store a fingerprint in the next free slot; returns the slot id."""
+        slot = self.size
+        if fp.m > self.data.shape[1]:
+            raise ValueError(
+                f"fingerprint {fp.uid!r} has {fp.m} samples, exceeding capacity "
+                f"{self.data.shape[1]}"
+            )
+        self.data[slot, : fp.m] = fp.data
+        self.mask[slot, : fp.m] = True
+        self.lengths[slot] = fp.m
+        self.counts[slot] = fp.count
+        self.fps[slot] = fp
+        self.size += 1
+        return slot
+
+    def __len__(self) -> int:
+        return self.size
+
+
+def glove(
+    dataset: FingerprintDataset,
+    config: GloveConfig = GloveConfig(),
+    chunk: int = 256,
+) -> GloveResult:
+    """k-anonymize a fingerprint dataset with GLOVE.
+
+    Parameters
+    ----------
+    dataset:
+        Input movement micro-data; every fingerprint must be non-empty
+        and represent a single subscriber (``count == 1``) or an
+        already-formed group.
+    config:
+        Anonymity level, stretch metric, suppression, reshaping.
+    chunk:
+        Fingerprints per broadcast chunk in the bulk kernels.
+
+    Returns
+    -------
+    :class:`GloveResult` whose dataset contains one fingerprint per
+    group, each hiding at least ``config.k`` subscribers.
+    """
+    fps = list(dataset)
+    k = config.k
+    n = len(fps)
+    total_users = sum(fp.count for fp in fps)
+    if total_users < k:
+        raise ValueError(f"dataset hides {total_users} users in total, cannot reach k={k}")
+    if any(fp.m == 0 for fp in fps):
+        raise ValueError("input contains empty fingerprints; screen the dataset first")
+
+    stats = GloveStats(n_input_fingerprints=n)
+    work = _WorkingSet(fps)
+    capacity = 2 * n
+
+    # S[i, j] = fingerprint stretch effort between live slots i and j.
+    stretch = np.full((capacity, capacity), np.inf, dtype=np.float64)
+    pending = np.zeros(capacity, dtype=bool)  # live and count < k
+    for slot in range(n):
+        pending[slot] = work.counts[slot] < k
+    finished: List[int] = [slot for slot in range(n) if not pending[slot]]
+
+    cfg = config.stretch
+    pending_idx = np.flatnonzero(pending)
+    for pos, i in enumerate(pending_idx[:-1]):
+        targets = pending_idx[pos + 1 :]
+        vals = one_vs_all(work.fps[i].data, work.fps[i].count, work, cfg, targets, chunk)
+        stretch[i, targets] = vals
+        stretch[targets, i] = vals
+
+    # Nearest pending neighbour per pending slot (value + index).
+    best_val = np.full(capacity, np.inf)
+    best_idx = np.full(capacity, -1, dtype=np.int64)
+
+    def _refresh_best(slot: int) -> None:
+        live = pending.copy()
+        live[slot] = False
+        if not live.any():
+            best_val[slot] = np.inf
+            best_idx[slot] = -1
+            return
+        row = np.where(live, stretch[slot], np.inf)
+        j = int(row.argmin())
+        best_val[slot] = row[j]
+        best_idx[slot] = j
+
+    for i in np.flatnonzero(pending):
+        _refresh_best(int(i))
+
+    def _merge_pair(i: int, j: int) -> Fingerprint:
+        merged = merge_fingerprints(work.fps[i], work.fps[j], cfg)
+        if config.reshape:
+            merged = reshape_fingerprint(merged)
+        return merged
+
+    while pending.sum() >= 2:
+        candidates = np.where(pending, best_val, np.inf)
+        i = int(candidates.argmin())
+        j = int(best_idx[i])
+        merged = _merge_pair(i, j)
+        stats.n_merges += 1
+
+        pending[i] = False
+        pending[j] = False
+        stretch[i, :] = np.inf
+        stretch[:, i] = np.inf
+        stretch[j, :] = np.inf
+        stretch[:, j] = np.inf
+        best_val[i] = best_val[j] = np.inf
+
+        slot = work.append(merged)
+        if merged.count >= k:
+            finished.append(slot)
+        else:
+            pending[slot] = True
+            targets = np.flatnonzero(pending)
+            targets = targets[targets != slot]
+            if targets.size:
+                vals = one_vs_all(merged.data, merged.count, work, cfg, targets, chunk)
+                stretch[slot, targets] = vals
+                stretch[targets, slot] = vals
+            _refresh_best(slot)
+
+        # Repair neighbour caches invalidated by the removal/insertion.
+        for r in np.flatnonzero(pending):
+            r = int(r)
+            if r == slot:
+                continue
+            if best_idx[r] in (i, j):
+                _refresh_best(r)
+            elif pending[slot] and stretch[r, slot] < best_val[r]:
+                best_val[r] = stretch[r, slot]
+                best_idx[r] = slot
+
+    # A single non-anonymous leftover: fold it into the nearest finished
+    # group so every subscriber ends up in a crowd of >= k.
+    leftover = np.flatnonzero(pending)
+    if leftover.size == 1:
+        lo = int(leftover[0])
+        if not finished:
+            raise RuntimeError("no finished group to absorb the leftover fingerprint")
+        targets = np.array(finished, dtype=np.int64)
+        vals = one_vs_all(work.fps[lo].data, work.fps[lo].count, work, cfg, targets, chunk)
+        tgt = int(targets[int(vals.argmin())])
+        merged = _merge_pair(lo, tgt)
+        stats.n_merges += 1
+        stats.leftover_merged = True
+        slot = work.append(merged)
+        finished[finished.index(tgt)] = slot
+        pending[lo] = False
+
+    out = FingerprintDataset(name=f"{dataset.name}-glove-k{k}")
+    for slot in finished:
+        out.add(work.fps[slot])
+    stats.n_output_fingerprints = len(out)
+
+    if config.suppression.enabled:
+        out, supp = suppress_dataset(out, config.suppression)
+        stats.suppression = supp
+    else:
+        stats.suppression = SuppressionStats(
+            total_samples=out.n_samples, discarded_samples=0, discarded_fingerprints=0
+        )
+    return GloveResult(dataset=out, stats=stats, config=config)

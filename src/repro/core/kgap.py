@@ -1,0 +1,167 @@
+"""The k-gap anonymizability measure (paper Eq. 11 and Section 5).
+
+The *k-gap* of subscriber ``a`` is the average fingerprint stretch
+effort between ``a`` and the ``k-1`` users whose fingerprints are the
+cheapest to merge with ``a``'s.  A k-gap of 0 means ``a`` is already
+k-anonymous; a k-gap of 1 means k-anonymizing ``a`` would render all his
+samples uninformative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import StretchConfig
+from repro.core.dataset import FingerprintDataset
+from repro.core.fingerprint import Fingerprint
+from repro.core.pairwise import PaddedFingerprints, k_nearest, one_vs_all, pairwise_matrix
+from repro.core.stretch import matched_stretch_components
+
+
+@dataclass(frozen=True)
+class KGapResult:
+    """k-gap evaluation of a dataset.
+
+    Attributes
+    ----------
+    k:
+        Anonymity level the gaps refer to.
+    uids:
+        Fingerprint identifiers, aligned with ``gaps`` rows.
+    gaps:
+        ``(n,)`` array of k-gap values in ``[0, 1]``.
+    neighbor_indices:
+        ``(n, k-1)`` indices (into ``uids``) of each user's nearest
+        ``k-1`` fingerprints (the set ``N_a^{k-1}`` of Eq. 11).
+    neighbor_efforts:
+        ``(n, k-1)`` fingerprint stretch efforts to those neighbours.
+    """
+
+    k: int
+    uids: List[str]
+    gaps: np.ndarray
+    neighbor_indices: np.ndarray
+    neighbor_efforts: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of fingerprints evaluated."""
+        return self.gaps.shape[0]
+
+    def fraction_anonymous(self, atol: float = 1e-12) -> float:
+        """Fraction of users whose k-gap is (numerically) zero.
+
+        These users are already k-anonymous: merging them with their
+        ``k-1`` nearest fingerprints costs nothing, which only happens
+        when the fingerprints are identical.
+        """
+        return float(np.mean(self.gaps <= atol))
+
+    def quantile(self, q: float) -> float:
+        """Quantile of the k-gap distribution (e.g. ``q=0.5`` -> median)."""
+        return float(np.quantile(self.gaps, q))
+
+
+def kgap(
+    dataset: FingerprintDataset,
+    k: int = 2,
+    config: StretchConfig = StretchConfig(),
+    matrix: Optional[np.ndarray] = None,
+) -> KGapResult:
+    """Compute the k-gap of every fingerprint in a dataset (Eq. 11).
+
+    Parameters
+    ----------
+    dataset:
+        Fingerprints to evaluate; all must be non-empty.
+    k:
+        Target anonymity level (>= 2).
+    config:
+        Stretch-effort parameters.
+    matrix:
+        Optional precomputed pairwise ``Delta`` matrix (e.g. from
+        :func:`repro.core.pairwise.pairwise_matrix`), reused across
+        different ``k`` values as in the paper's Fig. 3b.
+    """
+    if k < 2:
+        raise ValueError(f"k must be at least 2, got {k}")
+    fps = list(dataset)
+    if len(fps) < k:
+        raise ValueError(f"dataset has {len(fps)} fingerprints, cannot assess k={k}")
+    if matrix is None:
+        matrix = pairwise_matrix(fps, config)
+    idx, efforts = k_nearest(matrix, k - 1)
+    gaps = efforts.mean(axis=1)
+    return KGapResult(
+        k=k,
+        uids=[fp.uid for fp in fps],
+        gaps=gaps,
+        neighbor_indices=idx,
+        neighbor_efforts=efforts,
+    )
+
+
+@dataclass(frozen=True)
+class StretchDecomposition:
+    """Per-user spatial/temporal stretch sets of Section 5.3.
+
+    For user ``a``, the matched per-sample stretch efforts toward all
+    neighbours in ``N_a^{k-1}``, decomposed into total (``delta``),
+    spatial (``w_sigma * phi_sigma``, the set ``S_a``) and temporal
+    (``w_tau * phi_tau``, the set ``T_a``) contributions.
+    """
+
+    uid: str
+    delta: np.ndarray
+    spatial: np.ndarray
+    temporal: np.ndarray
+
+    @property
+    def temporal_to_spatial_ratio(self) -> float:
+        """Share of the temporal component in the total stretch effort.
+
+        Computed as ``sum(T_a) / (sum(S_a) + sum(T_a))``, i.e. the
+        fraction of the anonymization cost attributable to time; 0.5
+        means equal split, 1.0 means the cost is fully temporal (this is
+        the quantity plotted in the paper's Fig. 5b).
+        """
+        total = float(self.spatial.sum() + self.temporal.sum())
+        if total == 0.0:
+            return 0.5
+        return float(self.temporal.sum()) / total
+
+
+def stretch_decomposition(
+    dataset: FingerprintDataset,
+    result: KGapResult,
+    config: StretchConfig = StretchConfig(),
+) -> List[StretchDecomposition]:
+    """Decompose each user's anonymization cost into space and time parts.
+
+    Re-walks the nearest-neighbour sets of a :func:`kgap` result and
+    collects the matched sample stretch components of Eq. 1, feeding the
+    TWI analysis (Fig. 5a) and the component-ratio analysis (Fig. 5b).
+    """
+    fps = list(dataset)
+    out: List[StretchDecomposition] = []
+    for i, fp in enumerate(fps):
+        deltas, spatials, temporals = [], [], []
+        for j in result.neighbor_indices[i]:
+            d, s, t = matched_stretch_components(
+                fp.data, fps[int(j)].data, fp.count, fps[int(j)].count, config
+            )
+            deltas.append(d)
+            spatials.append(s)
+            temporals.append(t)
+        out.append(
+            StretchDecomposition(
+                uid=fp.uid,
+                delta=np.concatenate(deltas),
+                spatial=np.concatenate(spatials),
+                temporal=np.concatenate(temporals),
+            )
+        )
+    return out

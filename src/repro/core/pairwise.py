@@ -1,0 +1,204 @@
+"""Bulk, vectorized fingerprint stretch-effort kernels.
+
+The paper offloads the O(|M|^2) evaluations of Eq. 10 to a CUDA GPU
+(Section 6.3).  This module is the reproduction's equivalent substrate:
+fingerprints are packed into a padded ``(N, m_max, 6)`` tensor with a
+validity mask, and one-vs-all stretch efforts are computed with NumPy
+broadcasting, chunked to bound peak memory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import StretchConfig
+from repro.core.fingerprint import Fingerprint
+from repro.core.sample import DT, DX, DY, NCOLS, T, X, Y
+
+#: Fingerprints per broadcast chunk; bounds peak memory of the kernels.
+DEFAULT_CHUNK = 256
+
+
+class PaddedFingerprints:
+    """Fingerprints packed into a padded tensor for bulk kernels.
+
+    Attributes
+    ----------
+    data:
+        ``(N, m_max, 6)`` float64 tensor; rows beyond a fingerprint's
+        length are zero-filled and masked out.
+    mask:
+        ``(N, m_max)`` boolean validity mask.
+    lengths:
+        ``(N,)`` sample counts per fingerprint.
+    counts:
+        ``(N,)`` subscribers hidden per fingerprint (Eq. 4 weights).
+    """
+
+    def __init__(self, fingerprints: Sequence[Fingerprint]):
+        fps = list(fingerprints)
+        if not fps:
+            raise ValueError("cannot pack an empty fingerprint collection")
+        if any(fp.m == 0 for fp in fps):
+            raise ValueError("cannot pack fingerprints with zero samples")
+        self.uids: List[str] = [fp.uid for fp in fps]
+        self.lengths = np.array([fp.m for fp in fps], dtype=np.int64)
+        self.counts = np.array([fp.count for fp in fps], dtype=np.int64)
+        m_max = int(self.lengths.max())
+        n = len(fps)
+        self.data = np.zeros((n, m_max, NCOLS), dtype=np.float64)
+        self.mask = np.zeros((n, m_max), dtype=bool)
+        for i, fp in enumerate(fps):
+            self.data[i, : fp.m] = fp.data
+            self.mask[i, : fp.m] = True
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+
+def one_vs_all(
+    a_data: np.ndarray,
+    n_a: int,
+    packed: PaddedFingerprints,
+    config: StretchConfig = StretchConfig(),
+    indices: Optional[np.ndarray] = None,
+    chunk: int = DEFAULT_CHUNK,
+) -> np.ndarray:
+    """Fingerprint stretch efforts (Eq. 10) from one fingerprint to many.
+
+    Parameters
+    ----------
+    a_data:
+        ``(ma, 6)`` sample array of the probe fingerprint.
+    n_a:
+        Subscribers hidden in the probe fingerprint.
+    packed:
+        Target fingerprints, packed.
+    indices:
+        Optional subset of target indices to evaluate; defaults to all.
+    chunk:
+        Targets per broadcast chunk.
+
+    Returns
+    -------
+    Float64 array of ``Delta_ab`` values, aligned with ``indices``.
+    """
+    if a_data.shape[0] == 0:
+        raise ValueError("probe fingerprint has no samples")
+    if indices is None:
+        indices = np.arange(len(packed))
+    indices = np.asarray(indices, dtype=np.int64)
+    out = np.empty(indices.shape[0], dtype=np.float64)
+
+    ma = a_data.shape[0]
+    ax = a_data[:, X][None, :, None]
+    adx = a_data[:, DX][None, :, None]
+    ay = a_data[:, Y][None, :, None]
+    ady = a_data[:, DY][None, :, None]
+    at = a_data[:, T][None, :, None]
+    adt = a_data[:, DT][None, :, None]
+    a_ext_s = adx + ady
+
+    for start in range(0, indices.shape[0], chunk):
+        sel = indices[start : start + chunk]
+        b = packed.data[sel]
+        mask = packed.mask[sel]
+        len_b = packed.lengths[sel]
+        n_b = packed.counts[sel].astype(np.float64)
+
+        w_a = (n_a / (n_a + n_b))[:, None, None]
+        w_b = (n_b / (n_a + n_b))[:, None, None]
+
+        bx = b[:, :, X][:, None, :]
+        bdx = b[:, :, DX][:, None, :]
+        by = b[:, :, Y][:, None, :]
+        bdy = b[:, :, DY][:, None, :]
+        bt = b[:, :, T][:, None, :]
+        bdt = b[:, :, DT][:, None, :]
+
+        ux = np.maximum(ax + adx, bx + bdx) - np.minimum(ax, bx)
+        uy = np.maximum(ay + ady, by + bdy) - np.minimum(ay, by)
+        ut = np.maximum(at + adt, bt + bdt) - np.minimum(at, bt)
+
+        # Clamped at zero against floating-point cancellation noise.
+        raw_s = np.maximum((ux + uy) - w_a * a_ext_s - w_b * (bdx + bdy), 0.0)
+        raw_t = np.maximum(ut - w_a * adt - w_b * bdt, 0.0)
+
+        delta = config.w_sigma * np.minimum(raw_s / config.phi_max_sigma_m, 1.0)
+        delta += config.w_tau * np.minimum(raw_t / config.phi_max_tau_min, 1.0)
+
+        # Mask out padding: invalid target samples must never be matched.
+        delta[~mask[:, None, :].repeat(ma, axis=1)] = np.inf
+
+        # Case ma > mb: for each probe sample, nearest target sample.
+        per_a = delta.min(axis=2)  # (C, ma)
+        mean_long_a = per_a.mean(axis=1)
+
+        # Case mb > ma: for each *valid* target sample, nearest probe sample.
+        per_b = delta.min(axis=1)  # (C, m_max)
+        per_b = np.where(mask, per_b, 0.0)
+        mean_long_b = per_b.sum(axis=1) / len_b
+
+        # Equal lengths: average both directions (symmetric tie rule,
+        # see repro.core.stretch.fingerprint_stretch).
+        out[start : start + sel.shape[0]] = np.where(
+            ma > len_b,
+            mean_long_a,
+            np.where(len_b > ma, mean_long_b, (mean_long_a + mean_long_b) / 2.0),
+        )
+    return out
+
+
+def pairwise_matrix(
+    fingerprints: Sequence[Fingerprint],
+    config: StretchConfig = StretchConfig(),
+    chunk: int = DEFAULT_CHUNK,
+) -> np.ndarray:
+    """Full symmetric ``Delta_ab`` matrix for a fingerprint collection.
+
+    The diagonal is set to ``+inf`` so that row-wise minima directly give
+    nearest-neighbour efforts.
+    """
+    fps = list(fingerprints)
+    packed = PaddedFingerprints(fps)
+    n = len(fps)
+    mat = np.full((n, n), np.inf, dtype=np.float64)
+    for i, fp in enumerate(fps):
+        if i + 1 >= n:
+            break
+        targets = np.arange(i + 1, n)
+        vals = one_vs_all(fp.data, fp.count, packed, config, indices=targets, chunk=chunk)
+        mat[i, i + 1 :] = vals
+        mat[i + 1 :, i] = vals
+    return mat
+
+
+def k_nearest(
+    matrix: np.ndarray,
+    k_minus_1: int,
+) -> tuple:
+    """Indices and efforts of each row's ``k-1`` nearest fingerprints.
+
+    Parameters
+    ----------
+    matrix:
+        Symmetric ``Delta`` matrix with ``+inf`` diagonal.
+    k_minus_1:
+        Crowd size minus one (the ``k-1`` of Eq. 11).
+
+    Returns
+    -------
+    ``(indices, efforts)`` with shapes ``(n, k-1)``; each row's entries
+    are sorted by increasing effort.
+    """
+    n = matrix.shape[0]
+    if k_minus_1 < 1:
+        raise ValueError(f"k-1 must be at least 1, got {k_minus_1}")
+    if k_minus_1 > n - 1:
+        raise ValueError(f"k-1={k_minus_1} exceeds available neighbours ({n - 1})")
+    part = np.argpartition(matrix, k_minus_1 - 1, axis=1)[:, :k_minus_1]
+    efforts = np.take_along_axis(matrix, part, axis=1)
+    order = np.argsort(efforts, axis=1, kind="stable")
+    return np.take_along_axis(part, order, axis=1), np.take_along_axis(efforts, order, axis=1)

@@ -1,0 +1,204 @@
+"""Sample and fingerprint stretch efforts (paper Eq. 1-10).
+
+The *sample stretch effort* ``delta_ab(i, j)`` measures the
+spatiotemporal loss of accuracy required to merge two samples through
+generalization.  It combines a spatial loss ``phi_sigma`` and a temporal
+loss ``phi_tau``, each computed from the left/right stretches that each
+sample's bounding box must undergo to cover the other's, weighted by the
+number of subscribers ``n_a``, ``n_b`` already hidden in each
+fingerprint, and saturated at the ``phi_max`` thresholds.
+
+This module contains the scalar reference implementation (used in tests
+as ground truth) and the pairwise matrix form used by the merge
+operation.  The bulk one-vs-all kernels live in
+:mod:`repro.core.pairwise`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.config import StretchConfig
+from repro.core.sample import DT, DX, DY, Sample, T, X, Y
+
+
+# ----------------------------------------------------------------------
+# Scalar reference implementation (Eq. 1-9)
+# ----------------------------------------------------------------------
+def left_right_stretch_1d(lo_a: float, ext_a: float, lo_b: float, ext_b: float) -> Tuple[float, float]:
+    """Left and right stretch of interval ``a`` to cover interval ``b``.
+
+    One-dimensional building block of Eq. 5-6 and Eq. 8-9: how far the
+    lower edge of ``[lo_a, lo_a+ext_a]`` must move left, and the upper
+    edge right, to cover ``[lo_b, lo_b+ext_b]``.
+    """
+    left = lo_a - min(lo_a, lo_b)
+    right = max(lo_a + ext_a, lo_b + ext_b) - lo_a - ext_a
+    return left, right
+
+
+def phi_star_sigma(sa: Sample, sb: Sample, n_a: int = 1, n_b: int = 1) -> float:
+    """Raw spatial stretch of Eq. 4 (before saturation)."""
+    la_x, ra_x = left_right_stretch_1d(sa.x, sa.dx, sb.x, sb.dx)
+    la_y, ra_y = left_right_stretch_1d(sa.y, sa.dy, sb.y, sb.dy)
+    lb_x, rb_x = left_right_stretch_1d(sb.x, sb.dx, sa.x, sa.dx)
+    lb_y, rb_y = left_right_stretch_1d(sb.y, sb.dy, sa.y, sa.dy)
+    w_a = n_a / (n_a + n_b)
+    w_b = n_b / (n_a + n_b)
+    return (la_x + ra_x + la_y + ra_y) * w_a + (lb_x + rb_x + lb_y + rb_y) * w_b
+
+
+def phi_star_tau(sa: Sample, sb: Sample, n_a: int = 1, n_b: int = 1) -> float:
+    """Raw temporal stretch of Eq. 7 (before saturation)."""
+    la, ra = left_right_stretch_1d(sa.t, sa.dt, sb.t, sb.dt)
+    lb, rb = left_right_stretch_1d(sb.t, sb.dt, sa.t, sa.dt)
+    w_a = n_a / (n_a + n_b)
+    w_b = n_b / (n_a + n_b)
+    return (la + ra) * w_a + (lb + rb) * w_b
+
+
+def sample_stretch(
+    sa: Sample,
+    sb: Sample,
+    n_a: int = 1,
+    n_b: int = 1,
+    config: StretchConfig = StretchConfig(),
+) -> float:
+    """Sample stretch effort ``delta_ab(i, j)`` of Eq. 1, in ``[0, 1]``."""
+    comps = sample_stretch_components(sa, sb, n_a, n_b, config)
+    return comps[0] + comps[1]
+
+def sample_stretch_components(
+    sa: Sample,
+    sb: Sample,
+    n_a: int = 1,
+    n_b: int = 1,
+    config: StretchConfig = StretchConfig(),
+) -> Tuple[float, float]:
+    """Weighted spatial and temporal terms ``(w_sigma*phi_sigma, w_tau*phi_tau)``.
+
+    Their sum is the sample stretch effort; the decomposition feeds the
+    Section 5.3 analysis (sets ``S_a`` and ``T_a``).
+    """
+    ps = max(phi_star_sigma(sa, sb, n_a, n_b), 0.0)
+    pt = max(phi_star_tau(sa, sb, n_a, n_b), 0.0)
+    phi_s = min(ps / config.phi_max_sigma_m, 1.0)
+    phi_t = min(pt / config.phi_max_tau_min, 1.0)
+    return (config.w_sigma * phi_s, config.w_tau * phi_t)
+
+
+# ----------------------------------------------------------------------
+# Pairwise matrix form
+# ----------------------------------------------------------------------
+def stretch_matrix(
+    a: np.ndarray,
+    b: np.ndarray,
+    n_a: int = 1,
+    n_b: int = 1,
+    config: StretchConfig = StretchConfig(),
+    components: bool = False,
+):
+    """Sample stretch efforts between all sample pairs of two fingerprints.
+
+    Parameters
+    ----------
+    a, b:
+        Sample arrays of shape ``(ma, 6)`` and ``(mb, 6)``.
+    n_a, n_b:
+        Subscribers hidden in each fingerprint (Eq. 4 weights).
+    components:
+        When true, return ``(delta, spatial, temporal)`` where
+        ``delta = spatial + temporal``; otherwise just ``delta``.
+
+    Returns
+    -------
+    ``(ma, mb)`` float64 array(s).
+
+    Notes
+    -----
+    The raw stretch simplifies to *union extent minus count-weighted own
+    extents*: for axis x, ``l(a,b) + r(a,b) = U_x - dx_a`` where ``U_x``
+    is the union extent, hence Eq. 4 reduces to
+    ``(U_x + U_y) - w_a (dx_a + dy_a) - w_b (dx_b + dy_b)``.
+    """
+    w_a = n_a / (n_a + n_b)
+    w_b = n_b / (n_a + n_b)
+
+    ax, adx = a[:, X][:, None], a[:, DX][:, None]
+    ay, ady = a[:, Y][:, None], a[:, DY][:, None]
+    at, adt = a[:, T][:, None], a[:, DT][:, None]
+    bx, bdx = b[:, X][None, :], b[:, DX][None, :]
+    by, bdy = b[:, Y][None, :], b[:, DY][None, :]
+    bt, bdt = b[:, T][None, :], b[:, DT][None, :]
+
+    ux = np.maximum(ax + adx, bx + bdx) - np.minimum(ax, bx)
+    uy = np.maximum(ay + ady, by + bdy) - np.minimum(ay, by)
+    ut = np.maximum(at + adt, bt + bdt) - np.minimum(at, bt)
+
+    # Clamp at zero: identical samples can produce raw stretches of
+    # -1e-15 through floating-point cancellation.
+    raw_s = np.maximum((ux + uy) - w_a * (adx + ady) - w_b * (bdx + bdy), 0.0)
+    raw_t = np.maximum(ut - w_a * adt - w_b * bdt, 0.0)
+
+    spatial = config.w_sigma * np.minimum(raw_s / config.phi_max_sigma_m, 1.0)
+    temporal = config.w_tau * np.minimum(raw_t / config.phi_max_tau_min, 1.0)
+    delta = spatial + temporal
+    if components:
+        return delta, spatial, temporal
+    return delta
+
+
+def fingerprint_stretch(
+    a: np.ndarray,
+    b: np.ndarray,
+    n_a: int = 1,
+    n_b: int = 1,
+    config: StretchConfig = StretchConfig(),
+) -> float:
+    """Fingerprint stretch effort ``Delta_ab`` of Eq. 10.
+
+    For each sample of the *longer* fingerprint, find the sample of the
+    shorter one at minimum stretch effort; ``Delta_ab`` is the average
+    of those minima.
+
+    Equal-length pairs are a gap in the paper's Eq. 10: looping over
+    ``a`` or over ``b`` gives different values.  This implementation
+    averages the two directions in that case, which restores the
+    symmetry the GLOVE stretch matrix relies on (documented deviation,
+    see DESIGN.md).
+    """
+    if a.shape[0] == 0 or b.shape[0] == 0:
+        raise ValueError("cannot compute stretch effort of an empty fingerprint")
+    delta = stretch_matrix(a, b, n_a, n_b, config)
+    if a.shape[0] > b.shape[0]:
+        return float(delta.min(axis=1).mean())
+    if b.shape[0] > a.shape[0]:
+        return float(delta.min(axis=0).mean())
+    return float((delta.min(axis=1).mean() + delta.min(axis=0).mean()) / 2.0)
+
+
+def matched_stretch_components(
+    a: np.ndarray,
+    b: np.ndarray,
+    n_a: int = 1,
+    n_b: int = 1,
+    config: StretchConfig = StretchConfig(),
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-sample matched stretch decomposition used by the Section 5.3 analysis.
+
+    For each sample of the longer fingerprint, match it to the
+    minimum-effort sample of the shorter one (as Eq. 10 does) and report
+    the matched ``(delta, spatial, temporal)`` triplets, each an array of
+    length ``max(ma, mb)``.  The spatial values populate ``S_a`` and the
+    temporal values ``T_a`` in the paper's notation.
+    """
+    delta, spatial, temporal = stretch_matrix(a, b, n_a, n_b, config, components=True)
+    if a.shape[0] >= b.shape[0]:
+        j = delta.argmin(axis=1)
+        i = np.arange(a.shape[0])
+        return delta[i, j], spatial[i, j], temporal[i, j]
+    i = delta.argmin(axis=0)
+    j = np.arange(b.shape[0])
+    return delta[i, j], spatial[i, j], temporal[i, j]

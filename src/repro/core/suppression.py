@@ -1,0 +1,118 @@
+"""Sample suppression (paper Section 7.1).
+
+Specialized generalization occasionally has to stretch a sample very far
+— those are exactly the long-tail, hard-to-anonymize samples of Section
+5.3.  Suppression discards generalized samples whose spatial extent or
+temporal extent exceeds configured thresholds, trading a small fraction
+of discarded samples for a large gain in average accuracy (Fig. 9 and
+the GLOVE columns of Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.config import SuppressionConfig
+from repro.core.dataset import FingerprintDataset
+from repro.core.fingerprint import Fingerprint
+from repro.core.sample import DT, DX, DY
+
+
+@dataclass(frozen=True)
+class SuppressionStats:
+    """Outcome of a suppression pass.
+
+    Attributes
+    ----------
+    total_samples:
+        Samples present before suppression.
+    discarded_samples:
+        Samples removed because they exceeded a threshold.
+    discarded_fingerprints:
+        Fingerprints dropped because *all* their samples were removed.
+    """
+
+    total_samples: int
+    discarded_samples: int
+    discarded_fingerprints: int
+
+    @property
+    def discarded_fraction(self) -> float:
+        """Fraction of samples discarded (the y-axis of Fig. 9)."""
+        if self.total_samples == 0:
+            return 0.0
+        return self.discarded_samples / self.total_samples
+
+
+def suppression_mask(data: np.ndarray, config: SuppressionConfig) -> np.ndarray:
+    """Boolean mask of samples that *survive* suppression.
+
+    A sample is discarded when ``max(dx, dy)`` exceeds the spatial
+    threshold or ``dt`` exceeds the temporal threshold.
+    """
+    keep = np.ones(data.shape[0], dtype=bool)
+    if config.spatial_threshold_m is not None:
+        keep &= np.maximum(data[:, DX], data[:, DY]) <= config.spatial_threshold_m
+    if config.temporal_threshold_min is not None:
+        keep &= data[:, DT] <= config.temporal_threshold_min
+    return keep
+
+
+def _least_stretched(data: np.ndarray, config: SuppressionConfig) -> int:
+    """Index of the sample with the smallest normalized stretch."""
+    badness = np.zeros(data.shape[0])
+    if config.spatial_threshold_m is not None:
+        badness += np.maximum(data[:, DX], data[:, DY]) / config.spatial_threshold_m
+    if config.temporal_threshold_min is not None:
+        badness += data[:, DT] / config.temporal_threshold_min
+    return int(badness.argmin())
+
+
+def suppress_fingerprint(fp: Fingerprint, config: SuppressionConfig) -> Fingerprint:
+    """Copy of ``fp`` without over-stretched samples.
+
+    With ``keep_at_least_one`` (the default) the result is never empty:
+    if all samples exceed the thresholds, the least-stretched survives.
+    """
+    if not config.enabled:
+        return fp
+    keep = suppression_mask(fp.data, config)
+    if keep.all():
+        return fp
+    if not keep.any() and config.keep_at_least_one:
+        keep[_least_stretched(fp.data, config)] = True
+    return fp.with_samples(fp.data[keep])
+
+
+def suppress_dataset(
+    dataset: FingerprintDataset, config: SuppressionConfig
+) -> Tuple[FingerprintDataset, SuppressionStats]:
+    """Apply suppression to every fingerprint of a dataset.
+
+    Fingerprints whose samples are all suppressed are dropped entirely
+    (counted as discarded fingerprints).  Returns the filtered dataset
+    and the suppression statistics.
+    """
+    out = FingerprintDataset(name=f"{dataset.name}-suppressed")
+    total = 0
+    discarded = 0
+    dropped_fps = 0
+    for fp in dataset:
+        total += fp.m
+        if not config.enabled:
+            out.add(fp)
+            continue
+        kept = suppress_fingerprint(fp, config)
+        discarded += fp.m - kept.m
+        if kept.m == 0:
+            dropped_fps += 1
+            continue
+        out.add(kept)
+    return out, SuppressionStats(
+        total_samples=total,
+        discarded_samples=discarded,
+        discarded_fingerprints=dropped_fps,
+    )

@@ -1,0 +1,26 @@
+"""Experiment harness: one module per paper figure or table.
+
+Each module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.report.ExperimentReport` whose sections
+print the rows/series the corresponding paper artifact plots, and whose
+``data`` dict carries structured values for tests and benchmarks.
+
+| Module     | Paper artifact | Content |
+|------------|----------------|---------|
+| ``fig3``   | Fig. 3a/3b     | k-gap CDFs; k sweep |
+| ``fig4``   | Fig. 4         | k-gap under uniform generalization |
+| ``fig5``   | Fig. 5a/5b     | TWI and temporal/spatial cost split |
+| ``fig7``   | Fig. 7         | GLOVE accuracy CDFs, k=2 |
+| ``fig8``   | Fig. 8         | GLOVE accuracy CDFs, k=2/3/5 |
+| ``fig9``   | Fig. 9         | suppression trade-off |
+| ``fig10``  | Fig. 10        | accuracy vs dataset timespan |
+| ``fig11``  | Fig. 11        | accuracy vs dataset size |
+| ``table2`` | Table 2        | GLOVE vs W4M-LC comparison |
+
+The :mod:`repro.experiments.runner` CLI runs any subset:
+``glove-repro --experiments fig3 table2 --n-users 150``.
+"""
+
+from repro.experiments.report import ExperimentReport
+
+__all__ = ["ExperimentReport"]

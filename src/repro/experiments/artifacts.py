@@ -1,0 +1,76 @@
+"""Persist experiment results as reviewable artifacts.
+
+The ``glove-repro`` runner can dump every report to a directory:
+a ``.txt`` rendering (what the terminal showed) plus a ``.json`` file
+with the structured ``data`` dict, so EXPERIMENTS.md numbers can be
+traced to a concrete artifact and regenerated diffably.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.experiments.report import ExperimentReport
+
+PathLike = Union[str, Path]
+
+
+def _jsonable(obj):
+    """Recursively convert experiment data into JSON-serializable form."""
+    if isinstance(obj, dict):
+        return {_key(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return _jsonable(asdict(obj))
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return str(obj)
+
+
+def _key(key) -> str:
+    """JSON object keys must be strings; render tuples readably."""
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def save_report(report: ExperimentReport, directory: PathLike) -> Dict[str, Path]:
+    """Write ``<exp_id>.txt`` and ``<exp_id>.json``; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    txt_path = directory / f"{report.exp_id}.txt"
+    json_path = directory / f"{report.exp_id}.json"
+    txt_path.write_text(report.render())
+    json_path.write_text(
+        json.dumps(
+            {
+                "exp_id": report.exp_id,
+                "title": report.title,
+                "paper_claim": report.paper_claim,
+                "data": _jsonable(report.data),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    )
+    return {"txt": txt_path, "json": json_path}
+
+
+def load_report_data(path: PathLike) -> Dict:
+    """Read back the structured data of a saved report."""
+    with open(path) as f:
+        return json.load(f)

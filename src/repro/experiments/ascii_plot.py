@@ -1,0 +1,122 @@
+"""Plain-text plotting for experiment reports.
+
+The harness is deliberately dependency-light (no matplotlib), but the
+paper's figures are easier to eyeball as curves than as number rows.
+This module renders empirical CDFs and x/y series as fixed-width ASCII
+panels that survive terminals, logs and markdown code blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.cdf import EmpiricalCDF
+
+#: Characters used to distinguish overlaid curves.
+CURVE_MARKS = "o+x*#@%&"
+
+
+def ascii_cdf(
+    curves: Dict[str, EmpiricalCDF],
+    x_min: float = None,
+    x_max: float = None,
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    log_x: bool = False,
+) -> str:
+    """Render one or more CDFs as an ASCII panel.
+
+    Parameters
+    ----------
+    curves:
+        Label -> CDF; each gets its own marker character.
+    x_min, x_max:
+        X-axis range; defaults to the pooled data range.
+    width, height:
+        Character dimensions of the plotting area.
+    log_x:
+        Log-scale the x axis (used for the TWI and accuracy figures).
+    """
+    if not curves:
+        raise ValueError("need at least one curve")
+    if width < 16 or height < 4:
+        raise ValueError("panel too small")
+
+    lo = min(cdf.values[0] for cdf in curves.values()) if x_min is None else x_min
+    hi = max(cdf.values[-1] for cdf in curves.values()) if x_max is None else x_max
+    if log_x:
+        lo = max(lo, 1e-12)
+        if hi <= lo:
+            hi = lo * 10.0
+        xs = np.logspace(np.log10(lo), np.log10(hi), width)
+    else:
+        if hi <= lo:
+            hi = lo + 1.0
+        xs = np.linspace(lo, hi, width)
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, cdf), mark in zip(curves.items(), CURVE_MARKS):
+        ys = np.asarray(cdf(xs), dtype=np.float64)
+        rows = np.clip(((1.0 - ys) * (height - 1)).round().astype(int), 0, height - 1)
+        for col, row in enumerate(rows):
+            grid[row][col] = mark
+
+    lines = []
+    for r, row in enumerate(grid):
+        y_tick = 1.0 - r / (height - 1)
+        prefix = f"{y_tick:4.2f} |" if r % (height // 4 or 1) == 0 else "     |"
+        lines.append(prefix + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {lo:<12.4g}{' ' * max(0, width - 24)}{hi:>12.4g}  ({x_label})")
+    legend = "  ".join(
+        f"{mark}={label}" for (label, _), mark in zip(curves.items(), CURVE_MARKS)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)
+
+
+def ascii_series(
+    x: Sequence[float],
+    ys: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 14,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render x/y series (e.g. Fig. 9's trade-off curves) as ASCII."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.size < 2:
+        raise ValueError("need at least two x points")
+    all_y = np.concatenate([np.asarray(v, dtype=np.float64) for v in ys.values()])
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(x.min()), float(x.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, series), mark in zip(ys.items(), CURVE_MARKS):
+        series = np.asarray(series, dtype=np.float64)
+        cols = np.clip(
+            ((x - x_lo) / (x_hi - x_lo) * (width - 1)).round().astype(int), 0, width - 1
+        )
+        rows = np.clip(
+            ((y_hi - series) / (y_hi - y_lo) * (height - 1)).round().astype(int),
+            0,
+            height - 1,
+        )
+        for col, row in zip(cols, rows):
+            grid[row][col] = mark
+
+    lines = [f"{y_label} ({y_lo:.4g} .. {y_hi:.4g})"]
+    for row in grid:
+        lines.append("     |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {x_lo:<12.4g}{' ' * max(0, width - 24)}{x_hi:>12.4g}  ({x_label})")
+    legend = "  ".join(
+        f"{mark}={label}" for (label, _), mark in zip(ys.items(), CURVE_MARKS)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Fig. 4 — uniform spatiotemporal generalization does not anonymize.
+
+The paper's second premise: coarsening every sample identically, even
+down to 20 km / 8 h bins, leaves the majority of users non-2-anonymous
+(only ~35% reach 2-anonymity at the coarsest level).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.anonymizability import generalization_sweep
+from repro.baselines.generalization import PAPER_LEVELS, GeneralizationLevel
+from repro.cdr.datasets import synthesize
+from repro.experiments.report import ExperimentReport, fmt
+
+#: Gap values at which the CDFs are reported.
+GAP_GRID = (0.0, 0.05, 0.1, 0.2, 0.3, 0.4)
+
+
+def run(
+    n_users: int = 150,
+    days: int = 5,
+    seed: int = 0,
+    presets: Sequence[str] = ("synth-civ", "synth-sen"),
+    levels: Sequence[GeneralizationLevel] = PAPER_LEVELS,
+) -> ExperimentReport:
+    """Reproduce the Fig. 4 generalization sweep on both presets."""
+    report = ExperimentReport(
+        exp_id="fig4",
+        title="CDF of 2-gap under uniform spatiotemporal generalization",
+        paper_claim=(
+            "increased generalization shifts the CDF left only mildly; "
+            "even 20 km / 8 h bins 2-anonymize only a minority (~35%) "
+            "of users"
+        ),
+    )
+    anonymized_fraction = {}
+    for preset in presets:
+        dataset = synthesize(preset, n_users=n_users, days=days, seed=seed)
+        sweep = generalization_sweep(dataset, levels, k=2)
+        rows = []
+        for level in levels:
+            cdf = sweep[level]
+            frac0 = float(cdf(0.0))
+            anonymized_fraction[(preset, level.label)] = frac0
+            rows.append(
+                [level.label, fmt(frac0), fmt(cdf.median), fmt(cdf.quantile(0.9))]
+            )
+        report.add_table(
+            ["level (km-min)", "frac 2-anon", "median gap", "p90 gap"],
+            rows,
+            title=f"Fig.4 {preset} (n={len(dataset)})",
+        )
+    report.data["anonymized_fraction"] = anonymized_fraction
+    coarsest = levels[-1].label
+    worst = max(
+        anonymized_fraction[(p, coarsest)] for p in presets
+    )
+    report.add_text(
+        f"at the coarsest level ({coarsest}) at most {worst:.0%} of users "
+        "reach 2-anonymity -> uniform generalization fails"
+    )
+    report.data["coarsest_anonymized_fraction"] = worst
+    return report

@@ -1,0 +1,94 @@
+"""Textual rendering of experiment results.
+
+The harness does not plot; it prints the same rows and series the
+paper's figures encode, so results can be diffed against the paper and
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_cdf_series(
+    label: str, grid: Sequence[float], values: Sequence[float], x_name: str = "x"
+) -> str:
+    """One CDF rendered as a two-row series."""
+    xs = "  ".join(f"{x:>8g}" for x in grid)
+    ys = "  ".join(f"{v:>8.3f}" for v in values)
+    return f"{label}\n  {x_name:>6}: {xs}\n  {'CDF':>6}: {ys}"
+
+
+def fmt(value, digits: int = 3) -> str:
+    """Compact numeric formatting for table cells."""
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+@dataclass
+class ExperimentReport:
+    """Result of one paper-figure/table reproduction.
+
+    Attributes
+    ----------
+    exp_id:
+        Paper artifact identifier, e.g. ``"fig3a"`` or ``"table2"``.
+    title:
+        Human-readable description.
+    paper_claim:
+        The qualitative claim of the paper this experiment checks.
+    sections:
+        Rendered text blocks (tables, CDF series).
+    data:
+        Structured results for programmatic assertions in tests and
+        benchmarks.
+    """
+
+    exp_id: str
+    title: str
+    paper_claim: str
+    sections: List[str] = field(default_factory=list)
+    data: Dict = field(default_factory=dict)
+
+    def add_table(self, headers, rows, title: str = "") -> None:
+        """Append a fixed-width table section."""
+        self.sections.append(format_table(headers, rows, title))
+
+    def add_cdf(self, label: str, grid, values, x_name: str = "x") -> None:
+        """Append a CDF series section."""
+        self.sections.append(format_cdf_series(label, grid, values, x_name))
+
+    def add_text(self, text: str) -> None:
+        """Append a free-text section."""
+        self.sections.append(text)
+
+    def render(self) -> str:
+        """Full textual report."""
+        header = f"== {self.exp_id}: {self.title} =="
+        claim = f"paper claim: {self.paper_claim}"
+        return "\n\n".join([header, claim] + self.sections) + "\n"

@@ -1,0 +1,94 @@
+"""Uniqueness premise — the paper's Section 1 motivation, quantified.
+
+The paper motivates GLOVE with two published measurements: 50% of 25M
+subscribers are unique given their top-3 locations (Zang & Bolot [5]),
+and four random spatiotemporal points identify ~95% of 1.5M users
+(de Montjoye et al. [6]).  This experiment reproduces the *shape* of
+both curves on the synthetic substrate — uniqueness grows steeply with
+adversary knowledge and is near-total for a handful of spatiotemporal
+points — and shows GLOVE output flattening them to zero.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.attacks.record_linkage import (
+    uniqueness_given_random_points,
+    uniqueness_given_top_locations,
+)
+from repro.core.config import GloveConfig
+from repro.core.glove import glove
+from repro.cdr.datasets import synthesize
+from repro.experiments.report import ExperimentReport, fmt
+
+
+def run(
+    n_users: int = 150,
+    days: int = 5,
+    seed: int = 0,
+    preset: str = "synth-civ",
+    point_counts: Sequence[int] = (1, 2, 4, 6),
+    location_counts: Sequence[int] = (1, 2, 3, 5),
+    k: int = 2,
+) -> ExperimentReport:
+    """Uniqueness vs adversary knowledge, before and after GLOVE."""
+    report = ExperimentReport(
+        exp_id="uniqueness",
+        title=f"Trajectory uniqueness vs adversary knowledge ({preset})",
+        paper_claim=(
+            "Section 1: a handful of spatiotemporal points uniquely "
+            "identifies almost everyone ([6]: ~95% at 4 points); top "
+            "locations identify about half ([5]); GLOVE removes the "
+            "vulnerability"
+        ),
+    )
+    original = synthesize(preset, n_users=n_users, days=days, seed=seed)
+    published = glove(original, GloveConfig(k=k)).dataset
+
+    rows = []
+    series_points = {}
+    for n in point_counts:
+        raw = uniqueness_given_random_points(original, n_points=n, seed=seed)
+        anon = uniqueness_given_random_points(original, published, n_points=n, seed=seed)
+        series_points[n] = {
+            "raw_unique": raw.uniqueness,
+            "anon_identified": anon.fraction_identified_within(k),
+        }
+        rows.append(
+            [n, f"{raw.uniqueness:.0%}", f"{anon.fraction_identified_within(k):.0%}"]
+        )
+    report.add_table(
+        ["random points known", "unique (raw)", f"below k={k} (GLOVE)"],
+        rows,
+        title="de Montjoye-style attack [6]",
+    )
+    report.data["random_points"] = series_points
+
+    rows = []
+    series_locs = {}
+    for n in location_counts:
+        raw = uniqueness_given_top_locations(original, n_locations=n)
+        anon = uniqueness_given_top_locations(original, published, n_locations=n)
+        series_locs[n] = {
+            "raw_unique": raw.uniqueness,
+            "anon_identified": anon.fraction_identified_within(k),
+        }
+        rows.append(
+            [n, f"{raw.uniqueness:.0%}", f"{anon.fraction_identified_within(k):.0%}"]
+        )
+    report.add_table(
+        ["top locations known", "unique (raw)", f"below k={k} (GLOVE)"],
+        rows,
+        title="Zang & Bolot-style attack [5]",
+    )
+    report.data["top_locations"] = series_locs
+
+    report.data["max_raw_uniqueness"] = max(
+        entry["raw_unique"] for entry in series_points.values()
+    )
+    report.data["glove_never_identified"] = all(
+        entry["anon_identified"] == 0.0
+        for entry in list(series_points.values()) + list(series_locs.values())
+    )
+    return report

@@ -1,0 +1,28 @@
+"""Geodesy substrate.
+
+The paper maps antenna latitude/longitude pairs to a two-dimensional
+metric coordinate system with the Lambert azimuthal equal-area projection
+and then discretizes positions on a 100 m regular grid (paper Section 3).
+This subpackage implements that pipeline from scratch:
+
+* :mod:`repro.geo.projection` -- Lambert azimuthal equal-area projection
+  on the spherical Earth model.
+* :mod:`repro.geo.grid` -- regular-grid discretization of projected
+  coordinates.
+* :mod:`repro.geo.distance` -- great-circle and planar distances.
+* :mod:`repro.geo.region` -- rectangular geographic regions used to
+  describe synthetic countries and city subsets.
+"""
+
+from repro.geo.distance import euclidean_m, haversine_m
+from repro.geo.grid import Grid
+from repro.geo.projection import LambertAzimuthalEqualArea
+from repro.geo.region import Region
+
+__all__ = [
+    "LambertAzimuthalEqualArea",
+    "Grid",
+    "Region",
+    "haversine_m",
+    "euclidean_m",
+]

@@ -1,0 +1,36 @@
+"""Distance helpers on the sphere and on the projected plane."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geo.projection import EARTH_RADIUS_M
+
+
+def haversine_m(lat1, lon1, lat2, lon2, radius: float = EARTH_RADIUS_M):
+    """Great-circle distance in metres between two lat/lon points.
+
+    Accepts scalars or broadcastable NumPy arrays (degrees).
+    """
+    phi1 = np.radians(np.asarray(lat1, dtype=np.float64))
+    phi2 = np.radians(np.asarray(lat2, dtype=np.float64))
+    dphi = phi2 - phi1
+    dlam = np.radians(np.asarray(lon2, dtype=np.float64)) - np.radians(
+        np.asarray(lon1, dtype=np.float64)
+    )
+    a = np.sin(dphi / 2.0) ** 2 + np.cos(phi1) * np.cos(phi2) * np.sin(dlam / 2.0) ** 2
+    d = 2.0 * radius * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
+    if d.ndim == 0:
+        return float(d)
+    return d
+
+
+def euclidean_m(x1, y1, x2, y2):
+    """Planar Euclidean distance in metres between projected points."""
+    d = np.hypot(
+        np.asarray(x2, dtype=np.float64) - np.asarray(x1, dtype=np.float64),
+        np.asarray(y2, dtype=np.float64) - np.asarray(y1, dtype=np.float64),
+    )
+    if d.ndim == 0:
+        return float(d)
+    return d

@@ -1,0 +1,93 @@
+"""Rectangular geographic regions on the projected plane.
+
+Regions describe the extents of synthetic countries and of city subsets
+(the paper restricts the nationwide datasets to ``abidjan`` and
+``dakar`` in Section 7.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Region:
+    """An axis-aligned rectangle ``[x_min, x_max] x [y_min, y_max]`` in metres.
+
+    Attributes
+    ----------
+    name:
+        Human-readable region label (e.g. ``"synth-civ"``, ``"abidjan"``).
+    x_min, x_max, y_min, y_max:
+        Planar bounds in metres.
+    """
+
+    name: str
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max <= self.x_min:
+            raise ValueError(f"x_max must exceed x_min in region {self.name!r}")
+        if self.y_max <= self.y_min:
+            raise ValueError(f"y_max must exceed y_min in region {self.name!r}")
+
+    @property
+    def width(self) -> float:
+        """East-west extent in metres."""
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        """North-south extent in metres."""
+        return self.y_max - self.y_min
+
+    @property
+    def area_km2(self) -> float:
+        """Region area in square kilometres."""
+        return self.width * self.height / 1e6
+
+    @property
+    def center(self) -> tuple:
+        """Planar center ``(x, y)`` of the region."""
+        return ((self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0)
+
+    def contains(self, x, y):
+        """Boolean mask (or bool) of points inside the region (inclusive)."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        inside = (
+            (x >= self.x_min)
+            & (x <= self.x_max)
+            & (y >= self.y_min)
+            & (y <= self.y_max)
+        )
+        if inside.ndim == 0:
+            return bool(inside)
+        return inside
+
+    def clip(self, x, y):
+        """Clamp points to the region bounds."""
+        x = np.clip(np.asarray(x, dtype=np.float64), self.x_min, self.x_max)
+        y = np.clip(np.asarray(y, dtype=np.float64), self.y_min, self.y_max)
+        if x.ndim == 0:
+            return float(x), float(y)
+        return x, y
+
+    def subregion(self, name: str, cx: float, cy: float, half_side: float) -> "Region":
+        """Square subregion of side ``2 * half_side`` centered at ``(cx, cy)``.
+
+        The subregion is clamped to this region's bounds; used to carve
+        city-scale datasets (abidjan, dakar) out of nationwide ones.
+        """
+        return Region(
+            name=name,
+            x_min=max(self.x_min, cx - half_side),
+            x_max=min(self.x_max, cx + half_side),
+            y_min=max(self.y_min, cy - half_side),
+            y_max=min(self.y_max, cy + half_side),
+        )

@@ -1,0 +1,37 @@
+"""Downstream-utility evaluation of anonymized movement data.
+
+The paper's Section 2.4 claims that k-anonymized data "better fits
+studies on, e.g., the routine behaviors of individual subscribers
+(e.g., home and work locations, next location predictions), or
+aggregate statistics on user populations (e.g., ... commuting flows,
+population distributions)", while outlier-centric analyses may be
+distorted.  This subpackage makes the claim measurable: each module
+implements one canonical mobile-data analysis that runs identically on
+original and GLOVE-anonymized datasets, plus a similarity score.
+
+* :mod:`repro.utility.anchors` — home/work location detection;
+* :mod:`repro.utility.od_matrix` — zone-level commuting (origin/
+  destination) flows;
+* :mod:`repro.utility.density` — population density maps;
+* :mod:`repro.utility.predictability` — location-visit entropy;
+* :mod:`repro.utility.comparison` — the original-vs-anonymized harness.
+"""
+
+from repro.utility.anchors import AnchorEstimate, detect_anchors
+from repro.utility.comparison import UtilityComparison, compare_utility
+from repro.utility.density import density_map, density_similarity
+from repro.utility.od_matrix import od_matrix, od_similarity
+from repro.utility.predictability import location_entropy, entropy_profile
+
+__all__ = [
+    "detect_anchors",
+    "AnchorEstimate",
+    "od_matrix",
+    "od_similarity",
+    "density_map",
+    "density_similarity",
+    "location_entropy",
+    "entropy_profile",
+    "compare_utility",
+    "UtilityComparison",
+]

@@ -1,0 +1,114 @@
+"""Home and work location detection from movement micro-data.
+
+The standard CDR analysis: a subscriber's home is where his night
+samples concentrate, his workplace where weekday office-hour samples
+do.  Runs identically on original (100 m cells) and generalized data
+(rectangle centers), so the displacement between the two estimates
+measures how much utility anonymization preserved for this analysis.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dataset import FingerprintDataset
+from repro.core.fingerprint import Fingerprint
+from repro.core.sample import DT, DX, DY, T, X, Y
+
+MINUTES_PER_DAY = 24 * 60
+
+#: Night window (hours) used for home detection.
+NIGHT_HOURS = (0, 7)
+#: Weekday office window (hours) used for work detection.
+WORK_HOURS = (9, 18)
+
+
+@dataclass(frozen=True)
+class AnchorEstimate:
+    """Estimated home/work positions of one subscriber.
+
+    Attributes
+    ----------
+    uid:
+        Subscriber (or analysis target) identifier.
+    home, work:
+        Planar ``(x, y)`` estimates in metres; ``None`` when no sample
+        fell in the respective time window.
+    """
+
+    uid: str
+    home: Optional[Tuple[float, float]]
+    work: Optional[Tuple[float, float]]
+
+
+def _window_mask(data: np.ndarray, hours: Tuple[int, int]) -> np.ndarray:
+    mid = data[:, T] + data[:, DT] / 2.0
+    hour = (mid % MINUTES_PER_DAY) / 60.0
+    return (hour >= hours[0]) & (hour < hours[1])
+
+
+def _modal_center(data: np.ndarray, mask: np.ndarray) -> Optional[Tuple[float, float]]:
+    """Representative position of the window's dominant location.
+
+    On original-granularity data, samples repeat at the anchor cell and
+    the coordinate-wise median lands on it exactly; on generalized data
+    (rectangles of varying size) the median of the centers is robust to
+    the occasional far-flung blob that a modal 100 m bin would pick
+    arbitrarily.
+    """
+    if not mask.any():
+        return None
+    cx = data[mask, X] + data[mask, DX] / 2.0
+    cy = data[mask, Y] + data[mask, DY] / 2.0
+    return (float(np.median(cx)), float(np.median(cy)))
+
+
+def detect_anchors(fp: Fingerprint) -> AnchorEstimate:
+    """Estimate home and work positions of one fingerprint."""
+    if fp.m == 0:
+        return AnchorEstimate(uid=fp.uid, home=None, work=None)
+    home = _modal_center(fp.data, _window_mask(fp.data, NIGHT_HOURS))
+    work = _modal_center(fp.data, _window_mask(fp.data, WORK_HOURS))
+    return AnchorEstimate(uid=fp.uid, home=home, work=work)
+
+
+def anchor_displacements(
+    original: FingerprintDataset, anonymized: FingerprintDataset
+) -> Dict[str, np.ndarray]:
+    """Home/work displacement between original and anonymized estimates.
+
+    For every subscriber, anchors are detected on his original
+    fingerprint and on the published record of his group; the output
+    maps ``"home"``/``"work"`` to arrays of displacement distances in
+    metres (subscribers whose anchor is undetectable on either side are
+    skipped).
+    """
+    group_of: Dict[str, Fingerprint] = {}
+    for fp in anonymized:
+        for member in fp.members:
+            group_of[member] = fp
+
+    group_anchor_cache: Dict[str, AnchorEstimate] = {}
+    out: Dict[str, list] = {"home": [], "work": []}
+    for fp in original:
+        group = group_of.get(fp.uid)
+        if group is None:
+            continue
+        truth = detect_anchors(fp)
+        if group.uid not in group_anchor_cache:
+            group_anchor_cache[group.uid] = detect_anchors(group)
+        estimate = group_anchor_cache[group.uid]
+        for key, true_pos, est_pos in (
+            ("home", truth.home, estimate.home),
+            ("work", truth.work, estimate.work),
+        ):
+            if true_pos is None or est_pos is None:
+                continue
+            out[key].append(
+                float(np.hypot(true_pos[0] - est_pos[0], true_pos[1] - est_pos[1]))
+            )
+    return {key: np.asarray(vals) for key, vals in out.items()}

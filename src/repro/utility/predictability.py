@@ -1,0 +1,94 @@
+"""Location-visit entropy: the predictability side of routine behaviour.
+
+Song et al. (Science, 2010) characterize human mobility predictability
+through visit entropies.  Two of their measures run directly on
+movement micro-data and survive generalization:
+
+* **random entropy** ``log2(N)`` — the number of distinct locations
+  visited;
+* **uncorrelated (Shannon) entropy** over the visit frequency
+  distribution.
+
+Comparing per-user entropies before and after anonymization quantifies
+how much of the routine-behaviour signal the release preserves (paper
+Section 2.4 names "next location predictions" as a supported use).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.dataset import FingerprintDataset
+from repro.core.fingerprint import Fingerprint
+from repro.core.sample import DX, DY, X, Y
+
+
+@dataclass(frozen=True)
+class EntropyEstimate:
+    """Visit entropies of one fingerprint (bits).
+
+    Attributes
+    ----------
+    n_locations:
+        Distinct locations visited (rectangle centers at 100 m binning).
+    random_entropy:
+        ``log2(n_locations)``.
+    shannon_entropy:
+        Entropy of the empirical visit distribution.
+    """
+
+    n_locations: int
+    random_entropy: float
+    shannon_entropy: float
+
+
+def location_entropy(fp: Fingerprint, bin_m: float = 100.0) -> EntropyEstimate:
+    """Visit entropies of one fingerprint.
+
+    ``bin_m`` sets the location-identification granularity: 100 m (the
+    default) distinguishes antenna cells on original data; comparisons
+    against generalized data should use a coarser bin (e.g. 10 km) so a
+    rectangle's center and the true cell it covers identify the same
+    location.
+    """
+    if fp.m == 0:
+        return EntropyEstimate(n_locations=0, random_entropy=0.0, shannon_entropy=0.0)
+    if bin_m <= 0:
+        raise ValueError("bin_m must be positive")
+    cx = np.floor((fp.data[:, X] + fp.data[:, DX] / 2.0) / bin_m) * bin_m
+    cy = np.floor((fp.data[:, Y] + fp.data[:, DY] / 2.0) / bin_m) * bin_m
+    counts = Counter(zip(cx.tolist(), cy.tolist()))
+    n = len(counts)
+    total = sum(counts.values())
+    probs = np.array([c / total for c in counts.values()])
+    shannon = float(-(probs * np.log2(probs)).sum())
+    return EntropyEstimate(
+        n_locations=n,
+        random_entropy=float(np.log2(n)) if n else 0.0,
+        shannon_entropy=shannon,
+    )
+
+
+def entropy_profile(
+    dataset: FingerprintDataset, bin_m: float = 100.0
+) -> Dict[str, np.ndarray]:
+    """Per-fingerprint entropy arrays for a whole dataset.
+
+    Returns ``{"random": ..., "shannon": ..., "n_locations": ...}``,
+    each aligned with the dataset's fingerprint order.
+    """
+    random_h, shannon_h, n_locs = [], [], []
+    for fp in dataset:
+        est = location_entropy(fp, bin_m=bin_m)
+        random_h.append(est.random_entropy)
+        shannon_h.append(est.shannon_entropy)
+        n_locs.append(est.n_locations)
+    return {
+        "random": np.asarray(random_h),
+        "shannon": np.asarray(shannon_h),
+        "n_locations": np.asarray(n_locs, dtype=np.int64),
+    }

@@ -1,0 +1,146 @@
+"""Tests for accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import extent_accuracy, matched_errors, utility_report
+from repro.core.config import GloveConfig, SuppressionConfig
+from repro.core.dataset import FingerprintDataset
+from repro.core.glove import glove
+from tests.conftest import make_fp
+
+
+class TestExtentAccuracy:
+    def test_original_data_extents(self, small_civ):
+        spatial, temporal = extent_accuracy(small_civ)
+        assert spatial.median == 100.0
+        assert temporal.median == 1.0
+
+    def test_weighting_by_count(self):
+        ds = FingerprintDataset(
+            [
+                make_fp(
+                    "g",
+                    [(0.0, 0.0, 0.0, 5_000.0, 5_000.0, 60.0)],
+                    count=9,
+                    members=tuple(f"m{i}" for i in range(9)),
+                ),
+                make_fp("u", [(0.0, 0.0, 0.0)]),
+            ]
+        )
+        weighted, _ = extent_accuracy(ds, weighted=True)
+        unweighted, _ = extent_accuracy(ds, weighted=False)
+        assert weighted.median == 5_000.0  # 9 of 10 users see 5 km
+        assert unweighted.median in (100.0, 5_000.0)  # 2 samples, either mid
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            extent_accuracy(FingerprintDataset())
+
+
+class TestMatchedErrors:
+    def test_identity_has_zero_error(self, small_civ):
+        errors = matched_errors(small_civ, small_civ, mode="cover")
+        assert errors.n_deleted == 0
+        assert errors.mean_position_m == 0.0
+        assert errors.mean_time_min == 0.0
+
+    def test_cover_mode_counts_suppressed_as_deleted(self):
+        original = FingerprintDataset(
+            [make_fp("a", [(0.0, 0.0, 0.0), (50_000.0, 0.0, 500.0)])]
+        )
+        # Published group kept only the first sample.
+        published = FingerprintDataset(
+            [make_fp("g", [(0.0, 0.0, 0.0)], count=1, members=("a",))]
+        )
+        errors = matched_errors(original, published, mode="cover")
+        assert errors.n_deleted == 1
+        assert errors.n_total == 2
+
+    def test_missing_user_fully_deleted(self):
+        original = FingerprintDataset([make_fp("a", [(0.0, 0.0, 0.0)])])
+        published = FingerprintDataset(
+            [make_fp("g", [(0.0, 0.0, 0.0)], count=1, members=("zz",))]
+        )
+        errors = matched_errors(original, published, mode="cover")
+        assert errors.n_deleted == 1
+        assert errors.deleted_fraction == 1.0
+
+    def test_cover_error_is_center_offset(self):
+        original = FingerprintDataset([make_fp("a", [(400.0, 0.0, 10.0)])])
+        # One covering published sample: x in [0,1000] center 500; the
+        # original's center is 450 -> error 50 m on x.
+        published = FingerprintDataset(
+            [
+                make_fp(
+                    "g",
+                    [(0.0, 0.0, 0.0, 1_000.0, 100.0, 60.0)],
+                    count=1,
+                    members=("a",),
+                )
+            ]
+        )
+        errors = matched_errors(original, published, mode="cover")
+        assert errors.mean_position_m == pytest.approx(50.0)
+        # Time: original mid 10.5, published mid 30 -> 19.5 min.
+        assert errors.mean_time_min == pytest.approx(19.5)
+
+    def test_nearest_mode_matches_by_time(self):
+        original = FingerprintDataset([make_fp("a", [(0.0, 0.0, 0.0)])])
+        published = FingerprintDataset(
+            [
+                make_fp(
+                    "a2",
+                    [(300.0, 400.0, 2.0), (9_000.0, 9_000.0, 500.0)],
+                    count=1,
+                    members=("a",),
+                )
+            ]
+        )
+        errors = matched_errors(original, published, mode="nearest")
+        assert errors.n_deleted == 0
+        assert errors.mean_position_m == pytest.approx(500.0)  # 3-4-5 triangle
+
+    def test_rejects_unknown_mode(self, small_civ):
+        with pytest.raises(ValueError):
+            matched_errors(small_civ, small_civ, mode="fuzzy")
+
+    def test_duplicate_member_rejected(self):
+        original = FingerprintDataset([make_fp("a", [(0.0, 0.0, 0.0)])])
+        published = FingerprintDataset(
+            [
+                make_fp("g1", [(0.0, 0.0, 0.0)], count=1, members=("a",)),
+                make_fp("g2", [(0.0, 0.0, 0.0)], count=1, members=("a",)),
+            ]
+        )
+        with pytest.raises(ValueError, match="multiple groups"):
+            matched_errors(original, published)
+
+
+class TestUtilityReport:
+    def test_glove_report_fields(self, small_civ):
+        result = glove(
+            small_civ,
+            GloveConfig(
+                k=2,
+                suppression=SuppressionConfig(
+                    spatial_threshold_m=15_000.0, temporal_threshold_min=360.0
+                ),
+            ),
+        )
+        report = utility_report(small_civ, result.dataset, "GLOVE", mode="cover")
+        assert report.method == "GLOVE"
+        assert report.created_samples == 0
+        assert report.discarded_fingerprints == 0  # keep_at_least_one
+        assert report.total_original_samples == small_civ.n_samples
+        assert report.mean_position_error_m >= 0.0
+
+    def test_deleted_fraction(self):
+        original = FingerprintDataset(
+            [make_fp("a", [(0.0, 0.0, 0.0), (50_000.0, 0.0, 500.0)])]
+        )
+        published = FingerprintDataset(
+            [make_fp("g", [(0.0, 0.0, 0.0)], count=1, members=("a",))]
+        )
+        report = utility_report(original, published, "X")
+        assert report.deleted_fraction == pytest.approx(0.5)

@@ -1,0 +1,108 @@
+"""Tests for the Section 5 anonymizability analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.anonymizability import (
+    generalization_sweep,
+    kgap_cdf,
+    kgap_curves,
+    tail_weight_analysis,
+    temporal_ratio_cdf,
+)
+from repro.baselines.generalization import GeneralizationLevel
+
+
+class TestKGapCDF:
+    def test_cdf_and_result_consistent(self, small_civ):
+        cdf, result = kgap_cdf(small_civ, k=2)
+        assert cdf.n == len(small_civ)
+        # The CDF median is the generalized inverse at 0.5 (an order
+        # statistic), not numpy's midpoint-averaging median.
+        expected = float(np.quantile(result.gaps, 0.5, method="inverted_cdf"))
+        assert cdf.median == pytest.approx(expected)
+
+    def test_no_anonymous_users_at_origin(self, small_civ):
+        cdf, _ = kgap_cdf(small_civ, k=2)
+        assert cdf(0.0) == 0.0  # the paper's Fig. 3a headline
+
+
+class TestKGapCurves:
+    def test_curves_shift_right_with_k(self, small_civ):
+        curves = kgap_curves(small_civ, ks=(2, 5, 10))
+        assert curves[2].median <= curves[5].median <= curves[10].median
+
+    def test_sublinear_growth(self, small_civ):
+        # Fig. 3b: gap grows far slower than k itself.
+        curves = kgap_curves(small_civ, ks=(2, 10))
+        growth = curves[10].median / curves[2].median
+        assert growth < 5.0  # k grew 5x
+
+    def test_rejects_empty_ks(self, small_civ):
+        with pytest.raises(ValueError):
+            kgap_curves(small_civ, ks=())
+
+
+class TestGeneralizationSweep:
+    def test_coarser_levels_do_not_hurt(self, small_civ):
+        levels = (
+            GeneralizationLevel(100.0, 1.0),
+            GeneralizationLevel(20_000.0, 480.0),
+        )
+        sweep = generalization_sweep(small_civ, levels, k=2)
+        fine = sweep[levels[0]]
+        coarse = sweep[levels[1]]
+        # Coarse generalization anonymizes at least as many users.
+        assert coarse(0.0) >= fine(0.0)
+
+    def test_original_level_matches_raw_kgap(self, small_civ):
+        level = GeneralizationLevel(100.0, 1.0)
+        sweep = generalization_sweep(small_civ, (level,), k=2)
+        raw, _ = kgap_cdf(small_civ, k=2)
+        # At the original granularity the sweep is the plain k-gap CDF.
+        assert sweep[level].median == pytest.approx(raw.median, rel=1e-6)
+
+    def test_even_coarsest_leaves_most_users_unique(self, small_civ):
+        # The paper's Fig. 4 finding, scale-adjusted: a majority stays
+        # non-anonymous even at 20 km / 8 h.
+        level = GeneralizationLevel(20_000.0, 480.0)
+        sweep = generalization_sweep(small_civ, (level,), k=2)
+        assert sweep[level](0.0) < 0.6
+
+
+class TestTailWeight:
+    def test_keys_and_shapes(self, small_civ):
+        twi = tail_weight_analysis(small_civ, k=2)
+        assert set(twi) == {"delta", "spatial", "temporal"}
+        for values in twi.values():
+            assert values.shape == (len(small_civ),)
+
+    def test_temporal_heavier_than_spatial(self, small_civ):
+        # The paper's Fig. 5a finding.
+        twi = tail_weight_analysis(small_civ, k=2)
+        assert np.median(twi["temporal"]) > np.median(twi["spatial"])
+
+
+class TestTemporalRatio:
+    def test_ratio_in_unit_interval(self, small_civ):
+        cdf = temporal_ratio_cdf(small_civ, k=2)
+        assert cdf.values.min() >= 0.0
+        assert cdf.values.max() <= 1.0
+
+    def test_temporal_dominates_for_most_users(self, small_civ):
+        # The paper's Fig. 5b finding: the temporal stretch exceeds the
+        # spatial one for the large majority of fingerprints (~95% at
+        # 82k users).  At this 40-user fixture the spatial stretches
+        # are inflated by the thin crowd (the Fig. 11 size effect), so
+        # only a majority is asserted; the fig5 benchmark checks >60%
+        # at benchmark scale.
+        cdf = temporal_ratio_cdf(small_civ, k=2)
+        assert 1.0 - cdf(0.5) >= 0.5
+
+    def test_result_reuse(self, small_civ):
+        from repro.core.kgap import kgap
+
+        result = kgap(small_civ, k=2)
+        fresh = temporal_ratio_cdf(small_civ, k=2)
+        reused = temporal_ratio_cdf(small_civ, k=2, result=result)
+        np.testing.assert_allclose(fresh.values, reused.values)

@@ -1,0 +1,68 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bootstrap import bootstrap_ci, bootstrap_fraction_ci
+
+
+class TestBootstrapCI:
+    def test_contains_estimate(self, rng):
+        values = rng.normal(10.0, 2.0, 300)
+        ci = bootstrap_ci(values, rng=rng)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.estimate in ci
+
+    def test_median_estimate(self, rng):
+        values = rng.exponential(size=500)
+        ci = bootstrap_ci(values, statistic=np.median, rng=rng)
+        assert ci.estimate == pytest.approx(np.median(values))
+
+    def test_coverage_of_true_median(self):
+        # Repeated experiments: the nominal 95% interval should contain
+        # the true median most of the time.
+        true_median = 0.0
+        hits = 0
+        trials = 40
+        for seed in range(trials):
+            rng = np.random.default_rng(seed)
+            values = rng.normal(true_median, 1.0, 120)
+            ci = bootstrap_ci(values, n_resamples=300, rng=rng)
+            hits += true_median in ci
+        assert hits / trials > 0.8
+
+    def test_width_shrinks_with_sample_size(self, rng):
+        small = bootstrap_ci(rng.normal(size=50), rng=np.random.default_rng(1))
+        large = bootstrap_ci(rng.normal(size=5_000), rng=np.random.default_rng(1))
+        assert large.width < small.width
+
+    def test_higher_confidence_wider(self, rng):
+        values = rng.normal(size=200)
+        narrow = bootstrap_ci(values, confidence=0.8, rng=np.random.default_rng(2))
+        wide = bootstrap_ci(values, confidence=0.99, rng=np.random.default_rng(2))
+        assert wide.width >= narrow.width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([]))
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.ones(5), confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.ones(5), n_resamples=2)
+
+    def test_str_rendering(self, rng):
+        ci = bootstrap_ci(rng.normal(size=50), rng=rng)
+        text = str(ci)
+        assert "[" in text and "]" in text
+
+
+class TestFractionCI:
+    def test_fraction_estimate(self, rng):
+        indicators = np.array([1, 1, 0, 0, 0, 0, 0, 0, 0, 0], dtype=float)
+        ci = bootstrap_fraction_ci(indicators, rng=rng)
+        assert ci.estimate == pytest.approx(0.2)
+        assert 0.0 <= ci.low <= ci.high <= 1.0
+
+    def test_rejects_non_indicator(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_fraction_ci(np.array([0.5, 1.0]), rng=rng)

@@ -1,0 +1,85 @@
+"""Tests for empirical CDFs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import EmpiricalCDF
+
+
+class TestEvaluation:
+    def test_step_function(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == 0.25
+        assert cdf(2.5) == 0.5
+        assert cdf(4.0) == 1.0
+        assert cdf(99.0) == 1.0
+
+    def test_array_evaluation(self):
+        cdf = EmpiricalCDF([1.0, 2.0])
+        np.testing.assert_allclose(cdf(np.array([0.0, 1.0, 2.0])), [0.0, 0.5, 1.0])
+
+    def test_ties(self):
+        cdf = EmpiricalCDF([1.0, 1.0, 1.0, 2.0])
+        assert cdf(1.0) == 0.75
+
+    def test_monotone(self, rng):
+        cdf = EmpiricalCDF(rng.normal(size=200))
+        xs = np.linspace(-3, 3, 50)
+        assert (np.diff(cdf(xs)) >= 0).all()
+
+
+class TestQuantiles:
+    def test_median(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf.median == 2.0
+
+    def test_quantile_inverse_consistency(self, rng):
+        values = rng.uniform(0, 1, 101)
+        cdf = EmpiricalCDF(values)
+        for q in (0.1, 0.5, 0.9):
+            x = cdf.quantile(q)
+            assert cdf(x) >= q
+
+    def test_extremes(self):
+        cdf = EmpiricalCDF([5.0, 1.0, 3.0])
+        assert cdf.quantile(0.0) == 1.0
+        assert cdf.quantile(1.0) == 5.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1.0]).quantile(1.5)
+
+
+class TestWeights:
+    def test_weighted_median(self):
+        cdf = EmpiricalCDF([1.0, 10.0], weights=[9.0, 1.0])
+        assert cdf.median == 1.0
+        assert cdf(1.0) == pytest.approx(0.9)
+
+    def test_weighted_mean(self):
+        cdf = EmpiricalCDF([1.0, 3.0], weights=[1.0, 3.0])
+        assert cdf.mean == pytest.approx(2.5)
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1.0, 2.0], weights=[1.0])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1.0], weights=[-1.0])
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF(np.zeros((2, 2)))
+
+    def test_series(self):
+        cdf = EmpiricalCDF([1.0, 2.0])
+        grid, values = cdf.series([0.0, 1.5, 3.0])
+        np.testing.assert_allclose(values, [0.0, 0.5, 1.0])

@@ -1,0 +1,126 @@
+"""Tests for the group-diversity audits."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.diversity import (
+    group_span_diversity,
+    location_diversity,
+    meeting_disclosure,
+)
+from repro.core.config import GloveConfig
+from repro.core.dataset import FingerprintDataset
+from repro.core.glove import glove
+from tests.conftest import make_fp
+
+
+class TestLocationDiversity:
+    def test_precise_samples_show_low_uncertainty(self):
+        ds = FingerprintDataset(
+            [make_fp("g", [(0.0, 0.0, 0.0)], count=2, members=("a", "b"))]
+        )
+        cdf = location_diversity(ds)
+        assert cdf.median == 100.0  # original granularity persists
+
+    def test_weighted_by_group_count(self):
+        ds = FingerprintDataset(
+            [
+                make_fp(
+                    "big",
+                    [(0.0, 0.0, 0.0, 5_000.0, 5_000.0, 60.0)],
+                    count=9,
+                    members=tuple(f"m{i}" for i in range(9)),
+                ),
+                make_fp("solo", [(0.0, 0.0, 0.0)]),
+            ]
+        )
+        cdf = location_diversity(ds)
+        assert cdf.median == 5_000.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            location_diversity(FingerprintDataset())
+
+
+class TestMeetingDisclosure:
+    def test_counts_tight_group_samples(self):
+        ds = FingerprintDataset(
+            [
+                # Tight: 100 m x 1 min for 2 users.
+                make_fp("g1", [(0.0, 0.0, 0.0)], count=2, members=("a", "b")),
+                # Loose: 10 km x 8 h.
+                make_fp(
+                    "g2",
+                    [(0.0, 0.0, 0.0, 10_000.0, 10_000.0, 480.0)],
+                    count=2,
+                    members=("c", "d"),
+                ),
+                # Single user: not a meeting at all.
+                make_fp("solo", [(0.0, 0.0, 0.0)]),
+            ]
+        )
+        report = meeting_disclosure(ds, spatial_bound_m=1_000.0, temporal_bound_min=60.0)
+        assert report.n_group_samples == 2
+        assert report.n_tight_meetings == 1
+        assert report.tight_fraction == 0.5
+
+    def test_no_groups_no_meetings(self, small_civ):
+        report = meeting_disclosure(small_civ)
+        assert report.n_group_samples == 0
+        assert report.tight_fraction == 0.0
+
+    def test_glove_output_discloses_some_meetings(self, small_civ):
+        published = glove(small_civ, GloveConfig(k=2)).dataset
+        report = meeting_disclosure(published)
+        assert report.n_group_samples > 0
+        # The audit exists because this is typically non-zero: that is
+        # the k-anonymity limitation the paper acknowledges.
+        assert 0.0 <= report.tight_fraction <= 1.0
+
+
+class TestGroupSpanDiversity:
+    def test_colocated_members_yield_zero_span(self):
+        original = FingerprintDataset(
+            [
+                make_fp("a", [(0.0, 0.0, 0.0)]),
+                make_fp("b", [(0.0, 0.0, 5.0)]),
+            ]
+        )
+        published = FingerprintDataset(
+            [
+                make_fp(
+                    "g",
+                    [(0.0, 0.0, 0.0, 100.0, 100.0, 10.0)],
+                    count=2,
+                    members=("a", "b"),
+                )
+            ]
+        )
+        cdf = group_span_diversity(original, published)
+        assert cdf.median == pytest.approx(0.0, abs=1e-9)
+
+    def test_dispersed_members_yield_positive_span(self):
+        original = FingerprintDataset(
+            [
+                make_fp("a", [(0.0, 0.0, 0.0)]),
+                make_fp("b", [(4_000.0, 0.0, 5.0)]),
+            ]
+        )
+        published = FingerprintDataset(
+            [
+                make_fp(
+                    "g",
+                    [(0.0, 0.0, 0.0, 4_100.0, 100.0, 10.0)],
+                    count=2,
+                    members=("a", "b"),
+                )
+            ]
+        )
+        cdf = group_span_diversity(original, published)
+        assert cdf.median == pytest.approx(2_000.0, rel=0.01)
+
+    def test_on_real_glove_output(self, small_civ):
+        published = glove(small_civ, GloveConfig(k=2)).dataset
+        cdf = group_span_diversity(small_civ, published)
+        assert cdf.n > 0
+        assert cdf.values.min() >= 0.0

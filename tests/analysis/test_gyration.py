@@ -1,0 +1,53 @@
+"""Tests for radius of gyration."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.gyration import gyration_summary, radius_of_gyration
+from repro.core.dataset import FingerprintDataset
+from repro.core.fingerprint import Fingerprint
+from tests.conftest import make_fp
+
+
+class TestRadius:
+    def test_single_sample_zero(self):
+        assert radius_of_gyration(make_fp("a", [(0.0, 0.0, 0.0)])) == 0.0
+
+    def test_stationary_user_zero(self):
+        fp = make_fp("a", [(100.0, 200.0, t) for t in (0.0, 10.0, 20.0)])
+        assert radius_of_gyration(fp) == 0.0
+
+    def test_two_point_value(self):
+        # Centers at (50, 50) and (1050, 50): rg = 500.
+        fp = make_fp("a", [(0.0, 0.0, 0.0), (1000.0, 0.0, 10.0)])
+        assert radius_of_gyration(fp) == pytest.approx(500.0)
+
+    def test_uses_sample_centers(self):
+        # A generalized sample contributes its rectangle center.
+        fp = make_fp(
+            "a",
+            [
+                (0.0, 0.0, 0.0, 1000.0, 1000.0, 1.0),
+                (0.0, 0.0, 10.0, 1000.0, 1000.0, 1.0),
+            ],
+        )
+        assert radius_of_gyration(fp) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            radius_of_gyration(Fingerprint("e", np.empty((0, 6))))
+
+
+class TestSummary:
+    def test_summary_fields(self, small_civ):
+        summary = gyration_summary(small_civ)
+        assert 0 < summary.median_m <= summary.p90_m
+        assert summary.mean_m > 0
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            gyration_summary(FingerprintDataset())
+
+    def test_str_rendering(self, small_civ):
+        text = str(gyration_summary(small_civ))
+        assert "median" in text and "km" in text

@@ -1,0 +1,40 @@
+"""Tests for (eps, delta)-sparsity."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sparsity import eps_delta_sparsity
+from repro.core.pairwise import pairwise_matrix
+
+
+class TestSparsity:
+    def test_fraction_within_radius(self):
+        mat = np.array(
+            [
+                [np.inf, 0.1, 0.9],
+                [0.1, np.inf, 0.8],
+                [0.9, 0.8, np.inf],
+            ]
+        )
+        assert eps_delta_sparsity(mat, 0.2) == pytest.approx(2 / 3)
+        assert eps_delta_sparsity(mat, 0.05) == 0.0
+        assert eps_delta_sparsity(mat, 1.0) == 1.0
+
+    def test_monotone_in_eps(self, small_civ):
+        mat = pairwise_matrix(list(small_civ))
+        deltas = [eps_delta_sparsity(mat, eps) for eps in (0.01, 0.1, 0.3, 1.0)]
+        assert all(a <= b for a, b in zip(deltas, deltas[1:]))
+
+    def test_rejects_negative_eps(self):
+        with pytest.raises(ValueError):
+            eps_delta_sparsity(np.full((2, 2), np.inf), -0.1)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            eps_delta_sparsity(np.zeros((2, 3)), 0.1)
+
+    def test_cdr_data_is_sparse_at_small_radius(self, small_civ):
+        # Ties back to the paper's uniqueness premise: at small eps no
+        # user has a neighbour.
+        mat = pairwise_matrix(list(small_civ))
+        assert eps_delta_sparsity(mat, 1e-6) == 0.0

@@ -1,0 +1,86 @@
+"""Tests for adversary knowledge models."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.knowledge import (
+    SpatialConstraint,
+    SpatioTemporalConstraint,
+    constraint_matches_fingerprint,
+    random_sample_knowledge,
+    top_locations_knowledge,
+)
+from tests.conftest import make_fp
+
+
+class TestTopLocations:
+    def test_most_frequent_first(self):
+        fp = make_fp(
+            "a",
+            [
+                (0.0, 0.0, 0.0),
+                (0.0, 0.0, 10.0),
+                (0.0, 0.0, 20.0),
+                (500.0, 0.0, 30.0),
+                (500.0, 0.0, 40.0),
+                (900.0, 0.0, 50.0),
+            ],
+        )
+        top = top_locations_knowledge(fp, n=2)
+        assert top[0].x == 0.0
+        assert top[1].x == 500.0
+
+    def test_fewer_locations_than_n(self):
+        fp = make_fp("a", [(0.0, 0.0, 0.0)])
+        assert len(top_locations_knowledge(fp, n=5)) == 1
+
+    def test_rejects_zero_n(self):
+        fp = make_fp("a", [(0.0, 0.0, 0.0)])
+        with pytest.raises(ValueError):
+            top_locations_knowledge(fp, n=0)
+
+
+class TestRandomSamples:
+    def test_sample_count(self, small_civ, rng):
+        fp = small_civ[0]
+        constraints = random_sample_knowledge(fp, n=4, rng=rng)
+        assert len(constraints) == min(4, fp.m)
+
+    def test_constraints_come_from_fingerprint(self, small_civ, rng):
+        fp = small_civ[0]
+        rows = {tuple(r) for r in fp.data}
+        for c in random_sample_knowledge(fp, n=6, rng=rng):
+            assert (c.x, c.dx, c.y, c.dy, c.t, c.dt) in rows
+
+    def test_rejects_zero_n(self, small_civ, rng):
+        with pytest.raises(ValueError):
+            random_sample_knowledge(small_civ[0], n=0, rng=rng)
+
+
+class TestConstraintMatching:
+    def test_exact_sample_matches(self):
+        fp = make_fp("a", [(100.0, 200.0, 10.0)])
+        c = SpatioTemporalConstraint(100.0, 100.0, 200.0, 100.0, 10.0, 1.0)
+        assert constraint_matches_fingerprint(c, fp)
+
+    def test_overlapping_generalized_sample_matches(self):
+        # Published sample generalizes the known location: overlap test
+        # keeps the user in the candidate set.
+        fp = make_fp("g", [(0.0, 0.0, 0.0, 10_000.0, 10_000.0, 600.0)])
+        c = SpatioTemporalConstraint(5_000.0, 100.0, 5_000.0, 100.0, 30.0, 1.0)
+        assert constraint_matches_fingerprint(c, fp)
+
+    def test_spatial_only_constraint_ignores_time(self):
+        fp = make_fp("a", [(100.0, 200.0, 9_999.0)])
+        c = SpatialConstraint(100.0, 100.0, 200.0, 100.0)
+        assert constraint_matches_fingerprint(c, fp)
+
+    def test_disjoint_space_no_match(self):
+        fp = make_fp("a", [(0.0, 0.0, 10.0)])
+        c = SpatioTemporalConstraint(50_000.0, 100.0, 0.0, 100.0, 10.0, 1.0)
+        assert not constraint_matches_fingerprint(c, fp)
+
+    def test_disjoint_time_no_match(self):
+        fp = make_fp("a", [(0.0, 0.0, 10.0)])
+        c = SpatioTemporalConstraint(0.0, 100.0, 0.0, 100.0, 5_000.0, 1.0)
+        assert not constraint_matches_fingerprint(c, fp)

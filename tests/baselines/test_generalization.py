@@ -1,0 +1,81 @@
+"""Tests for uniform spatiotemporal generalization."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.generalization import (
+    PAPER_LEVELS,
+    GeneralizationLevel,
+    generalize_dataset,
+    generalize_sample_array,
+)
+from repro.core.sample import DT, DX, DY, T, X, Y
+from tests.conftest import make_fp
+
+
+class TestLevels:
+    def test_paper_levels(self):
+        labels = [lvl.label for lvl in PAPER_LEVELS]
+        assert labels == ["0.1-1", "1-30", "2.5-60", "5-120", "10-240", "20-480"]
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            GeneralizationLevel(0.0, 1.0)
+        with pytest.raises(ValueError):
+            GeneralizationLevel(100.0, -1.0)
+
+
+class TestGeneralizeArray:
+    def test_snaps_to_bins(self):
+        data = np.array([[1234.0, 100.0, 5678.0, 100.0, 47.0, 1.0]])
+        out = generalize_sample_array(data, GeneralizationLevel(1_000.0, 30.0))
+        assert out[0, X] == 1_000.0
+        assert out[0, Y] == 5_000.0
+        assert out[0, T] == 30.0
+        assert out[0, DX] == 1_000.0
+        assert out[0, DY] == 1_000.0
+        assert out[0, DT] == 30.0
+
+    def test_collapses_same_bin_samples(self):
+        data = np.array(
+            [
+                [100.0, 100.0, 100.0, 100.0, 1.0, 1.0],
+                [200.0, 100.0, 200.0, 100.0, 2.0, 1.0],
+            ]
+        )
+        out = generalize_sample_array(data, GeneralizationLevel(1_000.0, 30.0))
+        assert out.shape[0] == 1
+
+    def test_identity_level_preserves_grid_data(self, small_civ):
+        level = GeneralizationLevel(100.0, 1.0)
+        fp = small_civ[0]
+        out = generalize_sample_array(fp.data, level)
+        np.testing.assert_allclose(np.unique(out, axis=0), np.unique(fp.data, axis=0))
+
+
+class TestGeneralizeDataset:
+    def test_makes_twins_identical(self):
+        from repro.core.dataset import FingerprintDataset
+
+        ds = FingerprintDataset(
+            [
+                make_fp("a", [(100.0, 100.0, 5.0)]),
+                make_fp("b", [(700.0, 200.0, 25.0)]),
+            ]
+        )
+        coarse = generalize_dataset(ds, GeneralizationLevel(1_000.0, 30.0))
+        assert coarse["a"].same_trace(coarse["b"])
+
+    def test_anonymizes_monotonically(self, small_civ):
+        fine = generalize_dataset(small_civ, GeneralizationLevel(1_000.0, 30.0))
+        coarse = generalize_dataset(small_civ, GeneralizationLevel(20_000.0, 480.0))
+
+        def n_unique(ds):
+            return len({fp.trace_key() for fp in ds})
+
+        assert n_unique(coarse) <= n_unique(fine)
+
+    def test_keeps_user_count(self, small_civ):
+        out = generalize_dataset(small_civ, GeneralizationLevel(5_000.0, 120.0))
+        assert len(out) == len(small_civ)
+        assert out.n_users == small_civ.n_users

@@ -1,0 +1,73 @@
+"""Tests for the NWA baseline (spatial-only, synchronized trajectories)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.nwa import NWAConfig, nwa
+
+
+@pytest.fixture(scope="module")
+def nwa_result():
+    from repro.cdr.datasets import synthesize
+
+    dataset = synthesize("synth-civ", n_users=40, days=2, seed=11)
+    return dataset, nwa(dataset, NWAConfig(k=2, period_min=60.0))
+
+
+class TestOutput:
+    def test_all_survivors_share_global_timeline(self, nwa_result):
+        _, result = nwa_result
+        timelines = {tuple(fp.data[:, 4]) for fp in result.dataset}
+        assert len(timelines) == 1  # one synchronized timeline for all
+
+    def test_trashing(self, nwa_result):
+        original, result = nwa_result
+        expected = int(np.floor(0.10 * len(original)))
+        assert result.stats.discarded_fingerprints == expected
+
+    def test_cylinder_enforced(self, nwa_result):
+        from collections import defaultdict
+
+        _, result = nwa_result
+        # Group members by... NWA publishes all users on one timeline,
+        # so check cluster cylinders via pairwise distances within the
+        # published dataset is not directly possible; instead check
+        # the weaker global invariant: positions are finite and inside
+        # a plausible range.
+        for fp in result.dataset:
+            assert np.isfinite(fp.data).all()
+
+
+class TestSynchronizationCost:
+    """The quantitative point of the module: NWA's premise does not fit
+    CDR data (paper Section 8)."""
+
+    def test_massive_sample_fabrication(self, nwa_result):
+        _, result = nwa_result
+        # The synchronized timeline fabricates far more samples than
+        # the original dataset even contains.
+        assert result.stats.created_fraction > 1.0
+
+    def test_worse_than_w4m_in_fabrication(self, nwa_result):
+        from repro.baselines.w4m import W4MConfig, w4m_lc
+
+        original, result = nwa_result
+        w4m = w4m_lc(original, W4MConfig(k=2))
+        assert result.stats.created_fraction > w4m.stats.created_fraction
+
+    def test_errors_reported(self, nwa_result):
+        _, result = nwa_result
+        assert result.stats.mean_position_error_m > 0.0
+        assert result.stats.mean_time_error_min >= 0.0
+
+
+class TestValidation:
+    def test_config_bounds(self):
+        with pytest.raises(ValueError):
+            NWAConfig(k=1)
+        with pytest.raises(ValueError):
+            NWAConfig(delta_m=0)
+        with pytest.raises(ValueError):
+            NWAConfig(period_min=0)
+        with pytest.raises(ValueError):
+            NWAConfig(trash_fraction=1.0)

@@ -1,0 +1,82 @@
+"""Tests for the greedy k-member clustering of W4M-LC."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.w4m_cluster import chunk_indices, greedy_k_clusters
+
+
+def ring_distance_matrix(n, rng):
+    """Random symmetric matrix with inf diagonal."""
+    mat = rng.uniform(1.0, 100.0, (n, n))
+    mat = (mat + mat.T) / 2.0
+    np.fill_diagonal(mat, np.inf)
+    return mat
+
+
+class TestClustering:
+    def test_all_clusters_reach_k(self, rng):
+        mat = ring_distance_matrix(23, rng)
+        outcome = greedy_k_clusters(mat, k=4, trash_fraction=0.1)
+        for cluster in outcome.clusters:
+            assert cluster.size >= 4
+
+    def test_partition_is_complete(self, rng):
+        mat = ring_distance_matrix(20, rng)
+        outcome = greedy_k_clusters(mat, k=3, trash_fraction=0.1)
+        assigned = np.concatenate(outcome.clusters)
+        all_ids = np.concatenate([assigned, outcome.trashed])
+        assert sorted(all_ids.tolist()) == list(range(20))
+        assert np.unique(assigned).size == assigned.size
+
+    def test_trash_fraction_respected(self, rng):
+        mat = ring_distance_matrix(30, rng)
+        outcome = greedy_k_clusters(mat, k=2, trash_fraction=0.2)
+        assert outcome.trashed.size == 6
+
+    def test_outliers_get_trashed(self, rng):
+        # Two tight groups plus two far outliers.
+        n = 12
+        mat = np.full((n, n), 1e6)
+        for block in (range(0, 5), range(5, 10)):
+            for i in block:
+                for j in block:
+                    mat[i, j] = 1.0
+        np.fill_diagonal(mat, np.inf)
+        outcome = greedy_k_clusters(mat, k=5, trash_fraction=0.17)
+        assert set(outcome.trashed.tolist()) <= {10, 11}
+
+    def test_too_few_members_all_trashed(self, rng):
+        mat = ring_distance_matrix(3, rng)
+        outcome = greedy_k_clusters(mat, k=5)
+        assert outcome.clusters == []
+        assert outcome.trashed.size == 3
+
+    def test_validation(self, rng):
+        mat = ring_distance_matrix(5, rng)
+        with pytest.raises(ValueError):
+            greedy_k_clusters(mat, k=1)
+        with pytest.raises(ValueError):
+            greedy_k_clusters(mat, k=2, trash_fraction=1.0)
+        with pytest.raises(ValueError):
+            greedy_k_clusters(np.zeros((2, 3)), k=2)
+
+
+class TestChunking:
+    def test_single_chunk(self):
+        chunks = chunk_indices(10, 100)
+        assert len(chunks) == 1
+        np.testing.assert_array_equal(chunks[0], np.arange(10))
+
+    def test_multiple_chunks_cover_all(self):
+        chunks = chunk_indices(25, 10)
+        np.testing.assert_array_equal(np.concatenate(chunks), np.arange(25))
+
+    def test_small_tail_merged(self):
+        chunks = chunk_indices(21, 10)
+        assert len(chunks) == 2
+        assert chunks[-1].size == 11
+
+    def test_rejects_tiny_chunk_size(self):
+        with pytest.raises(ValueError):
+            chunk_indices(10, 1)

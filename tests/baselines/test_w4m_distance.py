@@ -1,0 +1,77 @@
+"""Tests for the LST trajectory distance."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.w4m_distance import (
+    DISJOINT_PENALTY_M_PER_MIN,
+    PointTrajectory,
+    lst_distance,
+    lst_distance_matrix,
+)
+from tests.conftest import make_fp
+
+
+def traj(uid, points):
+    t, x, y = zip(*points)
+    return PointTrajectory(
+        uid, np.asarray(t, float), np.asarray(x, float), np.asarray(y, float)
+    )
+
+
+class TestPointTrajectory:
+    def test_from_fingerprint_midpoints(self):
+        fp = make_fp("a", [(0.0, 0.0, 0.0), (1000.0, 0.0, 10.0)])
+        tr = PointTrajectory.from_fingerprint(fp)
+        assert tr.m == 2
+        np.testing.assert_allclose(tr.t, [0.5, 10.5])
+        np.testing.assert_allclose(tr.x, [50.0, 1050.0])
+
+    def test_duplicate_times_averaged(self):
+        fp = make_fp("a", [(0.0, 0.0, 5.0), (1000.0, 0.0, 5.0)])
+        tr = PointTrajectory.from_fingerprint(fp)
+        assert tr.m == 1
+        assert tr.x[0] == pytest.approx(550.0)
+
+    def test_interpolation(self):
+        tr = traj("a", [(0.0, 0.0, 0.0), (10.0, 1000.0, 0.0)])
+        pos = tr.positions_at(np.array([5.0]))
+        np.testing.assert_allclose(pos, [[500.0, 0.0]])
+
+    def test_clamping_outside_span(self):
+        tr = traj("a", [(0.0, 0.0, 0.0), (10.0, 1000.0, 0.0)])
+        pos = tr.positions_at(np.array([-5.0, 20.0]))
+        np.testing.assert_allclose(pos, [[0.0, 0.0], [1000.0, 0.0]])
+
+
+class TestLSTDistance:
+    def test_identical_trajectories_zero(self):
+        tr = traj("a", [(0.0, 0.0, 0.0), (10.0, 500.0, 0.0)])
+        assert lst_distance(tr, tr) == 0.0
+
+    def test_parallel_offset(self):
+        a = traj("a", [(0.0, 0.0, 0.0), (10.0, 1000.0, 0.0)])
+        b = traj("b", [(0.0, 0.0, 300.0), (10.0, 1000.0, 300.0)])
+        assert lst_distance(a, b) == pytest.approx(300.0)
+
+    def test_symmetry(self):
+        a = traj("a", [(0.0, 0.0, 0.0), (10.0, 1000.0, 0.0)])
+        b = traj("b", [(2.0, 500.0, 100.0), (12.0, 800.0, 200.0)])
+        assert lst_distance(a, b) == pytest.approx(lst_distance(b, a))
+
+    def test_disjoint_windows_penalized(self):
+        a = traj("a", [(0.0, 0.0, 0.0), (10.0, 0.0, 0.0)])
+        b = traj("b", [(1_000.0, 0.0, 0.0), (1_010.0, 0.0, 0.0)])
+        d = lst_distance(a, b)
+        assert d >= (1_000.0 - 10.0) * DISJOINT_PENALTY_M_PER_MIN
+
+    def test_matrix_properties(self):
+        trs = [
+            traj("a", [(0.0, 0.0, 0.0), (10.0, 100.0, 0.0)]),
+            traj("b", [(0.0, 50.0, 0.0), (10.0, 150.0, 0.0)]),
+            traj("c", [(5.0, 9_000.0, 9_000.0), (15.0, 9_100.0, 9_000.0)]),
+        ]
+        mat = lst_distance_matrix(trs)
+        assert np.isinf(np.diag(mat)).all()
+        assert mat[0, 1] == pytest.approx(mat[1, 0])
+        assert mat[0, 1] < mat[0, 2]

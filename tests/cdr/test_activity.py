@@ -1,0 +1,100 @@
+"""Tests for the event-timing model."""
+
+import numpy as np
+import pytest
+
+from repro.cdr.activity import (
+    MINUTES_PER_DAY,
+    WEEKDAY_PROFILE,
+    WEEKEND_PROFILE,
+    ActivityConfig,
+    ActivityModel,
+)
+
+
+@pytest.fixture
+def model():
+    return ActivityModel()
+
+
+class TestProfiles:
+    def test_profiles_have_24_hours(self):
+        assert WEEKDAY_PROFILE.shape == (24,)
+        assert WEEKEND_PROFILE.shape == (24,)
+
+    def test_night_trough(self):
+        # Hours 2-4 are the quietest part of the day.
+        assert WEEKDAY_PROFILE[2:5].max() < WEEKDAY_PROFILE[9:21].min()
+
+    def test_evening_peak(self):
+        assert WEEKDAY_PROFILE.argmax() in range(17, 22)
+
+
+class TestEventTimes:
+    def test_times_within_period(self, model, rng):
+        t = model.event_times(10.0, days=3, rng=rng)
+        assert (t >= 0).all()
+        assert (t < 3 * MINUTES_PER_DAY).all()
+
+    def test_times_sorted_unique_integral(self, model, rng):
+        t = model.event_times(10.0, days=3, rng=rng)
+        assert (np.diff(t) > 0).all()
+        np.testing.assert_array_equal(t, np.floor(t))  # 1-minute precision
+
+    def test_rate_scales_event_count(self, model):
+        rng1, rng2 = np.random.default_rng(0), np.random.default_rng(0)
+        low = model.event_times(2.0, days=10, rng=rng1)
+        high = model.event_times(20.0, days=10, rng=rng2)
+        assert high.size > low.size * 3
+
+    def test_zero_days_rejected(self, model, rng):
+        with pytest.raises(ValueError):
+            model.event_times(5.0, days=0, rng=rng)
+
+    def test_circadian_shape(self, model, rng):
+        t = model.event_times(30.0, days=60, rng=rng)
+        hours = (t % MINUTES_PER_DAY) // 60
+        night = np.isin(hours, [1, 2, 3, 4]).mean()
+        evening = np.isin(hours, [18, 19, 20, 21]).mean()
+        assert evening > 5 * night
+
+    def test_burstiness_produces_short_gaps(self, model, rng):
+        t = model.event_times(15.0, days=30, rng=rng)
+        gaps = np.diff(t)
+        # With bursts, a sizable share of gaps is just a few minutes
+        # even though the mean gap is tens of minutes.
+        assert (gaps <= 5).mean() > 0.15
+
+
+class TestHeterogeneity:
+    def test_user_rate_lognormal_spread(self, model, rng):
+        rates = np.array([model.user_rate(rng) for _ in range(2000)])
+        assert rates.min() > 0
+        # Lognormal(sigma=0.6): p90/p10 ratio is around 4-5.
+        assert np.quantile(rates, 0.9) / np.quantile(rates, 0.1) > 3.0
+
+    def test_weekend_detection(self):
+        model = ActivityModel(ActivityConfig(week_start_day=0))
+        assert not model.is_weekend(0)  # Monday
+        assert model.is_weekend(5)  # Saturday
+        assert model.is_weekend(6)  # Sunday
+        assert not model.is_weekend(7)  # next Monday
+
+    def test_week_start_shift(self):
+        model = ActivityModel(ActivityConfig(week_start_day=5))
+        assert model.is_weekend(0)
+        assert not model.is_weekend(2)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            ActivityConfig(mean_sessions_per_day=0.0)
+
+    def test_rejects_bad_burst(self):
+        with pytest.raises(ValueError):
+            ActivityConfig(burst_continuation=1.0)
+
+    def test_rejects_bad_week_start(self):
+        with pytest.raises(ValueError):
+            ActivityConfig(week_start_day=7)

@@ -1,0 +1,96 @@
+"""Tests for the synthetic antenna network."""
+
+import numpy as np
+import pytest
+
+from repro.cdr.antenna import AntennaNetwork, AntennaNetworkConfig
+from repro.geo.region import Region
+
+
+@pytest.fixture
+def region():
+    return Region("test", 0.0, 200_000.0, 0.0, 150_000.0)
+
+
+@pytest.fixture
+def network(region, rng):
+    return AntennaNetwork(region, AntennaNetworkConfig(n_cities=5, n_antennas=120), rng=rng)
+
+
+class TestPlacement:
+    def test_antennas_inside_region(self, network, region):
+        assert region.contains(network.positions[:, 0], network.positions[:, 1]).all()
+
+    def test_positions_grid_snapped(self, network):
+        assert (network.positions % 100.0 == 0).all()
+
+    def test_positions_unique(self, network):
+        assert np.unique(network.positions, axis=0).shape[0] == network.n_antennas
+
+    def test_city_weights_zipf(self, network):
+        w = network.city_weights
+        assert w[0] == max(w)
+        assert w.sum() == pytest.approx(1.0)
+        assert (np.diff(w) <= 0).all()
+
+    def test_bigger_city_more_antennas(self, network):
+        sizes = [network.antennas_of_city(c).size for c in range(5)]
+        assert sizes[0] >= sizes[-1]
+
+    def test_rural_antennas_marked(self, region, rng):
+        net = AntennaNetwork(
+            region,
+            AntennaNetworkConfig(n_cities=3, n_antennas=100, rural_fraction=0.3),
+            rng=rng,
+        )
+        assert (net.antenna_city == -1).sum() > 0
+
+
+class TestQueries:
+    def test_nearest_identity(self, network):
+        # Each antenna's own position maps to itself (positions unique).
+        idx = network.nearest(network.positions[:, 0], network.positions[:, 1])
+        np.testing.assert_array_equal(idx, np.arange(network.n_antennas))
+
+    def test_nearest_scalar(self, network):
+        i = network.nearest(1000.0, 1000.0)
+        assert isinstance(i, int)
+        assert 0 <= i < network.n_antennas
+
+    def test_antennas_within_radius(self, network):
+        x, y = network.positions[0]
+        nearby = network.antennas_within(float(x), float(y), 10_000.0)
+        assert 0 in nearby
+        dists = np.hypot(
+            network.positions[nearby, 0] - x, network.positions[nearby, 1] - y
+        )
+        assert (dists <= 10_000.0).all()
+
+    def test_antennas_of_city_bounds(self, network):
+        with pytest.raises(ValueError):
+            network.antennas_of_city(99)
+
+
+class TestConfigValidation:
+    def test_rejects_zero_cities(self):
+        with pytest.raises(ValueError):
+            AntennaNetworkConfig(n_cities=0)
+
+    def test_rejects_fewer_antennas_than_cities(self):
+        with pytest.raises(ValueError):
+            AntennaNetworkConfig(n_cities=10, n_antennas=5)
+
+    def test_rejects_bad_rural_fraction(self):
+        with pytest.raises(ValueError):
+            AntennaNetworkConfig(rural_fraction=1.0)
+
+    def test_rejects_bad_radii(self):
+        with pytest.raises(ValueError):
+            AntennaNetworkConfig(city_radius_min_m=5_000.0, city_radius_max_m=1_000.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_network(self, region):
+        n1 = AntennaNetwork(region, rng=np.random.default_rng(5))
+        n2 = AntennaNetwork(region, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(n1.positions, n2.positions)

@@ -1,0 +1,87 @@
+"""Tests for the named dataset presets."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.gyration import gyration_summary
+from repro.cdr.datasets import PRESETS, preset_config, synthesize
+
+
+class TestPresets:
+    def test_all_presets_known(self):
+        assert set(PRESETS) == {"synth-civ", "synth-sen", "abidjan", "dakar"}
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            preset_config("paris")
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_config_construction(self, name):
+        cfg = preset_config(name, n_users=100, days=3)
+        assert cfg.n_users == 100
+        assert cfg.days == 3
+        assert cfg.name == name
+
+    def test_antenna_scaling(self):
+        small = preset_config("synth-civ", n_users=50).network.n_antennas
+        large = preset_config("synth-civ", n_users=800).network.n_antennas
+        assert small < large
+        assert large <= 450
+
+    def test_city_regions_smaller_than_countries(self):
+        civ = preset_config("synth-civ").region
+        abj = preset_config("abidjan").region
+        assert abj.area_km2 < civ.area_km2 / 10
+
+
+class TestSynthesize:
+    def test_screening_reduces_or_keeps_users(self):
+        raw = synthesize("synth-civ", n_users=40, days=2, seed=2, screened=False)
+        screened = synthesize("synth-civ", n_users=40, days=2, seed=2, screened=True)
+        assert len(screened) <= len(raw)
+
+    def test_civ_screening_rule(self):
+        ds = synthesize("synth-civ", n_users=40, days=2, seed=2)
+        for fp in ds:
+            assert fp.m / 2 >= 1.0  # at least one sample per day
+
+    def test_sen_screening_rule(self):
+        ds = synthesize("synth-sen", n_users=40, days=4, seed=2)
+        for fp in ds:
+            days_active = np.unique((fp.data[:, 4] // (24 * 60)).astype(int)).size
+            assert days_active / 4 >= 0.75
+
+    def test_determinism(self):
+        d1 = synthesize("dakar", n_users=30, days=2, seed=9)
+        d2 = synthesize("dakar", n_users=30, days=2, seed=9)
+        assert d1.uids == d2.uids
+
+
+class TestStatisticalShape:
+    """The synthetic data must exhibit the properties the paper's
+    findings rest on (DESIGN.md substitution table)."""
+
+    @pytest.fixture(scope="class")
+    def civ(self):
+        return synthesize("synth-civ", n_users=120, days=3, seed=0)
+
+    def test_radius_of_gyration_locality(self, civ):
+        # Paper Section 7.3: median around 2 km, mean an order of
+        # magnitude larger (long tail).  Accept a generous band.
+        summary = gyration_summary(civ)
+        assert 500.0 <= summary.median_m <= 8_000.0
+        assert summary.mean_m > 1.5 * summary.median_m
+
+    def test_sparse_sampling(self, civ):
+        # CDR fingerprints are sparse: far fewer samples than minutes.
+        lengths = np.array([fp.m for fp in civ])
+        assert lengths.mean() < 0.05 * 3 * 24 * 60
+
+    def test_heterogeneous_lengths(self, civ):
+        lengths = np.array([fp.m for fp in civ])
+        assert lengths.std() / lengths.mean() > 0.3
+
+    def test_high_uniqueness(self, civ):
+        # No two users share a full fingerprint (the paper's premise).
+        keys = {fp.trace_key() for fp in civ}
+        assert len(keys) == len(civ)

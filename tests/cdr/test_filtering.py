@@ -1,0 +1,59 @@
+"""Tests for the dataset screening rules (paper Section 3)."""
+
+import pytest
+
+from repro.cdr.filtering import filter_active_days, filter_min_samples_per_day
+from repro.core.dataset import FingerprintDataset
+from tests.conftest import make_fp
+
+DAY = 24 * 60.0
+
+
+@pytest.fixture
+def mixed():
+    return FingerprintDataset(
+        [
+            # 4 samples over 2 days: passes >=1/day.
+            make_fp("busy", [(0.0, 0.0, 10.0), (0.0, 0.0, 100.0),
+                             (0.0, 0.0, DAY + 10), (0.0, 0.0, DAY + 50)]),
+            # 1 sample over 2 days: fails >=1/day.
+            make_fp("quiet", [(0.0, 0.0, 10.0)]),
+            # Active day 0 only out of 2: fails 75% activity.
+            make_fp("oneday", [(0.0, 0.0, 10.0), (0.0, 0.0, 20.0)]),
+        ]
+    )
+
+
+class TestMinSamplesPerDay:
+    def test_filters_low_rate_users(self, mixed):
+        out = filter_min_samples_per_day(mixed, min_per_day=1.0, days=2)
+        assert "busy" in out
+        assert "quiet" not in out
+        assert "oneday" in out  # 2 samples / 2 days = 1.0
+
+    def test_days_inferred_from_extent(self, mixed):
+        out = filter_min_samples_per_day(mixed, min_per_day=1.0)
+        assert "busy" in out
+
+    def test_rejects_bad_days(self, mixed):
+        with pytest.raises(ValueError):
+            filter_min_samples_per_day(mixed, days=0)
+
+
+class TestActiveDays:
+    def test_filters_inactive_users(self, mixed):
+        out = filter_active_days(mixed, min_active_fraction=0.75, days=2)
+        assert "busy" in out  # active both days
+        assert "oneday" not in out  # active 1 of 2 days = 0.5
+        assert "quiet" not in out
+
+    def test_full_fraction(self, mixed):
+        out = filter_active_days(mixed, min_active_fraction=1.0, days=2)
+        assert out.uids == ["busy"]
+
+    def test_rejects_bad_fraction(self, mixed):
+        with pytest.raises(ValueError):
+            filter_active_days(mixed, min_active_fraction=0.0)
+
+    def test_keeps_name(self, mixed):
+        assert filter_active_days(mixed, days=2).name == mixed.name

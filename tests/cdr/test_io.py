@@ -1,0 +1,83 @@
+"""Tests for CSV serialization."""
+
+import numpy as np
+import pytest
+
+from repro.cdr.io import (
+    read_events_csv,
+    read_fingerprints_csv,
+    write_events_csv,
+    write_fingerprints_csv,
+)
+from repro.core.dataset import FingerprintDataset
+from repro.core.fingerprint import Fingerprint
+from tests.conftest import make_fp
+
+
+class TestEventCSV:
+    def test_roundtrip(self, small_civ, tmp_path):
+        path = tmp_path / "events.csv"
+        n = write_events_csv(small_civ, path)
+        assert n == small_civ.n_samples
+        back = read_events_csv(path)
+        assert sorted(back.uids) == sorted(small_civ.uids)
+        for uid in small_civ.uids:
+            np.testing.assert_allclose(back[uid].data, small_civ[uid].data)
+
+    def test_rejects_generalized_data(self, tmp_path):
+        fp = make_fp("g", [(0.0, 0.0, 0.0, 500.0, 500.0, 60.0)])
+        with pytest.raises(ValueError, match="generalized"):
+            write_events_csv(FingerprintDataset([fp]), tmp_path / "x.csv")
+
+    def test_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            read_events_csv(path)
+
+
+class TestFingerprintCSV:
+    def test_roundtrip_with_groups(self, tmp_path):
+        ds = FingerprintDataset(
+            [
+                make_fp(
+                    "g1",
+                    [(0.0, 0.0, 0.0, 500.0, 500.0, 60.0)],
+                    count=2,
+                    members=("a", "b"),
+                ),
+                make_fp("g2", [(1.0, 2.0, 3.0)]),
+            ]
+        )
+        path = tmp_path / "fps.csv"
+        n = write_fingerprints_csv(ds, path)
+        assert n == 2
+        back = read_fingerprints_csv(path)
+        assert back["g1"].count == 2
+        assert len(back["g1"].members) == 2
+        np.testing.assert_allclose(back["g1"].data, ds["g1"].data, atol=1e-3)
+
+    def test_glove_output_roundtrip(self, small_civ, tmp_path):
+        from repro.core.config import GloveConfig
+        from repro.core.glove import glove
+
+        result = glove(small_civ, GloveConfig(k=2))
+        path = tmp_path / "anon.csv"
+        write_fingerprints_csv(result.dataset, path)
+        back = read_fingerprints_csv(path)
+        assert back.n_users == small_civ.n_users
+        assert back.is_k_anonymous(2)
+
+    def test_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("uid,count\nx,1\n")
+        with pytest.raises(ValueError, match="header"):
+            read_fingerprints_csv(path)
+
+    def test_preserves_order(self, tmp_path):
+        ds = FingerprintDataset(
+            [make_fp("z", [(0.0, 0.0, 0.0)]), make_fp("a", [(1.0, 1.0, 1.0)])]
+        )
+        path = tmp_path / "order.csv"
+        write_fingerprints_csv(ds, path)
+        assert read_fingerprints_csv(path).uids == ["z", "a"]

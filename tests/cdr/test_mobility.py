@@ -1,0 +1,101 @@
+"""Tests for the event-location model."""
+
+import numpy as np
+import pytest
+
+from repro.cdr.antenna import AntennaNetwork, AntennaNetworkConfig
+from repro.cdr.mobility import MobilityConfig, MobilityModel
+from repro.cdr.population import Population
+from repro.geo.region import Region
+
+
+@pytest.fixture
+def setup(rng):
+    region = Region("test", 0.0, 200_000.0, 0.0, 200_000.0)
+    network = AntennaNetwork(
+        region, AntennaNetworkConfig(n_cities=4, n_antennas=100), rng=rng
+    )
+    population = Population(network, n_users=10, rng=rng)
+    model = MobilityModel(network)
+    return network, population, model
+
+
+class TestSchedule:
+    def test_hour_of_day(self, setup):
+        _, _, model = setup
+        assert model.hour_of_day(0.0) == 0
+        assert model.hour_of_day(13 * 60 + 59) == 13
+        assert model.hour_of_day(24 * 60 + 30) == 0  # next day
+
+    def test_weekend(self, setup):
+        _, _, model = setup
+        assert not model.is_weekend(0.0)  # Monday 00:00
+        assert model.is_weekend(5 * 24 * 60.0)  # Saturday
+
+
+class TestLocationDraws:
+    def test_antenna_index_valid(self, setup, rng):
+        network, population, model = setup
+        user = population[0]
+        for t in [60.0, 600.0, 900.0, 1300.0]:
+            a = model.antenna_at(user, t, rng)
+            assert 0 <= a < network.n_antennas
+
+    def test_night_events_are_near_home(self, setup):
+        network, population, model = setup
+        rng = np.random.default_rng(9)
+        user = population[0]
+        hx, hy = network.positions[user.home_antenna]
+        hits = 0
+        n = 200
+        for _ in range(n):
+            t = float(rng.uniform(60, 300))  # 01:00-05:00 Monday
+            a = model.antenna_at(user, t, rng)
+            ax, ay = network.positions[a]
+            if np.hypot(ax - hx, ay - hy) <= model.config.handoff_radius_m:
+                hits += 1
+        assert hits / n > 0.7
+
+    def test_workday_events_concentrate_at_work(self, setup):
+        network, population, model = setup
+        rng = np.random.default_rng(9)
+        user = population[0]
+        wx, wy = network.positions[user.work_antenna]
+        hits = 0
+        n = 200
+        for _ in range(n):
+            t = float(rng.uniform(10 * 60, 17 * 60))  # Monday working hours
+            a = model.antenna_at(user, t, rng)
+            ax, ay = network.positions[a]
+            if np.hypot(ax - wx, ay - wy) <= model.config.handoff_radius_m:
+                hits += 1
+        assert hits / n > 0.4
+
+    def test_exploration_stays_in_region(self, setup):
+        network, population, model = setup
+        rng = np.random.default_rng(9)
+        user = population[0]
+        for _ in range(100):
+            a = model._explore(user, rng)
+            x, y = network.positions[a]
+            assert network.region.contains(float(x), float(y))
+
+    def test_handoff_stays_within_radius(self, setup):
+        network, population, model = setup
+        rng = np.random.default_rng(9)
+        anchor = population[0].home_antenna
+        x0, y0 = network.positions[anchor]
+        for _ in range(50):
+            a = model._handoff(anchor, rng)
+            x, y = network.positions[a]
+            assert np.hypot(x - x0, y - y0) <= model.config.handoff_radius_m + 1e-9
+
+
+class TestConfigValidation:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            MobilityConfig(night_home_prob=1.5)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            MobilityConfig(exploration_scale_m=0.0)

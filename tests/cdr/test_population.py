@@ -1,0 +1,103 @@
+"""Tests for the subscriber population model."""
+
+import numpy as np
+import pytest
+
+from repro.cdr.antenna import AntennaNetwork, AntennaNetworkConfig
+from repro.cdr.population import Population, PopulationConfig
+from repro.geo.region import Region
+
+
+@pytest.fixture
+def network(rng):
+    region = Region("test", 0.0, 300_000.0, 0.0, 200_000.0)
+    return AntennaNetwork(
+        region, AntennaNetworkConfig(n_cities=6, n_antennas=150), rng=rng
+    )
+
+
+@pytest.fixture
+def population(network, rng):
+    return Population(network, n_users=80, rng=rng)
+
+
+class TestAnchors:
+    def test_population_size(self, population):
+        assert len(population) == 80
+
+    def test_unique_uids(self, population):
+        uids = [u.uid for u in population]
+        assert len(set(uids)) == 80
+
+    def test_anchor_structure(self, population, network):
+        for user in population:
+            assert user.anchors.shape[0] >= 2
+            assert (user.anchors >= 0).all()
+            assert (user.anchors < network.n_antennas).all()
+            assert user.home_antenna == user.anchors[0]
+            assert user.work_antenna == user.anchors[1]
+
+    def test_anchor_weights_normalized(self, population):
+        for user in population:
+            assert user.anchor_weights.sum() == pytest.approx(1.0)
+            assert (np.diff(user.anchor_weights) <= 1e-12).all()  # Zipf decreasing
+
+    def test_home_city_valid(self, population, network):
+        for user in population:
+            assert 0 <= user.home_city < network.config.n_cities
+
+
+class TestCommutes:
+    def test_commute_distances_mostly_local(self, network, rng):
+        pop = Population(
+            network, n_users=200, config=PopulationConfig(commuter_fraction=0.0), rng=rng
+        )
+        d = np.array(
+            [
+                np.hypot(
+                    *(network.positions[u.home_antenna] - network.positions[u.work_antenna])
+                )
+                for u in pop
+            ]
+        )
+        # Exponential commutes with 4 km scale: median well under 10 km.
+        assert np.median(d) < 10_000.0
+
+    def test_commuter_fraction_changes_tail(self, network):
+        rng1 = np.random.default_rng(3)
+        rng2 = np.random.default_rng(3)
+        local = Population(
+            network, n_users=150, config=PopulationConfig(commuter_fraction=0.0), rng=rng1
+        )
+        commuters = Population(
+            network, n_users=150, config=PopulationConfig(commuter_fraction=0.5), rng=rng2
+        )
+
+        def mean_commute(pop):
+            return np.mean(
+                [
+                    np.hypot(
+                        *(
+                            network.positions[u.home_antenna]
+                            - network.positions[u.work_antenna]
+                        )
+                    )
+                    for u in pop
+                ]
+            )
+
+        assert mean_commute(commuters) > mean_commute(local)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_commuter_fraction(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(commuter_fraction=1.5)
+
+    def test_rejects_negative_secondary(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(mean_secondary_anchors=-1.0)
+
+    def test_rejects_zero_users(self, network, rng):
+        with pytest.raises(ValueError):
+            Population(network, n_users=0, rng=rng)

@@ -1,0 +1,66 @@
+"""Substitution-fidelity suite: the synthetic CDR substrate must exhibit
+the statistics DESIGN.md claims preserve the paper's findings."""
+
+import numpy as np
+import pytest
+
+from repro.cdr.trace_stats import night_day_ratio, trace_statistics
+from repro.core.dataset import FingerprintDataset
+
+
+@pytest.fixture(scope="module")
+def stats():
+    from repro.cdr.datasets import synthesize
+
+    dataset = synthesize("synth-civ", n_users=100, days=3, seed=5)
+    return trace_statistics(dataset)
+
+
+class TestCircadianShape:
+    def test_profile_normalized(self, stats):
+        assert stats.hourly_profile.shape == (24,)
+        assert stats.hourly_profile.sum() == pytest.approx(1.0)
+
+    def test_deep_night_trough(self, stats):
+        # Published CDR diurnal curves show night activity at a small
+        # fraction of the evening peak.
+        assert night_day_ratio(stats) < 0.25
+
+    def test_evening_peak(self, stats):
+        assert int(stats.hourly_profile.argmax()) in range(11, 23)
+
+
+class TestSparsityAndBurstiness:
+    def test_sparse_sampling(self, stats):
+        # Median inter-event gaps of tens of minutes: CDR, not GPS.
+        assert stats.median_interevent_min > 5.0
+
+    def test_long_tailed_gaps(self, stats):
+        assert stats.p90_interevent_min > 3.0 * stats.median_interevent_min
+
+    def test_bursty(self, stats):
+        # Goh-Barabasi B > 0 distinguishes bursty from Poisson traffic.
+        assert stats.burstiness > 0.2
+
+
+class TestHeterogeneity:
+    def test_rate_spread(self, stats):
+        assert stats.rate_p90_over_p10 > 2.5
+
+    def test_anchor_concentration(self, stats):
+        # Zipf visit frequencies: the top location draws a large share.
+        assert stats.top_location_share > 0.2
+        assert stats.median_locations_per_user >= 3
+
+
+class TestLocality:
+    def test_radius_of_gyration_band(self, stats):
+        # Paper Section 7.3: median ~2 km, mean ~10-12 km.
+        assert 500.0 <= stats.rg_median_m <= 8_000.0
+        assert stats.rg_mean_m > 2.0 * stats.rg_median_m
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            trace_statistics(FingerprintDataset())

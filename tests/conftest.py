@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cdr.datasets import synthesize
+from repro.core.dataset import FingerprintDataset
+from repro.core.fingerprint import Fingerprint
+from repro.core.sample import Sample
+
+
+def make_fp(uid, rows, count=1, members=None):
+    """Build a fingerprint from (x, y, t[, dx, dy, dt]) tuples."""
+    samples = []
+    for row in rows:
+        if len(row) == 3:
+            x, y, t = row
+            samples.append(Sample(x=x, y=y, t=t))
+        else:
+            x, y, t, dx, dy, dt = row
+            samples.append(Sample(x=x, y=y, t=t, dx=dx, dy=dy, dt=dt))
+    return Fingerprint(uid, samples, count=count, members=members)
+
+
+@pytest.fixture
+def toy_pair():
+    """Two small fingerprints with known geometry."""
+    a = make_fp("a", [(0.0, 0.0, 0.0), (1000.0, 500.0, 60.0), (2000.0, 0.0, 600.0)])
+    b = make_fp("b", [(100.0, 0.0, 10.0), (2200.0, 100.0, 620.0)])
+    return a, b
+
+@pytest.fixture
+def toy_dataset():
+    """Six-user toy dataset with two identical twins and outliers."""
+    fps = [
+        make_fp("u0", [(0.0, 0.0, 0.0), (500.0, 0.0, 100.0)]),
+        make_fp("u1", [(0.0, 0.0, 0.0), (500.0, 0.0, 100.0)]),  # twin of u0
+        make_fp("u2", [(100.0, 100.0, 5.0), (600.0, 100.0, 110.0)]),
+        make_fp("u3", [(50_000.0, 50_000.0, 3_000.0)]),
+        make_fp("u4", [(0.0, 100.0, 20.0), (400.0, 0.0, 130.0)]),
+        make_fp("u5", [(90_000.0, 10_000.0, 9_000.0), (90_500.0, 10_000.0, 9_100.0)]),
+    ]
+    return FingerprintDataset(fps, name="toy")
+
+
+@pytest.fixture(scope="session")
+def small_civ():
+    """A small but realistic synthetic CDR dataset (session-cached)."""
+    return synthesize("synth-civ", n_users=40, days=2, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_sen():
+    """Senegal-preset counterpart of ``small_civ``."""
+    return synthesize("synth-sen", n_users=40, days=2, seed=11)
+
+
+@pytest.fixture
+def rng():
+    """Deterministic NumPy generator for tests."""
+    return np.random.default_rng(1234)

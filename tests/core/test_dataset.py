@@ -1,0 +1,105 @@
+"""Tests for fingerprint datasets."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import FingerprintDataset
+from tests.conftest import make_fp
+
+
+class TestContainer:
+    def test_add_and_lookup(self, toy_dataset):
+        assert len(toy_dataset) == 6
+        assert toy_dataset["u0"].uid == "u0"
+        assert toy_dataset[0].uid == "u0"
+        assert "u3" in toy_dataset
+        assert "zz" not in toy_dataset
+
+    def test_duplicate_uid_rejected(self):
+        ds = FingerprintDataset([make_fp("a", [(0.0, 0.0, 0.0)])])
+        with pytest.raises(ValueError, match="duplicate"):
+            ds.add(make_fp("a", [(1.0, 1.0, 1.0)]))
+
+    def test_aggregates(self, toy_dataset):
+        assert toy_dataset.n_users == 6
+        assert toy_dataset.n_samples == 11
+        assert toy_dataset.mean_fingerprint_length == pytest.approx(11 / 6)
+
+    def test_n_users_counts_group_members(self):
+        ds = FingerprintDataset(
+            [make_fp("g", [(0.0, 0.0, 0.0)], count=3, members=("a", "b", "c"))]
+        )
+        assert ds.n_users == 3
+        assert len(ds) == 1
+
+    def test_time_extent(self, toy_dataset):
+        t_min, t_max = toy_dataset.time_extent()
+        assert t_min == 0.0
+        assert t_max == 9_101.0  # u5's last sample start + dt
+
+
+class TestSubsetting:
+    def test_restrict_timespan(self, toy_dataset):
+        one_hour = toy_dataset.restrict_timespan(1 / 24.0)
+        assert all(fp.data[:, 4].max() < 60.0 for fp in one_hour)
+        # u3 and u5 have no samples in the first hour and are dropped.
+        assert "u3" not in one_hour
+        assert "u5" not in one_hour
+
+    def test_restrict_timespan_rejects_nonpositive(self, toy_dataset):
+        with pytest.raises(ValueError):
+            toy_dataset.restrict_timespan(0)
+
+    def test_sample_users_size(self, toy_dataset, rng):
+        half = toy_dataset.sample_users(0.5, rng)
+        assert len(half) == 3
+
+    def test_sample_users_keeps_at_least_one(self, toy_dataset, rng):
+        tiny = toy_dataset.sample_users(0.01, rng)
+        assert len(tiny) == 1
+
+    def test_sample_users_rejects_bad_fraction(self, toy_dataset, rng):
+        with pytest.raises(ValueError):
+            toy_dataset.sample_users(0.0, rng)
+        with pytest.raises(ValueError):
+            toy_dataset.sample_users(1.5, rng)
+
+    def test_sample_users_no_duplicates(self, toy_dataset, rng):
+        sub = toy_dataset.sample_users(1.0, rng)
+        assert sorted(sub.uids) == sorted(toy_dataset.uids)
+
+
+class TestAnonymityAudit:
+    def test_twins_are_2_anonymous(self, toy_dataset):
+        hist = toy_dataset.anonymity_histogram()
+        assert hist[2] == 2  # u0 and u1 share a trace
+        assert hist[1] == 4  # the rest are unique
+
+    def test_min_anonymity(self, toy_dataset):
+        assert toy_dataset.min_anonymity() == 1
+        assert not toy_dataset.is_k_anonymous(2)
+
+    def test_grouped_dataset_is_k_anonymous(self):
+        ds = FingerprintDataset(
+            [
+                make_fp("g1", [(0.0, 0.0, 0.0)], count=2, members=("a", "b")),
+                make_fp("g2", [(9.0, 9.0, 9.0)], count=3, members=("c", "d", "e")),
+            ]
+        )
+        assert ds.is_k_anonymous(2)
+        assert not ds.is_k_anonymous(3)
+
+    def test_identical_groups_pool_their_counts(self):
+        # Two groups with the same trace form one anonymity set of 4.
+        ds = FingerprintDataset(
+            [
+                make_fp("g1", [(0.0, 0.0, 0.0)], count=2, members=("a", "b")),
+                make_fp("g2", [(0.0, 0.0, 0.0)], count=2, members=("c", "d")),
+            ]
+        )
+        assert ds.min_anonymity() == 4
+
+    def test_empty_dataset(self):
+        ds = FingerprintDataset()
+        assert ds.min_anonymity() == 0
+        assert ds.is_k_anonymous(5)

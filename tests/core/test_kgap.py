@@ -1,0 +1,99 @@
+"""Tests for the k-gap anonymizability measure (paper Eq. 11)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kgap import kgap, stretch_decomposition
+from repro.core.pairwise import pairwise_matrix
+from repro.core.dataset import FingerprintDataset
+from tests.conftest import make_fp
+
+
+class TestKGap:
+    def test_twins_have_zero_gap(self, toy_dataset):
+        result = kgap(toy_dataset, k=2)
+        gaps = dict(zip(result.uids, result.gaps))
+        assert gaps["u0"] == pytest.approx(0.0, abs=1e-12)
+        assert gaps["u1"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_outlier_has_large_gap(self, toy_dataset):
+        result = kgap(toy_dataset, k=2)
+        gaps = dict(zip(result.uids, result.gaps))
+        assert gaps["u5"] > gaps["u2"]
+        assert gaps["u5"] > 0.4  # far away in both space and time
+
+    def test_gap_in_unit_interval(self, small_civ):
+        result = kgap(small_civ, k=2)
+        assert (result.gaps >= 0).all() and (result.gaps <= 1).all()
+
+    def test_gap_monotone_in_k(self, small_civ):
+        matrix = pairwise_matrix(list(small_civ))
+        g2 = kgap(small_civ, k=2, matrix=matrix).gaps
+        g5 = kgap(small_civ, k=5, matrix=matrix).gaps
+        g10 = kgap(small_civ, k=10, matrix=matrix).gaps
+        assert (g5 >= g2 - 1e-12).all()
+        assert (g10 >= g5 - 1e-12).all()
+
+    def test_neighbors_sorted(self, toy_dataset):
+        result = kgap(toy_dataset, k=4)
+        assert (np.diff(result.neighbor_efforts, axis=1) >= 0).all()
+
+    def test_gap_is_mean_of_neighbor_efforts(self, toy_dataset):
+        result = kgap(toy_dataset, k=3)
+        np.testing.assert_allclose(result.gaps, result.neighbor_efforts.mean(axis=1))
+
+    def test_matrix_reuse_matches_fresh(self, toy_dataset):
+        matrix = pairwise_matrix(list(toy_dataset))
+        fresh = kgap(toy_dataset, k=2)
+        reused = kgap(toy_dataset, k=2, matrix=matrix)
+        np.testing.assert_allclose(fresh.gaps, reused.gaps)
+
+    def test_k_too_large_rejected(self, toy_dataset):
+        with pytest.raises(ValueError):
+            kgap(toy_dataset, k=7)
+
+    def test_k_below_two_rejected(self, toy_dataset):
+        with pytest.raises(ValueError):
+            kgap(toy_dataset, k=1)
+
+    def test_fraction_anonymous(self, toy_dataset):
+        result = kgap(toy_dataset, k=2)
+        assert result.fraction_anonymous() == pytest.approx(2 / 6)
+
+    def test_no_user_anonymous_in_cdr_data(self, small_civ):
+        # The paper's Fig. 3a headline: CDF is zero at the origin.
+        result = kgap(small_civ, k=2)
+        assert result.fraction_anonymous() == 0.0
+
+
+class TestDecomposition:
+    def test_components_sum(self, toy_dataset):
+        result = kgap(toy_dataset, k=2)
+        for d in stretch_decomposition(toy_dataset, result):
+            np.testing.assert_allclose(d.delta, d.spatial + d.temporal, atol=1e-12)
+
+    def test_sizes_match_neighbors(self, toy_dataset):
+        result = kgap(toy_dataset, k=3)
+        fps = {fp.uid: fp for fp in toy_dataset}
+        for d in stretch_decomposition(toy_dataset, result):
+            # One matched component per sample of the longer fingerprint,
+            # per neighbour; sizes are bounded below by k-1 samples.
+            assert d.delta.size >= 2
+            assert d.uid in fps
+
+    def test_ratio_bounds(self, small_civ):
+        result = kgap(small_civ, k=2)
+        for d in stretch_decomposition(small_civ, result):
+            assert 0.0 <= d.temporal_to_spatial_ratio <= 1.0
+
+    def test_ratio_of_pure_temporal_difference(self):
+        # Same place, different times: cost is fully temporal.
+        ds = FingerprintDataset(
+            [
+                make_fp("a", [(0.0, 0.0, 0.0)]),
+                make_fp("b", [(0.0, 0.0, 200.0)]),
+            ]
+        )
+        result = kgap(ds, k=2)
+        decomp = stretch_decomposition(ds, result)
+        assert decomp[0].temporal_to_spatial_ratio == pytest.approx(1.0)

@@ -1,0 +1,134 @@
+"""Tests for the fingerprint merge operation (paper Eq. 12-13, Fig. 6a)."""
+
+import numpy as np
+import pytest
+
+from repro.core.merge import covers, generalize_rows, merge_fingerprints, merge_sample_arrays
+from repro.core.sample import DT, DX, DY, T, X, Y
+from tests.conftest import make_fp
+
+
+class TestGeneralizeRows:
+    def test_single_row_unchanged(self):
+        row = np.array([[10.0, 100.0, 20.0, 100.0, 5.0, 1.0]])
+        np.testing.assert_array_equal(generalize_rows(row), row[0])
+
+    def test_union_of_two(self):
+        rows = np.array(
+            [
+                [0.0, 100.0, 0.0, 100.0, 0.0, 1.0],
+                [300.0, 100.0, -50.0, 100.0, 10.0, 5.0],
+            ]
+        )
+        out = generalize_rows(rows)
+        assert out[X] == 0.0 and out[X] + out[DX] == 400.0
+        assert out[Y] == -50.0 and out[Y] + out[DY] == 100.0
+        assert out[T] == 0.0 and out[T] + out[DT] == 15.0
+
+    def test_union_is_associative(self, rng):
+        rows = np.column_stack(
+            [
+                rng.uniform(0, 1e4, 5),
+                rng.uniform(1, 500, 5),
+                rng.uniform(0, 1e4, 5),
+                rng.uniform(1, 500, 5),
+                rng.uniform(0, 1e3, 5),
+                rng.uniform(1, 60, 5),
+            ]
+        )
+        bulk = generalize_rows(rows)
+        seq = rows[0]
+        for i in range(1, 5):
+            seq = generalize_rows(np.vstack([seq[None, :], rows[i][None, :]]))
+        np.testing.assert_allclose(bulk, seq)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            generalize_rows(np.empty((0, 6)))
+
+
+class TestMergeSampleArrays:
+    def test_requires_longer_first(self, toy_pair):
+        a, b = toy_pair
+        with pytest.raises(ValueError):
+            merge_sample_arrays(b.data, a.data, 1, 1)
+
+    def test_output_length_bounded_by_shorter(self, toy_pair):
+        a, b = toy_pair
+        merged = merge_sample_arrays(a.data, b.data, 1, 1)
+        assert 1 <= merged.shape[0] <= b.m
+
+    def test_covers_both_inputs(self, toy_pair):
+        a, b = toy_pair
+        merged = merge_sample_arrays(a.data, b.data, 1, 1)
+        assert covers(merged, a.data)
+        assert covers(merged, b.data)
+
+    def test_identical_inputs_unchanged(self, toy_pair):
+        a, _ = toy_pair
+        merged = merge_sample_arrays(a.data, a.data, 1, 1)
+        np.testing.assert_allclose(merged, a.data)
+
+    def test_time_sorted_output(self, toy_pair):
+        a, b = toy_pair
+        merged = merge_sample_arrays(a.data, b.data, 1, 1)
+        assert (np.diff(merged[:, T]) >= 0).all()
+
+    def test_stage2_folds_unmatched_short_samples(self):
+        # Long fingerprint clusters around one of short's samples; the
+        # short's other sample is unmatched in stage 1 and must still be
+        # covered after stage 2.
+        long = make_fp(
+            "a", [(0.0, 0.0, 0.0), (50.0, 0.0, 2.0), (100.0, 0.0, 4.0)]
+        )
+        short = make_fp("b", [(0.0, 0.0, 0.0), (50_000.0, 0.0, 5_000.0)])
+        merged = merge_sample_arrays(long.data, short.data, 1, 1)
+        assert covers(merged, short.data)
+        assert covers(merged, long.data)
+
+
+class TestMergeFingerprints:
+    def test_counts_and_members_combine(self, toy_pair):
+        a, b = toy_pair
+        m = merge_fingerprints(a, b)
+        assert m.count == 2
+        assert set(m.members) == {"a", "b"}
+
+    def test_order_invariant_by_length(self, toy_pair):
+        a, b = toy_pair
+        m1 = merge_fingerprints(a, b)
+        m2 = merge_fingerprints(b, a)
+        np.testing.assert_allclose(m1.data, m2.data)
+
+    def test_merge_of_groups_accumulates_counts(self, toy_pair):
+        a, b = toy_pair
+        ab = merge_fingerprints(a, b)
+        c = make_fp("c", [(500.0, 500.0, 50.0)])
+        abc = merge_fingerprints(ab, c)
+        assert abc.count == 3
+        assert set(abc.members) == {"a", "b", "c"}
+
+    def test_custom_uid(self, toy_pair):
+        a, b = toy_pair
+        assert merge_fingerprints(a, b, uid="g0").uid == "g0"
+
+    def test_empty_rejected(self, toy_pair):
+        import numpy as np
+
+        from repro.core.fingerprint import Fingerprint
+
+        a, _ = toy_pair
+        empty = Fingerprint("e", np.empty((0, 6)))
+        with pytest.raises(ValueError):
+            merge_fingerprints(a, empty)
+
+
+class TestCovers:
+    def test_detects_uncovered(self):
+        merged = np.array([[0.0, 100.0, 0.0, 100.0, 0.0, 10.0]])
+        outside = np.array([[500.0, 100.0, 0.0, 100.0, 0.0, 1.0]])
+        assert not covers(merged, outside)
+
+    def test_accepts_exact_match(self):
+        data = np.array([[0.0, 100.0, 0.0, 100.0, 0.0, 10.0]])
+        assert covers(data, data)

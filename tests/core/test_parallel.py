@@ -1,0 +1,43 @@
+"""Tests for the multi-process pairwise substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import parallel_pairwise_matrix
+from repro.core.pairwise import pairwise_matrix
+
+
+class TestParallelMatrix:
+    def test_matches_sequential(self, small_civ):
+        fps = list(small_civ)[:20]
+        seq = pairwise_matrix(fps)
+        par = parallel_pairwise_matrix(fps, n_workers=2, block=4)
+        off = ~np.eye(len(fps), dtype=bool)
+        np.testing.assert_allclose(par[off], seq[off], atol=1e-12)
+        assert np.isinf(np.diag(par)).all()
+
+    def test_single_worker_fallback(self, small_civ):
+        fps = list(small_civ)[:8]
+        seq = pairwise_matrix(fps)
+        par = parallel_pairwise_matrix(fps, n_workers=1)
+        np.testing.assert_allclose(
+            np.where(np.isinf(par), -1, par), np.where(np.isinf(seq), -1, seq)
+        )
+
+    def test_tiny_input_fallback(self, small_civ):
+        fps = list(small_civ)[:3]
+        par = parallel_pairwise_matrix(fps, n_workers=4)
+        assert par.shape == (3, 3)
+        assert np.isfinite(par[0, 1])
+
+    def test_kgap_accepts_parallel_matrix(self, small_civ):
+        from repro.core.kgap import kgap
+
+        fps = list(small_civ)[:15]
+        from repro.core.dataset import FingerprintDataset
+
+        subset = FingerprintDataset(fps, name="sub")
+        matrix = parallel_pairwise_matrix(fps, n_workers=2)
+        result = kgap(subset, k=2, matrix=matrix)
+        reference = kgap(subset, k=2)
+        np.testing.assert_allclose(result.gaps, reference.gaps, atol=1e-12)

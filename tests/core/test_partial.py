@@ -1,0 +1,129 @@
+"""Tests for partial-fingerprint anonymization (paper Section 7 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GloveConfig
+from repro.core.dataset import FingerprintDataset
+from repro.core.partial import (
+    partial_glove,
+    time_window_model,
+    top_locations_model,
+)
+from tests.conftest import make_fp
+
+
+class TestKnowledgeModels:
+    def test_top_locations_mask(self):
+        fp = make_fp(
+            "a",
+            [
+                (0.0, 0.0, 0.0),
+                (0.0, 0.0, 10.0),
+                (500.0, 0.0, 20.0),
+                (900.0, 0.0, 30.0),
+            ],
+        )
+        mask = top_locations_model(1)(fp)
+        np.testing.assert_array_equal(mask, [True, True, False, False])
+
+    def test_top_locations_validation(self):
+        with pytest.raises(ValueError):
+            top_locations_model(0)
+
+    def test_time_window_mask(self):
+        fp = make_fp(
+            "a",
+            [
+                (0.0, 0.0, 8 * 60.0),     # 08:00 -> inside 8-18
+                (0.0, 0.0, 20 * 60.0),    # 20:00 -> outside
+                (0.0, 0.0, 24 * 60 + 9 * 60.0),  # next day 09:00 -> inside
+            ],
+        )
+        mask = time_window_model(8, 18)(fp)
+        np.testing.assert_array_equal(mask, [True, False, True])
+
+    def test_time_window_validation(self):
+        with pytest.raises(ValueError):
+            time_window_model(18, 8)
+        with pytest.raises(ValueError):
+            time_window_model(-1, 8)
+
+
+class TestPartialGlove:
+    def test_exposed_part_is_k_anonymous(self, small_civ):
+        result = partial_glove(small_civ, time_window_model(8, 18), GloveConfig(k=2))
+        assert result.exposed_result.dataset.is_k_anonymous(2)
+
+    def test_all_users_published(self, small_civ):
+        result = partial_glove(small_civ, time_window_model(8, 18), GloveConfig(k=2))
+        members = []
+        for fp in result.dataset:
+            members.extend(fp.members)
+        assert sorted(members) == sorted(small_civ.uids)
+
+    def test_hidden_samples_keep_original_granularity(self, small_civ):
+        model = time_window_model(8, 18)
+        result = partial_glove(small_civ, model, GloveConfig(k=2))
+        # Count original-granularity samples in the output: at least the
+        # unexposed ones survive untouched.
+        original_rows = 0
+        for fp in result.dataset:
+            original_rows += int(
+                ((fp.data[:, 1] == 100.0) & (fp.data[:, 5] == 1.0)).sum()
+            )
+        hidden_total = sum(
+            int((~model(fp)).sum()) for fp in small_civ
+        )
+        assert original_rows >= hidden_total * 0.9  # ties may generalize a few
+
+    def test_utility_beats_full_glove(self, small_civ):
+        """The whole point of the relaxation: more samples keep accuracy."""
+        from repro.analysis.accuracy import extent_accuracy
+        from repro.core.glove import glove
+
+        full = glove(small_civ, GloveConfig(k=2))
+        part = partial_glove(small_civ, time_window_model(9, 17), GloveConfig(k=2))
+        s_full, _ = extent_accuracy(full.dataset)
+        s_part, _ = extent_accuracy(part.dataset)
+        assert float(s_part(200.0)) >= float(s_full(200.0))
+
+    def test_exposed_fraction_reported(self, small_civ):
+        result = partial_glove(small_civ, time_window_model(0, 24), GloveConfig(k=2))
+        assert result.exposed_fraction == pytest.approx(1.0)
+
+    def test_rejects_grouped_input(self):
+        ds = FingerprintDataset(
+            [
+                make_fp("g", [(0.0, 0.0, 0.0)], count=2, members=("a", "b")),
+                make_fp("c", [(0.0, 0.0, 5.0)]),
+            ]
+        )
+        with pytest.raises(ValueError, match="per-subscriber"):
+            partial_glove(ds, time_window_model(0, 24))
+
+    def test_rejects_when_too_few_exposed(self):
+        ds = FingerprintDataset(
+            [
+                make_fp("a", [(0.0, 0.0, 30.0)]),       # 00:30, outside window
+                make_fp("b", [(0.0, 0.0, 10 * 60.0)]),  # inside
+                make_fp("c", [(0.0, 0.0, 45.0)]),       # outside
+            ]
+        )
+        with pytest.raises(ValueError, match="exposed"):
+            partial_glove(ds, time_window_model(8, 18), GloveConfig(k=2))
+
+    def test_users_without_exposure_pass_through(self):
+        ds = FingerprintDataset(
+            [
+                make_fp("a", [(0.0, 0.0, 10 * 60.0)]),
+                make_fp("b", [(10.0, 0.0, 11 * 60.0)]),
+                make_fp("night", [(0.0, 0.0, 2 * 60.0)]),
+            ]
+        )
+        result = partial_glove(ds, time_window_model(8, 18), GloveConfig(k=2))
+        assert result.n_users_without_exposure == 1
+        assert "night" in result.dataset
+        np.testing.assert_array_equal(
+            result.dataset["night"].data, ds["night"].data
+        )

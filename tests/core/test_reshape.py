@@ -1,0 +1,117 @@
+"""Tests for the reshaping pass (paper Fig. 6b)."""
+
+import numpy as np
+import pytest
+
+from repro.core.reshape import (
+    has_temporal_overlap,
+    reshape_fingerprint,
+    reshape_sample_array,
+)
+from repro.core.sample import DT, T
+from tests.conftest import make_fp
+
+
+def rows(*tuples):
+    """Rows as (x, dx, y, dy, t, dt)."""
+    return np.array(tuples, dtype=np.float64)
+
+
+class TestOverlapDetection:
+    def test_no_overlap(self):
+        data = rows((0, 100, 0, 100, 0, 10), (0, 100, 0, 100, 20, 10))
+        assert not has_temporal_overlap(data)
+
+    def test_touching_is_not_overlap(self):
+        data = rows((0, 100, 0, 100, 0, 10), (0, 100, 0, 100, 10, 10))
+        assert not has_temporal_overlap(data)
+
+    def test_partial_overlap(self):
+        data = rows((0, 100, 0, 100, 0, 10), (0, 100, 0, 100, 5, 10))
+        assert has_temporal_overlap(data)
+
+    def test_containment_overlap(self):
+        data = rows((0, 100, 0, 100, 0, 100), (0, 100, 0, 100, 10, 5))
+        assert has_temporal_overlap(data)
+
+    def test_unsorted_input(self):
+        data = rows((0, 100, 0, 100, 50, 10), (0, 100, 0, 100, 0, 100))
+        assert has_temporal_overlap(data)
+
+    def test_single_sample(self):
+        assert not has_temporal_overlap(rows((0, 100, 0, 100, 0, 10)))
+
+
+class TestReshape:
+    def test_merges_overlapping_run(self):
+        data = rows(
+            (0, 100, 0, 100, 0, 10),
+            (1000, 100, 0, 100, 5, 10),
+            (0, 100, 2000, 100, 12, 10),
+        )
+        out = reshape_sample_array(data)
+        assert out.shape[0] == 1
+        assert out[0, T] == 0.0
+        assert out[0, T] + out[0, DT] == 22.0
+
+    def test_keeps_disjoint_runs_separate(self):
+        data = rows(
+            (0, 100, 0, 100, 0, 10),
+            (1000, 100, 0, 100, 5, 10),  # overlaps the first
+            (0, 100, 0, 100, 100, 10),  # separate run
+        )
+        out = reshape_sample_array(data)
+        assert out.shape[0] == 2
+
+    def test_output_has_no_overlaps(self, rng):
+        t = rng.uniform(0, 500, 30)
+        dt = rng.uniform(1, 120, 30)
+        data = np.column_stack(
+            [
+                rng.uniform(0, 1e4, 30),
+                np.full(30, 100.0),
+                rng.uniform(0, 1e4, 30),
+                np.full(30, 100.0),
+                t,
+                dt,
+            ]
+        )
+        out = reshape_sample_array(data)
+        assert not has_temporal_overlap(out)
+
+    def test_idempotent(self, rng):
+        data = np.column_stack(
+            [
+                rng.uniform(0, 1e4, 20),
+                np.full(20, 100.0),
+                rng.uniform(0, 1e4, 20),
+                np.full(20, 100.0),
+                rng.uniform(0, 200, 20),
+                rng.uniform(1, 60, 20),
+            ]
+        )
+        once = reshape_sample_array(data)
+        twice = reshape_sample_array(once)
+        np.testing.assert_allclose(once, twice)
+
+    def test_preserves_non_overlapping(self):
+        data = rows((0, 100, 0, 100, 0, 10), (500, 100, 0, 100, 50, 10))
+        np.testing.assert_allclose(reshape_sample_array(data), data)
+
+
+class TestReshapeFingerprint:
+    def test_noop_returns_same_object(self):
+        fp = make_fp("a", [(0.0, 0.0, 0.0), (0.0, 0.0, 100.0)])
+        assert reshape_fingerprint(fp) is fp
+
+    def test_reshapes_overlapping(self):
+        fp = make_fp(
+            "a",
+            [
+                (0.0, 0.0, 0.0, 100.0, 100.0, 50.0),
+                (5000.0, 0.0, 25.0, 100.0, 100.0, 50.0),
+            ],
+        )
+        out = reshape_fingerprint(fp)
+        assert out.m == 1
+        assert out.count == fp.count

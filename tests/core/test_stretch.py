@@ -1,0 +1,188 @@
+"""Tests for the stretch-effort metric (paper Eq. 1-10)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import StretchConfig
+from repro.core.sample import Sample
+from repro.core.stretch import (
+    fingerprint_stretch,
+    left_right_stretch_1d,
+    matched_stretch_components,
+    phi_star_sigma,
+    phi_star_tau,
+    sample_stretch,
+    sample_stretch_components,
+    stretch_matrix,
+)
+from tests.conftest import make_fp
+
+
+class TestLeftRightStretch:
+    def test_disjoint(self):
+        # a = [0, 100], b = [300, 400]: a must stretch right by 300.
+        left, right = left_right_stretch_1d(0.0, 100.0, 300.0, 100.0)
+        assert (left, right) == (0.0, 300.0)
+
+    def test_partial_overlap(self):
+        left, right = left_right_stretch_1d(100.0, 100.0, 50.0, 100.0)
+        assert (left, right) == (50.0, 0.0)
+
+    def test_total_overlap_contained(self):
+        # b inside a: no stretch needed.
+        left, right = left_right_stretch_1d(0.0, 300.0, 100.0, 100.0)
+        assert (left, right) == (0.0, 0.0)
+
+    def test_container_needs_both_sides(self):
+        # a inside b: a stretches on both sides.
+        left, right = left_right_stretch_1d(100.0, 100.0, 0.0, 300.0)
+        assert (left, right) == (100.0, 100.0)
+
+
+class TestPhiStar:
+    def test_identical_samples_zero(self):
+        s = Sample(x=0.0, y=0.0, t=0.0)
+        assert phi_star_sigma(s, s) == 0.0
+        assert phi_star_tau(s, s) == 0.0
+
+    def test_spatial_is_symmetric_for_equal_counts(self):
+        a = Sample(x=0.0, y=0.0, t=0.0)
+        b = Sample(x=500.0, y=300.0, t=0.0)
+        assert phi_star_sigma(a, b) == phi_star_sigma(b, a)
+
+    def test_spatial_value_disjoint(self):
+        # a at [0,100], b at [900,1000] on x; same y.  Each must stretch
+        # 900 on x; weighted mean with n_a = n_b = 1 is 900.
+        a = Sample(x=0.0, y=0.0, t=0.0)
+        b = Sample(x=900.0, y=0.0, t=0.0)
+        assert phi_star_sigma(a, b) == pytest.approx(900.0)
+
+    def test_temporal_value(self):
+        a = Sample(x=0.0, y=0.0, t=0.0)  # [0, 1]
+        b = Sample(x=0.0, y=0.0, t=60.0)  # [60, 61]
+        assert phi_star_tau(a, b) == pytest.approx(60.0)
+
+    def test_count_weighting(self):
+        # With n_a = 3, n_b = 1, the stretch of a's sample dominates.
+        a = Sample(x=0.0, y=0.0, t=0.0, dx=100.0)
+        b = Sample(x=0.0, y=0.0, t=0.0, dx=500.0)  # covers a's x range
+        # a->b stretch: (500-100) = 400 on x; b->a stretch: 0.
+        assert phi_star_sigma(a, b, n_a=3, n_b=1) == pytest.approx(400.0 * 0.75)
+        assert phi_star_sigma(a, b, n_a=1, n_b=3) == pytest.approx(400.0 * 0.25)
+
+
+class TestSampleStretch:
+    def test_range(self):
+        a = Sample(x=0.0, y=0.0, t=0.0)
+        far = Sample(x=1e6, y=1e6, t=1e5)
+        assert sample_stretch(a, a) == 0.0
+        assert sample_stretch(a, far) == 1.0  # saturated in both axes
+
+    def test_saturation_thresholds(self):
+        cfg = StretchConfig()
+        a = Sample(x=0.0, y=0.0, t=0.0)
+        # Exactly the spatial threshold away (union extent minus own
+        # extents saturates phi_sigma at 1): contributes w_sigma = 0.5.
+        b = Sample(x=cfg.phi_max_sigma_m + 100.0, y=0.0, t=0.0)
+        assert sample_stretch(a, b) == pytest.approx(0.5)
+
+    def test_equivalence_points(self):
+        # The paper's footnote 3: the phi_max ratio makes a ~0.5 km
+        # spatial stretch weigh the same as a ~15 min temporal one.
+        # Exact exchange rate: 20 km / 480 min, so 625 m <-> 15 min.
+        a = Sample(x=0.0, y=0.0, t=0.0)
+        spatial = Sample(x=625.0, y=0.0, t=0.0)  # raw x-stretch of 625 m
+        temporal = Sample(x=0.0, y=0.0, t=15.0)  # raw t-stretch of 15 min
+        ds = sample_stretch(a, spatial)
+        dt = sample_stretch(a, temporal)
+        assert ds == pytest.approx(dt, abs=1e-12)
+
+    def test_components_sum_to_total(self):
+        a = Sample(x=0.0, y=0.0, t=0.0)
+        b = Sample(x=3000.0, y=500.0, t=100.0)
+        s, t = sample_stretch_components(a, b)
+        assert s + t == pytest.approx(sample_stretch(a, b))
+        assert s > 0 and t > 0
+
+
+class TestStretchMatrix:
+    def test_matches_scalar_reference(self, toy_pair, rng):
+        a, b = toy_pair
+        mat = stretch_matrix(a.data, b.data)
+        for i in range(a.m):
+            for j in range(b.m):
+                expected = sample_stretch(a[i], b[j])
+                assert mat[i, j] == pytest.approx(expected, abs=1e-12)
+
+    def test_matches_scalar_with_counts(self, toy_pair):
+        a, b = toy_pair
+        mat = stretch_matrix(a.data, b.data, n_a=4, n_b=2)
+        for i in range(a.m):
+            for j in range(b.m):
+                expected = sample_stretch(a[i], b[j], n_a=4, n_b=2)
+                assert mat[i, j] == pytest.approx(expected, abs=1e-12)
+
+    def test_components_decompose(self, toy_pair):
+        a, b = toy_pair
+        delta, spatial, temporal = stretch_matrix(a.data, b.data, components=True)
+        np.testing.assert_allclose(delta, spatial + temporal)
+
+    def test_random_samples_in_unit_range(self, rng):
+        a = np.column_stack(
+            [
+                rng.uniform(0, 1e5, 20),
+                np.full(20, 100.0),
+                rng.uniform(0, 1e5, 20),
+                np.full(20, 100.0),
+                rng.uniform(0, 1e4, 20),
+                np.full(20, 1.0),
+            ]
+        )
+        b = a[rng.permutation(20)][:10]
+        mat = stretch_matrix(a, b)
+        assert (mat >= 0).all() and (mat <= 1).all()
+
+
+class TestFingerprintStretch:
+    def test_identical_fingerprints_zero(self, toy_pair):
+        a, _ = toy_pair
+        assert fingerprint_stretch(a.data, a.data) == 0.0
+
+    def test_symmetry(self, toy_pair):
+        a, b = toy_pair
+        assert fingerprint_stretch(a.data, b.data) == pytest.approx(
+            fingerprint_stretch(b.data, a.data)
+        )
+
+    def test_averages_over_longer(self, toy_pair):
+        a, b = toy_pair  # a has 3 samples, b has 2
+        mat = stretch_matrix(a.data, b.data)
+        expected = mat.min(axis=1).mean()
+        assert fingerprint_stretch(a.data, b.data) == pytest.approx(expected)
+
+    def test_empty_rejected(self, toy_pair):
+        a, _ = toy_pair
+        with pytest.raises(ValueError):
+            fingerprint_stretch(a.data, np.empty((0, 6)))
+
+    def test_subset_fingerprint_has_zero_stretch(self):
+        # Every sample of the shorter fingerprint also appears in the
+        # longer one: min-matching finds the identical sample.
+        long = make_fp("a", [(0.0, 0.0, 0.0), (10.0, 0.0, 10.0), (20.0, 0.0, 20.0)])
+        short = make_fp("b", [(0.0, 0.0, 0.0), (10.0, 0.0, 10.0)])
+        assert fingerprint_stretch(long.data, short.data) == pytest.approx(
+            stretch_matrix(long.data, short.data).min(axis=1).mean()
+        )
+
+
+class TestMatchedComponents:
+    def test_lengths_follow_longer(self, toy_pair):
+        a, b = toy_pair
+        d, s, t = matched_stretch_components(a.data, b.data)
+        assert d.shape == (max(a.m, b.m),)
+        np.testing.assert_allclose(d, s + t)
+
+    def test_mean_equals_fingerprint_stretch(self, toy_pair):
+        a, b = toy_pair
+        d, _, _ = matched_stretch_components(a.data, b.data)
+        assert d.mean() == pytest.approx(fingerprint_stretch(a.data, b.data))

@@ -1,0 +1,119 @@
+"""Tests for sample suppression (paper Section 7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SuppressionConfig
+from repro.core.dataset import FingerprintDataset
+from repro.core.suppression import (
+    suppress_dataset,
+    suppress_fingerprint,
+    suppression_mask,
+)
+from tests.conftest import make_fp
+
+
+def fp_with_extents(uid, extents):
+    """Fingerprint whose samples have the given (dx, dy, dt) extents."""
+    rows = [
+        (float(i * 1e5), float(i * 1e5), float(i * 1e4), dx, dy, dt)
+        for i, (dx, dy, dt) in enumerate(extents)
+    ]
+    return make_fp(uid, rows)
+
+
+class TestMask:
+    def test_spatial_threshold_on_either_axis(self):
+        fp = fp_with_extents(
+            "a", [(100.0, 100.0, 1.0), (100.0, 9_000.0, 1.0), (9_000.0, 100.0, 1.0)]
+        )
+        cfg = SuppressionConfig(spatial_threshold_m=5_000.0)
+        np.testing.assert_array_equal(
+            suppression_mask(fp.data, cfg), [True, False, False]
+        )
+
+    def test_temporal_threshold(self):
+        fp = fp_with_extents("a", [(100.0, 100.0, 30.0), (100.0, 100.0, 600.0)])
+        cfg = SuppressionConfig(temporal_threshold_min=360.0)
+        np.testing.assert_array_equal(suppression_mask(fp.data, cfg), [True, False])
+
+    def test_thresholds_inclusive(self):
+        fp = fp_with_extents("a", [(5_000.0, 100.0, 360.0)])
+        cfg = SuppressionConfig(spatial_threshold_m=5_000.0, temporal_threshold_min=360.0)
+        assert suppression_mask(fp.data, cfg).all()
+
+    def test_disabled_config_keeps_all(self):
+        fp = fp_with_extents("a", [(1e6, 1e6, 1e5)])
+        assert suppression_mask(fp.data, SuppressionConfig()).all()
+
+
+class TestSuppressFingerprint:
+    def test_noop_when_disabled(self):
+        fp = fp_with_extents("a", [(1e6, 1e6, 1e5)])
+        assert suppress_fingerprint(fp, SuppressionConfig()) is fp
+
+    def test_drops_only_over_threshold(self):
+        fp = fp_with_extents("a", [(100.0, 100.0, 1.0), (9e4, 100.0, 1.0)])
+        out = suppress_fingerprint(fp, SuppressionConfig(spatial_threshold_m=1e4))
+        assert out.m == 1
+
+    def test_keep_at_least_one_retains_best(self):
+        fp = fp_with_extents("a", [(6e4, 100.0, 1.0), (2e4, 100.0, 1.0)])
+        out = suppress_fingerprint(fp, SuppressionConfig(spatial_threshold_m=1e4))
+        assert out.m == 1
+        assert out.data[0, 1] == 2e4  # the least-stretched survivor
+
+    def test_keep_at_least_one_disabled(self):
+        fp = fp_with_extents("a", [(6e4, 100.0, 1.0)])
+        cfg = SuppressionConfig(spatial_threshold_m=1e4, keep_at_least_one=False)
+        out = suppress_fingerprint(fp, cfg)
+        assert out.m == 0
+
+
+class TestSuppressDataset:
+    def test_stats_counts(self):
+        ds = FingerprintDataset(
+            [
+                fp_with_extents("a", [(100.0, 100.0, 1.0), (9e4, 100.0, 1.0)]),
+                fp_with_extents("b", [(100.0, 100.0, 1.0)]),
+            ]
+        )
+        cfg = SuppressionConfig(spatial_threshold_m=1e4)
+        out, stats = suppress_dataset(ds, cfg)
+        assert stats.total_samples == 3
+        assert stats.discarded_samples == 1
+        assert stats.discarded_fingerprints == 0
+        assert stats.discarded_fraction == pytest.approx(1 / 3)
+        assert out.n_samples == 2
+
+    def test_fully_suppressed_fingerprint_dropped_without_safeguard(self):
+        ds = FingerprintDataset([fp_with_extents("a", [(9e4, 100.0, 1.0)])])
+        cfg = SuppressionConfig(spatial_threshold_m=1e4, keep_at_least_one=False)
+        out, stats = suppress_dataset(ds, cfg)
+        assert len(out) == 0
+        assert stats.discarded_fingerprints == 1
+
+    def test_safeguard_keeps_fingerprint(self):
+        ds = FingerprintDataset([fp_with_extents("a", [(9e4, 100.0, 1.0)])])
+        cfg = SuppressionConfig(spatial_threshold_m=1e4)
+        out, stats = suppress_dataset(ds, cfg)
+        assert len(out) == 1
+        assert stats.discarded_fingerprints == 0
+
+    def test_disabled_config_passthrough(self, toy_dataset):
+        out, stats = suppress_dataset(toy_dataset, SuppressionConfig())
+        assert out.n_samples == toy_dataset.n_samples
+        assert stats.discarded_samples == 0
+
+
+class TestConfigValidation:
+    def test_rejects_non_positive_thresholds(self):
+        with pytest.raises(ValueError):
+            SuppressionConfig(spatial_threshold_m=0.0)
+        with pytest.raises(ValueError):
+            SuppressionConfig(temporal_threshold_min=-5.0)
+
+    def test_enabled_flag(self):
+        assert not SuppressionConfig().enabled
+        assert SuppressionConfig(spatial_threshold_m=1.0).enabled
+        assert SuppressionConfig(temporal_threshold_min=1.0).enabled

@@ -1,0 +1,82 @@
+"""Tests for report artifacts and ASCII plotting."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.experiments.artifacts import load_report_data, save_report
+from repro.experiments.ascii_plot import ascii_cdf, ascii_series
+from repro.experiments.report import ExperimentReport
+
+
+class TestArtifacts:
+    def make_report(self):
+        report = ExperimentReport(exp_id="figX", title="demo", paper_claim="c")
+        report.add_text("hello")
+        report.data["scalar"] = 1.5
+        report.data["array"] = np.array([1.0, 2.0])
+        report.data[("tuple", "key")] = {"nested": np.int64(3)}
+        return report
+
+    def test_save_and_load(self, tmp_path):
+        paths = save_report(self.make_report(), tmp_path)
+        assert paths["txt"].exists()
+        assert paths["json"].exists()
+        assert "hello" in paths["txt"].read_text()
+        data = load_report_data(paths["json"])
+        assert data["exp_id"] == "figX"
+        assert data["data"]["scalar"] == 1.5
+        assert data["data"]["array"] == [1.0, 2.0]
+        assert data["data"]["tuple/key"]["nested"] == 3
+
+    def test_json_is_valid(self, tmp_path):
+        paths = save_report(self.make_report(), tmp_path)
+        json.loads(paths["json"].read_text())  # must not raise
+
+    def test_directory_created(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        save_report(self.make_report(), target)
+        assert (target / "figX.txt").exists()
+
+
+class TestAsciiCDF:
+    def test_renders_curve(self, rng):
+        cdf = EmpiricalCDF(rng.uniform(0, 10, 200))
+        panel = ascii_cdf({"u": cdf}, width=40, height=10)
+        assert "o" in panel
+        assert "u" in panel.splitlines()[-1]  # legend
+
+    def test_multiple_curves_distinct_marks(self, rng):
+        c1 = EmpiricalCDF(rng.uniform(0, 1, 100))
+        c2 = EmpiricalCDF(rng.uniform(0, 2, 100))
+        panel = ascii_cdf({"a": c1, "b": c2}, width=40, height=10)
+        assert "o" in panel and "+" in panel
+
+    def test_log_scale(self, rng):
+        cdf = EmpiricalCDF(rng.lognormal(0, 2, 500))
+        panel = ascii_cdf({"x": cdf}, log_x=True, width=40, height=8)
+        assert panel.count("\n") >= 8
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            ascii_cdf({})
+        with pytest.raises(ValueError):
+            ascii_cdf({"x": EmpiricalCDF([1.0])}, width=4, height=2)
+
+
+class TestAsciiSeries:
+    def test_renders(self):
+        panel = ascii_series(
+            [0, 1, 2, 3],
+            {"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]},
+            width=30,
+            height=8,
+        )
+        assert "o" in panel and "+" in panel
+        assert "up" in panel and "down" in panel
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            ascii_series([1], {"x": [1]})

@@ -1,0 +1,104 @@
+"""Detailed data-shape tests of individual experiment modules.
+
+The smoke tests check headline claims; these verify the structured
+``data`` payloads each module exposes (the contract the benchmarks and
+EXPERIMENTS.md rely on).
+"""
+
+import pytest
+
+from repro.baselines.generalization import PAPER_LEVELS
+from repro.experiments import fig3, fig4, fig9, fig10, fig11, table2
+
+N = 30
+DAYS = 2
+SEED = 7
+
+
+class TestFig3Payload:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return fig3.run(n_users=N, days=DAYS, seed=SEED, ks=(2, 5))
+
+    def test_keys(self, report):
+        assert set(report.data) >= {
+            "median_gap",
+            "fraction_2anonymous",
+            "median_gap_by_k",
+            "gap_growth_factor",
+            "k_growth_factor",
+        }
+
+    def test_median_by_k_sorted(self, report):
+        by_k = report.data["median_gap_by_k"]
+        ks = sorted(by_k)
+        assert all(by_k[a] <= by_k[b] + 1e-12 for a, b in zip(ks, ks[1:]))
+
+    def test_sections_render(self, report):
+        text = report.render()
+        assert "Fig.3a" in text and "Fig.3b" in text
+
+
+class TestFig4Payload:
+    def test_every_level_reported(self):
+        report = fig4.run(n_users=N, days=DAYS, seed=SEED)
+        labels = {label for (_, label) in report.data["anonymized_fraction"]}
+        assert labels == {lvl.label for lvl in PAPER_LEVELS}
+
+
+class TestFig9Payload:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return fig9.run(n_users=N, days=DAYS, seed=SEED)
+
+    def test_sweep_lengths(self, report):
+        assert len(report.data["spatial_sweep"]) == len(fig9.SPATIAL_SWEEP_M)
+        assert len(report.data["temporal_sweep"]) == len(fig9.TEMPORAL_SWEEP_MIN)
+
+    def test_thresholds_recorded(self, report):
+        thresholds = [p["threshold_m"] for p in report.data["spatial_sweep"]]
+        assert thresholds == sorted(thresholds)
+
+    def test_baseline_present(self, report):
+        baseline = report.data["baseline"]
+        assert baseline["mean_spatial_m"] >= baseline["median_spatial_m"] * 0.1
+
+
+class TestFig10Payload:
+    def test_series_days_sorted(self):
+        report = fig10.run(n_users=N, days=3, seed=SEED, timespans=(1, 3))
+        for preset in ("synth-civ", "synth-sen"):
+            days = [s["days"] for s in report.data[preset]]
+            assert days == sorted(days)
+
+    def test_timespans_clamped_to_days(self):
+        report = fig10.run(n_users=N, days=2, seed=SEED, timespans=(1, 99))
+        for preset in ("synth-civ", "synth-sen"):
+            assert max(s["days"] for s in report.data[preset]) <= 2
+
+
+class TestFig11Payload:
+    def test_user_counts_scale_with_fraction(self):
+        report = fig11.run(n_users=N, days=DAYS, seed=SEED, fractions=(0.5, 1.0))
+        for preset in ("synth-civ", "synth-sen"):
+            series = {s["fraction"]: s["n_users"] for s in report.data[preset]}
+            assert series[0.5] <= series[1.0]
+
+
+class TestTable2Payload:
+    def test_rows_for_every_cell(self):
+        report = table2.run(
+            n_users=N, days=DAYS, seed=SEED, presets=("dakar",), ks=(2,)
+        )
+        results = report.data["results"]
+        assert set(results) == {(2, "dakar")}
+        for rows in results.values():
+            assert set(rows) == {"w4m", "glove"}
+            for method in rows.values():
+                assert {
+                    "discarded_fingerprints",
+                    "created_samples",
+                    "deleted_samples",
+                    "mean_position_error_m",
+                    "mean_time_error_min",
+                } <= set(method)

@@ -1,0 +1,185 @@
+"""Smoke tests: every experiment runs at reduced scale and exhibits the
+paper's qualitative findings.
+
+Scale note: these use tiny populations (tens of users) so that the
+whole suite stays fast; the benchmarks run the same experiments at the
+scale recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig3,
+    fig4,
+    fig5,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table2,
+)
+from repro.experiments.runner import EXPERIMENTS, build_parser
+
+N = 36
+DAYS = 2
+SEED = 11
+
+
+class TestFig3:
+    def test_no_user_2_anonymous(self):
+        report = fig3.run(n_users=N, days=DAYS, seed=SEED, ks=(2, 5, 10))
+        for preset, frac in report.data["fraction_2anonymous"].items():
+            assert frac == 0.0, preset
+
+    def test_gap_sublinear_in_k(self):
+        report = fig3.run(n_users=N, days=DAYS, seed=SEED, ks=(2, 5, 10))
+        assert report.data["gap_growth_factor"] < report.data["k_growth_factor"]
+
+
+class TestFig4:
+    def test_generalization_fails(self):
+        report = fig4.run(n_users=N, days=DAYS, seed=SEED)
+        # Even the coarsest level leaves the majority unique.
+        assert report.data["coarsest_anonymized_fraction"] < 0.6
+        # The finest level anonymizes nobody.
+        for (preset, label), frac in report.data["anonymized_fraction"].items():
+            if label == "0.1-1":
+                assert frac == 0.0
+
+
+class TestFig5:
+    def test_temporal_dominates(self):
+        # At this toy scale spatial stretches are inflated (few users
+        # over a whole country), so the dominance threshold is relaxed;
+        # the fig5 benchmark asserts >60% at full scale.
+        report = fig5.run(n_users=N, days=DAYS, seed=SEED)
+        for preset, frac in report.data["temporal_dominant_fraction"].items():
+            assert frac > 0.4, preset
+
+    def test_temporal_tail_heavier(self):
+        report = fig5.run(n_users=N, days=DAYS, seed=SEED)
+        assert (
+            report.data["twi_median"]["temporal"] > report.data["twi_median"]["spatial"]
+        )
+
+
+class TestFig7:
+    def test_everyone_anonymized_with_accuracy(self):
+        report = fig7.run(n_users=N, days=DAYS, seed=SEED)
+        for preset in ("synth-civ", "synth-sen"):
+            assert report.data[preset]["k_anonymous"]
+            # Scale-relaxed: the fig7 benchmark asserts >0.15 at its
+            # larger population.
+            assert report.data[preset]["frac_original_spatial"] > 0.05
+
+
+class TestFig8:
+    def test_monotone_degradation(self):
+        report = fig8.run(n_users=N, days=DAYS, seed=SEED, ks=(2, 3, 5))
+        per_k = report.data["per_k"]
+        assert all(v["k_anonymous"] for v in per_k.values())
+        assert (
+            per_k[2]["frac_original_spatial"]
+            >= per_k[3]["frac_original_spatial"]
+            >= per_k[5]["frac_original_spatial"]
+        )
+
+
+class TestFig9:
+    def test_suppression_improves_accuracy(self):
+        report = fig9.run(n_users=N, days=DAYS, seed=SEED)
+        baseline = report.data["baseline"]["mean_spatial_m"]
+        tightest = report.data["spatial_sweep"][0]
+        assert tightest["mean_m"] <= baseline
+        # Tighter thresholds discard more.
+        fracs = [p["discarded_fraction"] for p in report.data["spatial_sweep"]]
+        assert all(a >= b - 1e-12 for a, b in zip(fracs, fracs[1:]))
+
+    def test_temporal_sweep_monotone(self):
+        report = fig9.run(n_users=N, days=DAYS, seed=SEED)
+        fracs = [p["discarded_fraction"] for p in report.data["temporal_sweep"]]
+        assert all(a >= b - 1e-12 for a, b in zip(fracs, fracs[1:]))
+
+
+class TestFig10:
+    def test_shorter_more_accurate(self):
+        report = fig10.run(n_users=N, days=4, seed=SEED, timespans=(1, 4))
+        for preset in ("synth-civ", "synth-sen"):
+            series = report.data[preset]
+            assert series[0]["median_spatial_m"] <= series[-1]["median_spatial_m"] * 1.5
+
+
+class TestFig11:
+    def test_small_fraction_less_accurate(self):
+        report = fig11.run(n_users=N, days=DAYS, seed=SEED, fractions=(0.25, 1.0))
+        for preset in ("synth-civ", "synth-sen"):
+            series = {s["fraction"]: s for s in report.data[preset]}
+            # Thinner crowds cannot be *more* accurate (tolerate noise).
+            assert (
+                series[0.25]["median_spatial_m"]
+                >= series[1.0]["median_spatial_m"] * 0.5
+            )
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return table2.run(
+            n_users=N, days=DAYS, seed=SEED, presets=("synth-civ", "dakar"), ks=(2,)
+        )
+
+    def test_glove_truthfulness_columns(self, report):
+        for (k, preset), rows in report.data["results"].items():
+            assert rows["glove"]["created_samples"] == 0
+            assert rows["glove"]["discarded_fingerprints"] == 0
+
+    def test_w4m_fabricates_samples(self, report):
+        for rows in report.data["results"].values():
+            assert rows["w4m"]["created_fraction"] > 0.05
+            assert rows["w4m"]["discarded_fingerprints"] > 0
+
+    def test_glove_wins_time_accuracy(self, report):
+        for rows in report.data["results"].values():
+            assert (
+                rows["glove"]["mean_time_error_min"]
+                < rows["w4m"]["mean_time_error_min"]
+            )
+
+    def test_glove_wins_position_accuracy_countrywide(self, report):
+        # The citywide spatial margin needs full scale (see benchmarks);
+        # countrywide the ordering already holds at smoke scale.
+        rows = report.data["results"][(2, "synth-civ")]
+        assert (
+            rows["glove"]["mean_position_error_m"]
+            < rows["w4m"]["mean_position_error_m"]
+        )
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "table2",
+            "utility",
+            "stability",
+            "uniqueness",
+            "ablation-weights",
+        }
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.n_users == 150
+        assert sorted(args.experiments) == sorted(EXPERIMENTS)
+
+    def test_parser_subset(self):
+        args = build_parser().parse_args(["-e", "fig3", "-n", "10"])
+        assert args.experiments == ["fig3"]
+        assert args.n_users == 10

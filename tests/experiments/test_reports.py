@@ -1,0 +1,51 @@
+"""Tests for report formatting."""
+
+import numpy as np
+
+from repro.experiments.report import (
+    ExperimentReport,
+    fmt,
+    format_cdf_series,
+    format_table,
+)
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2], [33, 4]], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5  # title, header, sep, 2 rows
+
+    def test_cdf_series(self):
+        text = format_cdf_series("label", [0.0, 1.0], [0.5, 1.0], x_name="gap")
+        assert "label" in text
+        assert "gap" in text
+        assert "0.500" in text
+
+    def test_fmt_integers(self):
+        assert fmt(5) == "5"
+        assert fmt(np.int64(7)) == "7"
+
+    def test_fmt_floats(self):
+        assert fmt(0.0) == "0"
+        assert fmt(1234.5) == "1,234"
+        assert fmt(0.123456) == "0.123"
+
+
+class TestExperimentReport:
+    def test_render_structure(self):
+        report = ExperimentReport(exp_id="figX", title="demo", paper_claim="c")
+        report.add_table(["h"], [[1]])
+        report.add_cdf("cdf", [0.0], [1.0])
+        report.add_text("note")
+        text = report.render()
+        assert text.startswith("== figX: demo ==")
+        assert "paper claim: c" in text
+        assert "note" in text
+
+    def test_data_dict(self):
+        report = ExperimentReport(exp_id="x", title="t", paper_claim="c")
+        report.data["key"] = 1
+        assert report.data["key"] == 1

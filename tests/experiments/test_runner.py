@@ -1,0 +1,46 @@
+"""Tests for the glove-repro experiment runner."""
+
+import io
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, build_parser, run_experiments
+
+
+class TestRunExperiments:
+    def test_runs_and_prints(self, tmp_path):
+        stream = io.StringIO()
+        reports = run_experiments(
+            ["fig4"], n_users=24, days=1, seed=3, stream=stream
+        )
+        assert "fig4" in reports
+        out = stream.getvalue()
+        assert "uniform spatiotemporal generalization" in out
+        assert "completed in" in out
+
+    def test_saves_artifacts(self, tmp_path):
+        stream = io.StringIO()
+        run_experiments(
+            ["fig4"], n_users=24, days=1, seed=3, stream=stream, output=str(tmp_path)
+        )
+        assert (tmp_path / "fig4.txt").exists()
+        assert (tmp_path / "fig4.json").exists()
+        assert "artifacts:" in stream.getvalue()
+
+    def test_every_registered_experiment_accepts_standard_args(self):
+        # The registry contract: every run() takes (n_users, days, seed).
+        import inspect
+
+        for name, fn in EXPERIMENTS.items():
+            params = inspect.signature(fn).parameters
+            assert {"n_users", "days", "seed"} <= set(params), name
+
+
+class TestParser:
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["-e", "fig99"])
+
+    def test_output_flag(self):
+        args = build_parser().parse_args(["-o", "somewhere"])
+        assert args.output == "somewhere"

@@ -1,0 +1,17 @@
+"""Smoke test of the seed-stability experiment."""
+
+from repro.experiments import stability
+
+
+class TestStability:
+    def test_claims_hold_across_draws(self):
+        report = stability.run(n_users=30, days=2, seed=3, n_seeds=3)
+        assert report.data["always_nonanonymous"]
+        assert len(report.data["median_2gap"]["values"]) == 3
+        ci = report.data["median_2gap"]
+        assert ci["ci_low"] <= ci["mean"] <= ci["ci_high"]
+
+    def test_report_renders(self):
+        report = stability.run(n_users=30, days=2, seed=3, n_seeds=2)
+        text = report.render()
+        assert "independent dataset draws" in text

@@ -1,0 +1,45 @@
+"""Smoke tests of the uniqueness and metric-ablation experiments."""
+
+from repro.experiments import ablation_weights, uniqueness
+
+
+class TestUniquenessExperiment:
+    def test_paper_shapes(self):
+        report = uniqueness.run(
+            n_users=36, days=2, seed=11, point_counts=(1, 4), location_counts=(1, 3)
+        )
+        points = report.data["random_points"]
+        # More knowledge -> more uniqueness (weakly monotone).
+        assert points[4]["raw_unique"] >= points[1]["raw_unique"]
+        # A handful of points is near-total identification ([6]).
+        assert points[4]["raw_unique"] > 0.8
+        # Top locations identify a meaningful share ([5]).
+        locs = report.data["top_locations"]
+        assert locs[3]["raw_unique"] > 0.2
+
+    def test_glove_blocks_everything(self):
+        report = uniqueness.run(
+            n_users=36, days=2, seed=11, point_counts=(4,), location_counts=(3,)
+        )
+        assert report.data["glove_never_identified"]
+
+
+class TestMetricAblation:
+    def test_uniqueness_robust_across_variants(self):
+        report = ablation_weights.run(n_users=30, days=2, seed=11)
+        assert report.data["uniqueness_robust"]
+
+    def test_time_skew_raises_dominance(self):
+        report = ablation_weights.run(n_users=30, days=2, seed=11)
+        variants = report.data["variants"]
+        # Skewing the exchange rate toward space (tiny phimax_sigma)
+        # must lower the temporal share relative to the time-skewed
+        # variant, by construction of the metric.
+        assert (
+            variants["time-skewed rate"]["temporal_dominance"]
+            >= variants["space-skewed rate"]["temporal_dominance"]
+        )
+
+    def test_all_variants_evaluated(self):
+        report = ablation_weights.run(n_users=30, days=2, seed=11)
+        assert len(report.data["variants"]) == len(ablation_weights.VARIANTS)

@@ -1,0 +1,26 @@
+"""Smoke test of the Section 2.4 utility experiment."""
+
+from repro.experiments import utility_eval
+
+
+class TestUtilityExperiment:
+    def test_runs_and_reports(self):
+        report = utility_eval.run(n_users=36, days=2, seed=11)
+        comparison = report.data["comparison"]
+        assert set(comparison) == {
+            "home_median_displacement_m",
+            "work_median_displacement_m",
+            "od_cosine",
+            "density_cosine",
+            "entropy_correlation",
+            "od_intrazonal_original",
+            "od_intrazonal_anonymized",
+        }
+        assert 0.0 <= comparison["od_cosine"] <= 1.0
+        assert 0.0 <= comparison["density_cosine"] <= 1.0
+        text = report.render()
+        assert "original vs anonymized" in text
+
+    def test_density_preserved_at_smoke_scale(self):
+        report = utility_eval.run(n_users=36, days=2, seed=11)
+        assert report.data["comparison"]["density_cosine"] > 0.5

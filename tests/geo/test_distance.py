@@ -1,0 +1,39 @@
+"""Tests for distance helpers."""
+
+import numpy as np
+import pytest
+
+from repro.geo.distance import euclidean_m, haversine_m
+from repro.geo.projection import EARTH_RADIUS_M
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(7.5, -5.5, 7.5, -5.5) == 0.0
+
+    def test_one_degree_latitude(self):
+        d = haversine_m(0.0, 0.0, 1.0, 0.0)
+        assert d == pytest.approx(np.pi * EARTH_RADIUS_M / 180.0, rel=1e-9)
+
+    def test_quarter_circumference(self):
+        d = haversine_m(0.0, 0.0, 90.0, 0.0)
+        assert d == pytest.approx(np.pi * EARTH_RADIUS_M / 2.0, rel=1e-9)
+
+    def test_symmetry(self):
+        assert haversine_m(3.0, 4.0, 8.0, -2.0) == pytest.approx(
+            haversine_m(8.0, -2.0, 3.0, 4.0)
+        )
+
+    def test_array_broadcast(self):
+        d = haversine_m(0.0, 0.0, np.array([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert d.shape == (2,)
+        assert d[1] > d[0]
+
+
+class TestEuclidean:
+    def test_pythagoras(self):
+        assert euclidean_m(0.0, 0.0, 3.0, 4.0) == 5.0
+
+    def test_array(self):
+        d = euclidean_m(np.zeros(3), np.zeros(3), np.array([1.0, 2.0, 3.0]), np.zeros(3))
+        np.testing.assert_array_equal(d, [1.0, 2.0, 3.0])

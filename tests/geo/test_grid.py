@@ -1,0 +1,80 @@
+"""Tests for the regular-grid discretization."""
+
+import numpy as np
+import pytest
+
+from repro.geo.grid import Grid
+
+
+class TestSnap:
+    def test_snap_scalar(self):
+        grid = Grid(cell_size=100.0)
+        assert grid.snap(151.0, 99.9) == (100.0, 0.0)
+
+    def test_snap_negative_coordinates(self):
+        grid = Grid(cell_size=100.0)
+        assert grid.snap(-1.0, -101.0) == (-100.0, -200.0)
+
+    def test_snap_exact_boundary(self):
+        grid = Grid(cell_size=100.0)
+        assert grid.snap(200.0, 300.0) == (200.0, 300.0)
+
+    def test_snap_array(self):
+        grid = Grid(cell_size=100.0)
+        gx, gy = grid.snap(np.array([0.0, 155.0]), np.array([99.0, 201.0]))
+        np.testing.assert_array_equal(gx, [0.0, 100.0])
+        np.testing.assert_array_equal(gy, [0.0, 200.0])
+
+    def test_snap_with_origin(self):
+        grid = Grid(cell_size=100.0, origin=(50.0, 50.0))
+        assert grid.snap(149.0, 149.0) == (50.0, 50.0)
+        assert grid.snap(151.0, 150.0) == (150.0, 150.0)
+
+    def test_snap_idempotent(self, rng):
+        grid = Grid(cell_size=250.0)
+        x, y = rng.uniform(-1e6, 1e6, 100), rng.uniform(-1e6, 1e6, 100)
+        gx, gy = grid.snap(x, y)
+        gx2, gy2 = grid.snap(gx, gy)
+        np.testing.assert_array_equal(gx, gx2)
+        np.testing.assert_array_equal(gy, gy2)
+
+
+class TestCellIndex:
+    def test_index_scalar(self):
+        grid = Grid(cell_size=100.0)
+        assert grid.cell_index(250.0, -50.0) == (2, -1)
+
+    def test_center_roundtrip(self):
+        grid = Grid(cell_size=100.0)
+        cx, cy = grid.cell_center(3, 7)
+        assert (cx, cy) == (350.0, 750.0)
+        assert grid.cell_index(cx, cy) == (3, 7)
+
+
+class TestCoarsen:
+    def test_coarsen_multiplies_cell_size(self):
+        grid = Grid(cell_size=100.0)
+        assert grid.coarsen(10).cell_size == 1000.0
+
+    def test_coarsen_keeps_origin(self):
+        grid = Grid(cell_size=100.0, origin=(7.0, 9.0))
+        assert grid.coarsen(2).origin == (7.0, 9.0)
+
+    def test_coarsen_rejects_non_integer(self):
+        with pytest.raises(ValueError):
+            Grid().coarsen(1.5)
+
+    def test_coarsen_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Grid().coarsen(0)
+
+
+class TestValidation:
+    def test_rejects_non_positive_cell(self):
+        with pytest.raises(ValueError):
+            Grid(cell_size=0.0)
+
+    def test_equality_and_hash(self):
+        assert Grid(100.0) == Grid(100.0)
+        assert Grid(100.0) != Grid(200.0)
+        assert hash(Grid(100.0)) == hash(Grid(100.0))

@@ -1,0 +1,105 @@
+"""Tests for the Lambert azimuthal equal-area projection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geo.distance import haversine_m
+from repro.geo.projection import EARTH_RADIUS_M, LambertAzimuthalEqualArea
+
+
+@pytest.fixture
+def proj():
+    return LambertAzimuthalEqualArea(lat0=7.5, lon0=-5.5)
+
+
+class TestForward:
+    def test_origin_maps_to_zero(self, proj):
+        x, y = proj.forward(7.5, -5.5)
+        assert abs(x) < 1e-6
+        assert abs(y) < 1e-6
+
+    def test_north_displacement_is_positive_y(self, proj):
+        x, y = proj.forward(8.5, -5.5)
+        assert abs(x) < 1e-6
+        assert y > 0
+
+    def test_east_displacement_is_positive_x(self, proj):
+        x, y = proj.forward(7.5, -4.5)
+        assert x > 0
+        assert abs(y) < 1e3  # tiny curvature term only
+
+    def test_small_displacement_matches_haversine(self, proj):
+        # Near the origin the projection is nearly isometric.
+        x, y = proj.forward(7.6, -5.4)
+        planar = math.hypot(x, y)
+        sphere = haversine_m(7.5, -5.5, 7.6, -5.4)
+        assert planar == pytest.approx(sphere, rel=1e-4)
+
+    def test_array_input(self, proj):
+        lats = np.array([7.5, 8.0, 9.0])
+        lons = np.array([-5.5, -5.0, -4.0])
+        x, y = proj.forward(lats, lons)
+        assert x.shape == (3,)
+        assert y.shape == (3,)
+
+    def test_antipode_rejected(self, proj):
+        with pytest.raises(ValueError, match="antipode"):
+            proj.forward(-7.5, 174.5)
+
+
+class TestInverse:
+    def test_roundtrip_scalar(self, proj):
+        lat, lon = proj.inverse(*proj.forward(8.2, -4.9))
+        assert lat == pytest.approx(8.2, abs=1e-9)
+        assert lon == pytest.approx(-4.9, abs=1e-9)
+
+    def test_roundtrip_array(self, proj, rng):
+        lats = rng.uniform(4.0, 11.0, 50)
+        lons = rng.uniform(-9.0, -2.0, 50)
+        x, y = proj.forward(lats, lons)
+        back_lat, back_lon = proj.inverse(x, y)
+        np.testing.assert_allclose(back_lat, lats, atol=1e-9)
+        np.testing.assert_allclose(back_lon, lons, atol=1e-9)
+
+    def test_origin_roundtrip(self, proj):
+        lat, lon = proj.inverse(0.0, 0.0)
+        assert lat == pytest.approx(7.5)
+        assert lon == pytest.approx(-5.5)
+
+
+class TestEqualArea:
+    def test_area_preservation(self, proj):
+        # A 1-degree cell projected far from the origin keeps its area.
+        import itertools
+
+        for lat0, lon0 in [(7.5, -5.5), (10.5, -3.0), (5.0, -8.0)]:
+            corners = list(itertools.product([lat0, lat0 + 1], [lon0, lon0 + 1]))
+            xs, ys = zip(*[proj.forward(la, lo) for la, lo in corners])
+            # Shoelace area of the projected quadrilateral (convex here).
+            quad = [(xs[0], ys[0]), (xs[1], ys[1]), (xs[3], ys[3]), (xs[2], ys[2])]
+            area = 0.0
+            for i in range(4):
+                x1, y1 = quad[i]
+                x2, y2 = quad[(i + 1) % 4]
+                area += x1 * y2 - x2 * y1
+            area = abs(area) / 2.0
+            # True spherical area of the 1x1-degree cell.
+            phi1, phi2 = math.radians(lat0), math.radians(lat0 + 1)
+            true = EARTH_RADIUS_M**2 * math.radians(1.0) * (math.sin(phi2) - math.sin(phi1))
+            assert area == pytest.approx(true, rel=1e-3)
+
+
+class TestValidation:
+    def test_bad_lat0(self):
+        with pytest.raises(ValueError):
+            LambertAzimuthalEqualArea(lat0=91.0, lon0=0.0)
+
+    def test_bad_lon0(self):
+        with pytest.raises(ValueError):
+            LambertAzimuthalEqualArea(lat0=0.0, lon0=200.0)
+
+    def test_bad_radius(self):
+        with pytest.raises(ValueError):
+            LambertAzimuthalEqualArea(lat0=0.0, lon0=0.0, radius=-1.0)

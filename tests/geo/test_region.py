@@ -1,0 +1,63 @@
+"""Tests for rectangular regions."""
+
+import numpy as np
+import pytest
+
+from repro.geo.region import Region
+
+
+@pytest.fixture
+def region():
+    return Region("test", 0.0, 1000.0, 0.0, 500.0)
+
+
+class TestGeometry:
+    def test_dimensions(self, region):
+        assert region.width == 1000.0
+        assert region.height == 500.0
+        assert region.area_km2 == pytest.approx(0.5)
+        assert region.center == (500.0, 250.0)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Region("bad", 10.0, 10.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Region("bad", 0.0, 1.0, 5.0, 4.0)
+
+
+class TestContains:
+    def test_inside(self, region):
+        assert region.contains(500.0, 100.0)
+
+    def test_boundary_inclusive(self, region):
+        assert region.contains(0.0, 0.0)
+        assert region.contains(1000.0, 500.0)
+
+    def test_outside(self, region):
+        assert not region.contains(-1.0, 100.0)
+        assert not region.contains(500.0, 501.0)
+
+    def test_array(self, region):
+        mask = region.contains(np.array([1.0, -1.0]), np.array([1.0, 1.0]))
+        np.testing.assert_array_equal(mask, [True, False])
+
+
+class TestClip:
+    def test_clip_scalar(self, region):
+        assert region.clip(-10.0, 600.0) == (0.0, 500.0)
+
+    def test_clip_is_inside(self, region, rng):
+        x, y = region.clip(rng.uniform(-2000, 2000, 50), rng.uniform(-2000, 2000, 50))
+        assert region.contains(x, y).all()
+
+
+class TestSubregion:
+    def test_subregion_within_bounds(self, region):
+        sub = region.subregion("sub", 100.0, 100.0, 300.0)
+        assert sub.x_min == 0.0  # clamped
+        assert sub.x_max == 400.0
+        assert sub.y_min == 0.0
+        assert sub.y_max == 400.0
+
+    def test_subregion_name(self, region):
+        assert region.subregion("core", 500.0, 250.0, 10.0).name == "core"

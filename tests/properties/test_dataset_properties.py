@@ -1,0 +1,108 @@
+"""Property-based tests for dataset operations and suppression."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SuppressionConfig
+from repro.core.dataset import FingerprintDataset
+from repro.core.fingerprint import Fingerprint
+from repro.core.sample import NCOLS, DT, DX, DY, T, X, Y
+from repro.core.suppression import suppress_dataset, suppression_mask
+
+
+@st.composite
+def datasets(draw, min_users=1, max_users=8):
+    n = draw(st.integers(min_value=min_users, max_value=max_users))
+    fps = []
+    for i in range(n):
+        m = draw(st.integers(min_value=1, max_value=6))
+        rows = np.empty((m, NCOLS))
+        rows[:, X] = draw(
+            st.lists(st.floats(0, 1e5, allow_nan=False), min_size=m, max_size=m)
+        )
+        rows[:, DX] = draw(
+            st.lists(st.floats(1, 5e4, allow_nan=False), min_size=m, max_size=m)
+        )
+        rows[:, Y] = rows[:, X][::-1].copy()
+        rows[:, DY] = rows[:, DX][::-1].copy()
+        rows[:, T] = draw(
+            st.lists(st.floats(0, 1e4, allow_nan=False), min_size=m, max_size=m)
+        )
+        rows[:, DT] = draw(
+            st.lists(st.floats(1, 600, allow_nan=False), min_size=m, max_size=m)
+        )
+        fps.append(Fingerprint(f"u{i}", rows))
+    return FingerprintDataset(fps, name="hyp")
+
+
+class TestSuppressionProperties:
+    @given(
+        datasets(),
+        st.floats(min_value=100, max_value=1e5),
+        st.floats(min_value=1, max_value=600),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_survivors_respect_thresholds(self, ds, thr_s, thr_t):
+        cfg = SuppressionConfig(
+            spatial_threshold_m=thr_s,
+            temporal_threshold_min=thr_t,
+            keep_at_least_one=False,
+        )
+        out, stats = suppress_dataset(ds, cfg)
+        for fp in out:
+            assert (np.maximum(fp.data[:, DX], fp.data[:, DY]) <= thr_s).all()
+            assert (fp.data[:, DT] <= thr_t).all()
+        assert stats.discarded_samples + out.n_samples == ds.n_samples
+
+    @given(datasets(), st.floats(min_value=100, max_value=1e5))
+    @settings(max_examples=60, deadline=None)
+    def test_keep_at_least_one_never_drops_fingerprints(self, ds, thr_s):
+        cfg = SuppressionConfig(spatial_threshold_m=thr_s, keep_at_least_one=True)
+        out, stats = suppress_dataset(ds, cfg)
+        assert len(out) == len(ds)
+        assert stats.discarded_fingerprints == 0
+
+    @given(datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_looser_threshold_keeps_more(self, ds):
+        tight, _ = suppress_dataset(
+            ds, SuppressionConfig(spatial_threshold_m=1_000.0, keep_at_least_one=False)
+        )
+        loose, _ = suppress_dataset(
+            ds, SuppressionConfig(spatial_threshold_m=50_000.0, keep_at_least_one=False)
+        )
+        assert loose.n_samples >= tight.n_samples
+
+    @given(datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_mask_matches_dataset_filter(self, ds):
+        cfg = SuppressionConfig(spatial_threshold_m=5_000.0, keep_at_least_one=False)
+        out, _ = suppress_dataset(ds, cfg)
+        expected = sum(int(suppression_mask(fp.data, cfg).sum()) for fp in ds)
+        assert out.n_samples == expected
+
+
+class TestSubsettingProperties:
+    @given(datasets(min_users=2), st.floats(min_value=0.1, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_sample_users_subset(self, ds, fraction):
+        sub = ds.sample_users(fraction, np.random.default_rng(0))
+        assert set(sub.uids) <= set(ds.uids)
+        assert 1 <= len(sub) <= len(ds)
+
+    @given(datasets(), st.floats(min_value=0.01, max_value=30.0))
+    @settings(max_examples=60, deadline=None)
+    def test_restrict_timespan_bounds(self, ds, days):
+        t0 = ds.time_extent()[0]
+        sub = ds.restrict_timespan(days)
+        horizon = t0 + days * 24 * 60
+        for fp in sub:
+            assert (fp.data[:, T] >= t0).all()
+            assert (fp.data[:, T] < horizon).all()
+
+    @given(datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_anonymity_histogram_accounts_everyone(self, ds):
+        hist = ds.anonymity_histogram()
+        assert sum(hist.values()) == ds.n_users

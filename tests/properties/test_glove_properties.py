@@ -1,0 +1,66 @@
+"""Property-based tests for the end-to-end GLOVE guarantee."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import GloveConfig
+from repro.core.dataset import FingerprintDataset
+from repro.core.fingerprint import Fingerprint
+from repro.core.glove import glove
+from repro.core.merge import covers
+from repro.core.sample import NCOLS, DT, DX, DY, T, X, Y
+
+
+@st.composite
+def small_datasets(draw):
+    """Random datasets of 2..10 users with 1..5 samples each."""
+    n = draw(st.integers(min_value=2, max_value=10))
+    fps = []
+    for i in range(n):
+        m = draw(st.integers(min_value=1, max_value=5))
+        rows = np.empty((m, NCOLS))
+        for r in range(m):
+            rows[r, X] = draw(st.floats(min_value=0, max_value=5e4, allow_nan=False))
+            rows[r, DX] = 100.0
+            rows[r, Y] = draw(st.floats(min_value=0, max_value=5e4, allow_nan=False))
+            rows[r, DY] = 100.0
+            rows[r, T] = draw(st.floats(min_value=0, max_value=3e3, allow_nan=False))
+            rows[r, DT] = 1.0
+        fps.append(Fingerprint(f"u{i}", rows))
+    return FingerprintDataset(fps, name="hyp")
+
+
+class TestGloveInvariants:
+    @given(small_datasets(), st.integers(min_value=2, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_k_anonymity_holds(self, dataset, k):
+        if dataset.n_users < k:
+            return
+        result = glove(dataset, GloveConfig(k=k))
+        assert result.dataset.is_k_anonymous(k)
+
+    @given(small_datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_all_users_survive(self, dataset):
+        result = glove(dataset, GloveConfig(k=2))
+        members = sorted(m for fp in result.dataset for m in fp.members)
+        assert members == sorted(dataset.uids)
+
+    @given(small_datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_truthfulness(self, dataset):
+        result = glove(dataset, GloveConfig(k=2))
+        index = {m: fp for fp in result.dataset for m in fp.members}
+        for fp in dataset:
+            assert covers(index[fp.uid].data, fp.data)
+
+    @given(small_datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_group_sizes_bounded(self, dataset):
+        # Greedy merging stops growing a group once it reaches k, so no
+        # group can exceed 2k-1 members before the leftover fold-in;
+        # with the leftover it is at most 3k-2.
+        k = 2
+        result = glove(dataset, GloveConfig(k=k))
+        assert all(fp.count <= 3 * k - 2 for fp in result.dataset)

@@ -1,0 +1,105 @@
+"""Property-based tests for merging and reshaping invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fingerprint import Fingerprint
+from repro.core.merge import covers, generalize_rows, merge_fingerprints
+from repro.core.reshape import has_temporal_overlap, reshape_sample_array
+from repro.core.sample import DT, DX, DY, NCOLS, T, X, Y
+
+
+@st.composite
+def sample_rows(draw, m_min=1, m_max=8):
+    m = draw(st.integers(min_value=m_min, max_value=m_max))
+    rows = np.empty((m, NCOLS))
+    for i in range(m):
+        rows[i, X] = draw(st.floats(min_value=0, max_value=1e5, allow_nan=False))
+        rows[i, DX] = draw(st.floats(min_value=1, max_value=1e4, allow_nan=False))
+        rows[i, Y] = draw(st.floats(min_value=0, max_value=1e5, allow_nan=False))
+        rows[i, DY] = draw(st.floats(min_value=1, max_value=1e4, allow_nan=False))
+        rows[i, T] = draw(st.floats(min_value=0, max_value=1e4, allow_nan=False))
+        rows[i, DT] = draw(st.floats(min_value=1, max_value=500, allow_nan=False))
+    return rows
+
+
+@st.composite
+def fingerprints(draw, uid="a"):
+    return Fingerprint(uid, draw(sample_rows()))
+
+
+class TestGeneralizeRowsProperties:
+    @given(sample_rows())
+    @settings(max_examples=100, deadline=None)
+    def test_generalization_covers_all_inputs(self, rows):
+        out = generalize_rows(rows)[None, :]
+        assert covers(out, rows)
+
+    @given(sample_rows())
+    @settings(max_examples=100, deadline=None)
+    def test_generalization_is_tight(self, rows):
+        # The union box is minimal: its edges touch some input sample.
+        out = generalize_rows(rows)
+        for low, ext in ((X, DX), (Y, DY), (T, DT)):
+            assert out[low] == rows[:, low].min()
+            assert out[low] + out[ext] == pytest.approx(
+                (rows[:, low] + rows[:, ext]).max()
+            )
+
+
+class TestMergeProperties:
+    @given(fingerprints("a"), fingerprints("b"))
+    @settings(max_examples=75, deadline=None)
+    def test_merge_covers_both_parents(self, a, b):
+        merged = merge_fingerprints(a, b)
+        assert covers(merged.data, a.data)
+        assert covers(merged.data, b.data)
+
+    @given(fingerprints("a"), fingerprints("b"))
+    @settings(max_examples=75, deadline=None)
+    def test_merge_length_bounded(self, a, b):
+        merged = merge_fingerprints(a, b)
+        assert 1 <= merged.m <= min(a.m, b.m)
+
+    @given(fingerprints("a"), fingerprints("b"))
+    @settings(max_examples=75, deadline=None)
+    def test_merge_count_additive(self, a, b):
+        assert merge_fingerprints(a, b).count == a.count + b.count
+
+    @given(fingerprints("a"))
+    @settings(max_examples=50, deadline=None)
+    def test_self_merge_adds_no_information_loss_beyond_ties(self, a):
+        # Merging a fingerprint with an identical copy never stretches
+        # beyond the original's own union (ties may still coalesce
+        # equidistant samples, so the trace can shrink but must cover).
+        b = Fingerprint("b", a.data.copy())
+        merged = merge_fingerprints(a, b)
+        assert merged.m <= a.m
+        assert covers(merged.data, a.data)
+
+
+class TestReshapeProperties:
+    @given(sample_rows(m_max=12))
+    @settings(max_examples=100, deadline=None)
+    def test_no_overlap_after_reshape(self, rows):
+        out = reshape_sample_array(rows)
+        assert not has_temporal_overlap(out)
+
+    @given(sample_rows(m_max=12))
+    @settings(max_examples=100, deadline=None)
+    def test_reshape_covers_input(self, rows):
+        out = reshape_sample_array(rows)
+        assert covers(out, rows)
+
+    @given(sample_rows(m_max=12))
+    @settings(max_examples=100, deadline=None)
+    def test_reshape_idempotent(self, rows):
+        once = reshape_sample_array(rows)
+        np.testing.assert_allclose(reshape_sample_array(once), once)
+
+    @given(sample_rows(m_max=12))
+    @settings(max_examples=100, deadline=None)
+    def test_reshape_never_grows(self, rows):
+        assert reshape_sample_array(rows).shape[0] <= rows.shape[0]

@@ -1,0 +1,95 @@
+"""Property-based tests for the W4M substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.w4m_cluster import chunk_indices, greedy_k_clusters
+from repro.baselines.w4m_distance import PointTrajectory, lst_distance
+
+
+@st.composite
+def trajectories(draw, uid="t"):
+    m = draw(st.integers(min_value=2, max_value=12))
+    t = np.sort(
+        np.array(
+            draw(
+                st.lists(
+                    st.floats(0, 1e4, allow_nan=False),
+                    min_size=m,
+                    max_size=m,
+                    unique=True,
+                )
+            )
+        )
+    )
+    x = np.array(draw(st.lists(st.floats(0, 1e5, allow_nan=False), min_size=m, max_size=m)))
+    y = np.array(draw(st.lists(st.floats(0, 1e5, allow_nan=False), min_size=m, max_size=m)))
+    return PointTrajectory(uid, t, x, y)
+
+
+class TestLSTProperties:
+    @given(trajectories("a"), trajectories("b"))
+    @settings(max_examples=100, deadline=None)
+    def test_non_negative(self, a, b):
+        assert lst_distance(a, b) >= 0.0
+
+    @given(trajectories("a"), trajectories("b"))
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry(self, a, b):
+        d1 = lst_distance(a, b)
+        d2 = lst_distance(b, a)
+        assert d1 == pytest.approx(d2, rel=1e-9, abs=1e-6)
+
+    @given(trajectories("a"))
+    @settings(max_examples=50, deadline=None)
+    def test_identity(self, a):
+        assert lst_distance(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    @given(trajectories("a"), st.floats(min_value=-1e4, max_value=1e4))
+    @settings(max_examples=75, deadline=None)
+    def test_translation_distance(self, a, offset):
+        # Shifting a trajectory spatially by a constant vector yields
+        # exactly that displacement as LST distance.
+        b = PointTrajectory("b", a.t, a.x + offset, a.y)
+        assert lst_distance(a, b) == pytest.approx(abs(offset), rel=1e-9, abs=1e-6)
+
+    @given(trajectories("a"))
+    @settings(max_examples=50, deadline=None)
+    def test_interpolation_stays_in_bbox(self, a):
+        times = np.linspace(a.t_start - 10, a.t_end + 10, 30)
+        pos = a.positions_at(times)
+        assert (pos[:, 0] >= a.x.min() - 1e-9).all()
+        assert (pos[:, 0] <= a.x.max() + 1e-9).all()
+        assert (pos[:, 1] >= a.y.min() - 1e-9).all()
+        assert (pos[:, 1] <= a.y.max() + 1e-9).all()
+
+
+class TestClusteringProperties:
+    @given(
+        st.integers(min_value=4, max_value=30),
+        st.integers(min_value=2, max_value=4),
+        st.floats(min_value=0.0, max_value=0.3),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=75, deadline=None)
+    def test_partition_invariants(self, n, k, trash, seed):
+        rng = np.random.default_rng(seed)
+        mat = rng.uniform(1, 100, (n, n))
+        mat = (mat + mat.T) / 2
+        np.fill_diagonal(mat, np.inf)
+        outcome = greedy_k_clusters(mat, k=k, trash_fraction=trash)
+        assigned = (
+            np.concatenate(outcome.clusters) if outcome.clusters else np.empty(0, int)
+        )
+        all_ids = np.concatenate([assigned, outcome.trashed])
+        assert sorted(all_ids.tolist()) == list(range(n))
+        for cluster in outcome.clusters:
+            assert cluster.size >= k
+
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=2, max_value=50))
+    @settings(max_examples=100, deadline=None)
+    def test_chunks_cover_range(self, n, size):
+        chunks = chunk_indices(n, size)
+        np.testing.assert_array_equal(np.concatenate(chunks), np.arange(n))

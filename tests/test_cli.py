@@ -1,0 +1,85 @@
+"""Tests for the ``glove`` command-line tool."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def raw_csv(tmp_path):
+    path = tmp_path / "raw.csv"
+    code = main(
+        ["generate", "synth-civ", "--users", "30", "--days", "2", "--seed", "4",
+         "-o", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_creates_file(self, raw_csv):
+        assert raw_csv.exists()
+        header = raw_csv.read_text().splitlines()[0]
+        assert header == "uid,t_min,x_m,y_m"
+
+    def test_rejects_unknown_preset(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["generate", "paris", "-o", str(tmp_path / "x.csv")])
+
+
+class TestMeasure:
+    def test_reports_statistics(self, raw_csv, capsys):
+        assert main(["measure", str(raw_csv), "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2-gap" in out
+        assert "radius of gyration" in out
+
+    def test_k_too_large(self, raw_csv, capsys):
+        assert main(["measure", str(raw_csv), "-k", "999"]) == 2
+
+
+class TestAnonymizeAndAttack:
+    def test_full_workflow(self, raw_csv, tmp_path, capsys):
+        published = tmp_path / "published.csv"
+        code = main(
+            ["anonymize", str(raw_csv), "-k", "2",
+             "--suppress", "15000", "360", "-o", str(published)]
+        )
+        assert code == 0
+        assert published.exists()
+        out = capsys.readouterr().out
+        assert "anonymized" in out
+
+        code = main(["attack", str(raw_csv), str(published), "-k", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SAFE" in out
+
+    def test_attack_flags_unsafe_publication(self, raw_csv, capsys):
+        # "Publishing" the raw file itself must be flagged unsafe.
+        code = main(["attack", str(raw_csv), str(raw_csv), "-k", "2"])
+        out = capsys.readouterr().out
+        assert code == 4
+        assert "UNSAFE" in out
+
+    def test_no_reshape_option(self, raw_csv, tmp_path):
+        published = tmp_path / "pub2.csv"
+        assert main(
+            ["anonymize", str(raw_csv), "-k", "2", "--no-reshape", "-o", str(published)]
+        ) == 0
+
+
+class TestInfo:
+    def test_event_file(self, raw_csv, capsys):
+        assert main(["info", str(raw_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint length" in out
+        assert "minimum anonymity-set size: 1" in out
+
+    def test_published_file(self, raw_csv, tmp_path, capsys):
+        published = tmp_path / "pub.csv"
+        main(["anonymize", str(raw_csv), "-k", "2", "-o", str(published)])
+        capsys.readouterr()
+        assert main(["info", str(published)]) == 0
+        out = capsys.readouterr().out
+        assert "minimum anonymity-set size: 2" in out

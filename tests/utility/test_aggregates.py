@@ -1,0 +1,144 @@
+"""Tests for OD matrices, density maps and entropy profiles."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import FingerprintDataset
+from repro.utility.density import density_map, density_similarity, top_zones
+from repro.utility.od_matrix import (
+    intrazonal_fraction,
+    od_matrix,
+    od_similarity,
+    total_flow,
+)
+from repro.utility.predictability import entropy_profile, location_entropy
+from tests.conftest import make_fp
+
+HOUR = 60.0
+
+
+def commuter(uid, home_xy, work_xy):
+    """User with clean night/day anchor samples."""
+    hx, hy = home_xy
+    wx, wy = work_xy
+    return make_fp(
+        uid,
+        [
+            (hx, hy, 2 * HOUR),
+            (hx, hy, 3 * HOUR),
+            (wx, wy, 10 * HOUR),
+            (wx, wy, 14 * HOUR),
+        ],
+    )
+
+
+class TestODMatrix:
+    def test_flows_counted(self):
+        ds = FingerprintDataset(
+            [
+                commuter("a", (1_000.0, 1_000.0), (25_000.0, 1_000.0)),
+                commuter("b", (2_000.0, 1_000.0), (26_000.0, 1_000.0)),
+                commuter("c", (2_000.0, 2_000.0), (2_500.0, 2_500.0)),
+            ]
+        )
+        flows = od_matrix(ds, zone_m=10_000.0)
+        assert total_flow(flows) == 3
+        assert flows[((0, 0), (2, 0))] == 2
+        assert intrazonal_fraction(flows) == pytest.approx(1 / 3)
+
+    def test_group_counts_weighted(self):
+        ds = FingerprintDataset(
+            [
+                make_fp(
+                    "g",
+                    [(0.0, 0.0, 2 * HOUR), (0.0, 0.0, 10 * HOUR)],
+                    count=4,
+                    members=("a", "b", "c", "d"),
+                )
+            ]
+        )
+        flows = od_matrix(ds, zone_m=10_000.0)
+        assert total_flow(flows) == 4
+
+    def test_similarity_identity(self):
+        ds = FingerprintDataset(
+            [commuter("a", (0.0, 0.0), (25_000.0, 0.0))]
+        )
+        flows = od_matrix(ds)
+        assert od_similarity(flows, flows) == pytest.approx(1.0)
+
+    def test_similarity_disjoint(self):
+        a = {((0, 0), (1, 0)): 5.0}
+        b = {((3, 3), (4, 4)): 5.0}
+        assert od_similarity(a, b) == 0.0
+
+    def test_empty_matrices_similar(self):
+        assert od_similarity({}, {}) == 1.0
+
+    def test_zone_validation(self, small_civ):
+        with pytest.raises(ValueError):
+            od_matrix(small_civ, zone_m=0.0)
+
+
+class TestDensity:
+    def test_point_samples_single_zone(self):
+        ds = FingerprintDataset([make_fp("a", [(500.0, 500.0, 0.0)])])
+        density = density_map(ds, zone_m=10_000.0)
+        assert density == {(0, 0): 1.0}
+
+    def test_generalized_sample_spreads_mass(self):
+        ds = FingerprintDataset(
+            [
+                make_fp(
+                    "g",
+                    [(5_000.0, 5_000.0, 0.0, 10_000.0, 100.0, 1.0)],
+                    count=2,
+                    members=("a", "b"),
+                )
+            ]
+        )
+        density = density_map(ds, zone_m=10_000.0)
+        # Rectangle spans zones (0,0) and (1,0): mass 2 split in half.
+        assert density[(0, 0)] == pytest.approx(1.0)
+        assert density[(1, 0)] == pytest.approx(1.0)
+
+    def test_similarity_bounds(self, small_civ):
+        d = density_map(small_civ)
+        assert density_similarity(d, d) == pytest.approx(1.0)
+        assert density_similarity(d, {}) == 0.0
+
+    def test_top_zones_sorted(self, small_civ):
+        zones = top_zones(density_map(small_civ), n=5)
+        masses = [m for _, m in zones]
+        assert masses == sorted(masses, reverse=True)
+
+    def test_top_zones_validation(self):
+        with pytest.raises(ValueError):
+            top_zones({}, n=0)
+
+
+class TestEntropy:
+    def test_single_location_zero_entropy(self):
+        fp = make_fp("a", [(0.0, 0.0, float(t)) for t in range(5)])
+        est = location_entropy(fp)
+        assert est.n_locations == 1
+        assert est.random_entropy == 0.0
+        assert est.shannon_entropy == 0.0
+
+    def test_uniform_two_locations_one_bit(self):
+        fp = make_fp(
+            "a",
+            [(0.0, 0.0, 0.0), (5_000.0, 0.0, 10.0), (0.0, 0.0, 20.0), (5_000.0, 0.0, 30.0)],
+        )
+        est = location_entropy(fp)
+        assert est.shannon_entropy == pytest.approx(1.0)
+        assert est.random_entropy == pytest.approx(1.0)
+
+    def test_shannon_bounded_by_random(self, small_civ):
+        profile = entropy_profile(small_civ)
+        assert (profile["shannon"] <= profile["random"] + 1e-9).all()
+
+    def test_profile_shapes(self, small_civ):
+        profile = entropy_profile(small_civ)
+        assert profile["shannon"].shape == (len(small_civ),)
+        assert profile["n_locations"].dtype == np.int64

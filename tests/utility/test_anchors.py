@@ -1,0 +1,81 @@
+"""Tests for home/work anchor detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import FingerprintDataset
+from repro.utility.anchors import anchor_displacements, detect_anchors
+from tests.conftest import make_fp
+
+HOUR = 60.0
+
+
+class TestDetection:
+    def test_home_from_night_samples(self):
+        fp = make_fp(
+            "a",
+            [
+                (1_000.0, 2_000.0, 2 * HOUR),       # night @ home
+                (1_000.0, 2_000.0, 3 * HOUR),       # night @ home
+                (9_000.0, 9_000.0, 11 * HOUR),      # day @ work
+            ],
+        )
+        est = detect_anchors(fp)
+        assert est.home == (1_000.0, 2_100.0) or est.home[0] == pytest.approx(1_050.0, abs=100)
+
+    def test_work_from_office_samples(self):
+        fp = make_fp(
+            "a",
+            [
+                (0.0, 0.0, 2 * HOUR),
+                (9_000.0, 9_000.0, 10 * HOUR),
+                (9_000.0, 9_000.0, 14 * HOUR),
+                (5_000.0, 5_000.0, 15 * HOUR),
+            ],
+        )
+        est = detect_anchors(fp)
+        assert est.work is not None
+        assert est.work[0] == pytest.approx(9_050.0, abs=101)
+
+    def test_missing_windows_yield_none(self):
+        fp = make_fp("a", [(0.0, 0.0, 20 * HOUR)])  # evening only
+        est = detect_anchors(fp)
+        assert est.home is None
+        assert est.work is None
+
+    def test_most_frequent_wins(self):
+        fp = make_fp(
+            "a",
+            [
+                (0.0, 0.0, 1 * HOUR),
+                (0.0, 0.0, 2 * HOUR),
+                (5_000.0, 0.0, 3 * HOUR),
+            ],
+        )
+        est = detect_anchors(fp)
+        assert est.home[0] == pytest.approx(0.0, abs=101)
+
+
+class TestDisplacements:
+    def test_identity_zero_displacement(self, small_civ):
+        disp = anchor_displacements(small_civ, small_civ)
+        if disp["home"].size:
+            assert disp["home"].max() == pytest.approx(0.0, abs=1e-9)
+
+    def test_glove_displacement_bounded(self, small_civ):
+        from repro.core.config import GloveConfig
+        from repro.core.glove import glove
+
+        published = glove(small_civ, GloveConfig(k=2)).dataset
+        disp = anchor_displacements(small_civ, published)
+        assert disp["home"].size > 0
+        # Home detection survives anonymization to within a few km for
+        # the typical user (Section 2.4's claim).
+        assert np.median(disp["home"]) < 10_000.0
+
+    def test_missing_members_skipped(self, small_civ):
+        published = FingerprintDataset(
+            [make_fp("g", [(0.0, 0.0, 2 * HOUR)], count=1, members=("nobody",))]
+        )
+        disp = anchor_displacements(small_civ, published)
+        assert disp["home"].size == 0

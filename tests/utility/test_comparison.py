@@ -1,0 +1,39 @@
+"""Tests for the original-vs-anonymized utility harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GloveConfig
+from repro.core.glove import glove
+from repro.utility.comparison import compare_utility
+
+
+class TestCompareUtility:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        from repro.cdr.datasets import synthesize
+
+        original = synthesize("synth-civ", n_users=60, days=3, seed=8)
+        anonymized = glove(original, GloveConfig(k=2)).dataset
+        return compare_utility(original, anonymized)
+
+    def test_identity_comparison_perfect(self, small_civ):
+        comparison = compare_utility(small_civ, small_civ)
+        assert comparison.od_cosine == pytest.approx(1.0)
+        assert comparison.density_cosine == pytest.approx(1.0)
+        assert comparison.home_median_displacement_m == pytest.approx(0.0, abs=1e-9)
+
+    def test_density_preserved(self, comparison):
+        # Section 2.4: population distributions survive anonymization.
+        assert comparison.density_cosine > 0.6
+
+    def test_entropy_signal_survives(self, comparison):
+        assert comparison.entropy_correlation > 0.2
+
+    def test_home_better_preserved_than_random(self, comparison):
+        # Home displacement stays far below the country scale (~500 km).
+        assert comparison.home_median_displacement_m < 20_000.0
+
+    def test_intrazonal_commuting_in_range(self, comparison):
+        assert 0.0 <= comparison.od_intrazonal_original <= 1.0
+        assert 0.0 <= comparison.od_intrazonal_anonymized <= 1.0
