@@ -11,9 +11,22 @@ larger on beefier machines:
 * ``REPRO_BENCH_USERS`` (default 120) — synthetic users per dataset;
 * ``REPRO_BENCH_DAYS`` (default 4) — recording period;
 * ``REPRO_BENCH_SEED`` (default 0).
+
+At session end the suite also emits ``BENCH_glove.json`` at the repo
+root: wall-clock of a seeded 500-fingerprint ``glove()`` run per
+compute backend, against the pre-engine dense-matrix baseline
+(:mod:`benchmarks.seed_path`), so the perf trajectory of the hot loop
+is tracked PR over PR.  Scale/skip knobs:
+
+* ``REPRO_BENCH_GLOVE`` — set to ``0`` to skip the emission;
+* ``REPRO_BENCH_GLOVE_USERS`` (default 500), ``REPRO_BENCH_GLOVE_DAYS``
+  (default 2) — scale of the timed run.
 """
 
+import json
 import os
+import time
+from pathlib import Path
 
 import pytest
 
@@ -22,6 +35,10 @@ from repro.cdr.datasets import synthesize
 BENCH_USERS = int(os.environ.get("REPRO_BENCH_USERS", "120"))
 BENCH_DAYS = int(os.environ.get("REPRO_BENCH_DAYS", "4"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+GLOVE_BENCH_USERS = int(os.environ.get("REPRO_BENCH_GLOVE_USERS", "500"))
+GLOVE_BENCH_DAYS = int(os.environ.get("REPRO_BENCH_GLOVE_DAYS", "2"))
+GLOVE_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_glove.json"
 
 
 def bench_scale():
@@ -39,3 +56,106 @@ def civ_dataset():
 def sen_dataset():
     """Session-cached synth-sen dataset at benchmark scale."""
     return synthesize("synth-sen", n_users=BENCH_USERS, days=BENCH_DAYS, seed=BENCH_SEED)
+
+
+def _run_glove_bench() -> dict:
+    """Time a seeded GLOVE run on the baseline and on every backend."""
+    import importlib.util
+    import sys
+
+    import numpy as np
+
+    from repro.core.config import ComputeConfig, GloveConfig
+    from repro.core.glove import glove
+
+    spec = importlib.util.spec_from_file_location(
+        "benchmarks_seed_path", Path(__file__).resolve().parent / "seed_path.py"
+    )
+    seed_path = importlib.util.module_from_spec(spec)
+    sys.modules["benchmarks_seed_path"] = seed_path
+    spec.loader.exec_module(seed_path)
+    seed_glove = seed_path.seed_glove
+
+    dataset = synthesize(
+        "synth-civ", n_users=GLOVE_BENCH_USERS, days=GLOVE_BENCH_DAYS, seed=BENCH_SEED
+    )
+    config = GloveConfig(k=2)
+
+    def digest(result):
+        return (
+            result.stats.n_merges,
+            len(result.dataset),
+            sum(float(fp.data.sum()) for fp in result.dataset),
+        )
+
+    t0 = time.time()
+    baseline = seed_glove(dataset, config)
+    seed_s = time.time() - t0
+    reference = digest(baseline)
+
+    record = {
+        "n_fingerprints": len(dataset),
+        "days": GLOVE_BENCH_DAYS,
+        "seed": BENCH_SEED,
+        "k": config.k,
+        "seed_path_s": round(seed_s, 3),
+        "seed_path_exact_evaluations": baseline.stats.n_exact_evaluations,
+        "backends": {},
+    }
+    # Note: the pruned glove loop batches exact evaluations in small
+    # chunks, so the process backend's pool only engages on bulk matrix
+    # builds, not inside this run — its row measures the configuration
+    # overhead of the multi-core tier on the same workload, and is
+    # expected to track the numpy row until a pool-friendly stage lands.
+    compute_by_backend = {
+        "numpy": ComputeConfig(backend="numpy"),
+        "process": ComputeConfig(backend="process"),
+    }
+    for backend, compute in compute_by_backend.items():
+        t0 = time.time()
+        result = glove(dataset, config, compute)
+        elapsed = time.time() - t0
+        consistent = digest(result) == reference and all(
+            a.members == b.members and np.array_equal(a.data, b.data)
+            for a, b in zip(result.dataset, baseline.dataset)
+        )
+        record["backends"][backend] = {
+            "wall_s": round(elapsed, 3),
+            "parallel_targets_threshold": compute.parallel_targets_threshold,
+            "speedup_vs_seed_path": round(seed_s / elapsed, 2) if elapsed > 0 else None,
+            "exact_evaluations": result.stats.n_exact_evaluations,
+            "pruned_evaluations": result.stats.n_pruned_evaluations,
+            "identical_to_seed_path": consistent,
+        }
+    return record
+
+
+#: Minimum tests in the session before the timed benchmark runs, so a
+#: deselected one-test run doesn't pay the multi-run glove() price.
+_GLOVE_BENCH_MIN_TESTS = 50
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit BENCH_glove.json after a green full session.
+
+    Skipped on failures, on ``--collect-only``, on heavily deselected
+    runs (fewer than ``_GLOVE_BENCH_MIN_TESTS`` tests), or when
+    ``REPRO_BENCH_GLOVE=0``.
+    """
+    if os.environ.get("REPRO_BENCH_GLOVE", "1") == "0":
+        return
+    if exitstatus != 0:
+        return
+    if session.config.getoption("collectonly", False):
+        return
+    if session.testscollected < _GLOVE_BENCH_MIN_TESTS:
+        return
+    record = _run_glove_bench()
+    GLOVE_BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    if reporter is not None:
+        numpy_speedup = record["backends"]["numpy"]["speedup_vs_seed_path"]
+        reporter.write_line(
+            f"[BENCH_glove] n={record['n_fingerprints']} seed-path "
+            f"{record['seed_path_s']}s, numpy backend x{numpy_speedup} -> {GLOVE_BENCH_PATH.name}"
+        )

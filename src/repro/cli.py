@@ -38,7 +38,13 @@ from repro.cdr.io import (
     write_events_csv,
     write_fingerprints_csv,
 )
-from repro.core.config import GloveConfig, StretchConfig, SuppressionConfig
+from repro.core.config import (
+    GloveConfig,
+    StretchConfig,
+    SuppressionConfig,
+    add_compute_arguments,
+    compute_config_from_args,
+)
 from repro.core.glove import glove
 from repro.core.kgap import kgap
 
@@ -66,7 +72,7 @@ def cmd_measure(args) -> int:
     if len(dataset) < args.k:
         print(f"error: dataset has {len(dataset)} users, k={args.k}", file=sys.stderr)
         return 2
-    result = kgap(dataset, k=args.k)
+    result = kgap(dataset, k=args.k, compute=compute_config_from_args(args))
     print(f"dataset: {dataset}")
     print(f"{args.k}-gap: median={result.quantile(0.5):.4f} "
           f"p90={result.quantile(0.9):.4f} max={result.gaps.max():.4f}")
@@ -84,7 +90,7 @@ def cmd_anonymize(args) -> int:
             temporal_threshold_min=args.suppress[1],
         )
     config = GloveConfig(k=args.k, suppression=suppression, reshape=not args.no_reshape)
-    result = glove(dataset, config)
+    result = glove(dataset, config, compute=compute_config_from_args(args))
     if not result.dataset.is_k_anonymous(args.k):
         print("error: output failed the k-anonymity audit", file=sys.stderr)
         return 3
@@ -156,6 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
     m = sub.add_parser("measure", help="anonymizability statistics")
     m.add_argument("dataset")
     m.add_argument("-k", type=int, default=2)
+    add_compute_arguments(m)
     m.set_defaults(func=cmd_measure)
 
     a = sub.add_parser("anonymize", help="k-anonymize with GLOVE")
@@ -170,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     a.add_argument("--no-reshape", action="store_true")
     a.add_argument("-o", "--output", required=True)
+    add_compute_arguments(a, pruning=True)
     a.set_defaults(func=cmd_anonymize)
 
     t = sub.add_parser("attack", help="record-linkage attack validation")

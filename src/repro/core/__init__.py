@@ -9,11 +9,29 @@ Public surface:
   :func:`~repro.core.stretch.fingerprint_stretch`,
   :func:`~repro.core.kgap.kgap`;
 * anonymization -- :func:`~repro.core.glove.glove` with
-  :class:`~repro.core.config.GloveConfig`.
+  :class:`~repro.core.config.GloveConfig`;
+* compute substrate -- :class:`~repro.core.engine.StretchEngine` with
+  :class:`~repro.core.config.ComputeConfig` and the backend registry
+  (:func:`~repro.core.engine.register_backend`).
 """
 
-from repro.core.config import GloveConfig, StretchConfig, SuppressionConfig
+from repro.core.config import (
+    ComputeConfig,
+    GloveConfig,
+    StretchConfig,
+    SuppressionConfig,
+)
 from repro.core.dataset import FingerprintDataset
+from repro.core.engine import (
+    SlotStore,
+    StretchBackend,
+    StretchEngine,
+    available_backends,
+    compute_pairwise_matrix,
+    get_default_compute,
+    register_backend,
+    set_default_compute,
+)
 from repro.core.fingerprint import Fingerprint
 from repro.core.glove import GloveResult, GloveStats, glove
 from repro.core.kgap import KGapResult, kgap, stretch_decomposition
@@ -37,7 +55,16 @@ __all__ = [
     "FingerprintDataset",
     "StretchConfig",
     "SuppressionConfig",
+    "ComputeConfig",
     "GloveConfig",
+    "StretchEngine",
+    "StretchBackend",
+    "SlotStore",
+    "available_backends",
+    "register_backend",
+    "compute_pairwise_matrix",
+    "get_default_compute",
+    "set_default_compute",
     "GloveResult",
     "GloveStats",
     "glove",

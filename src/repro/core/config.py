@@ -12,6 +12,132 @@ of ~15 min.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
+
+#: Fingerprints per broadcast chunk in the bulk stretch kernels; bounds
+#: the peak memory of a kernel invocation.  Single source of truth —
+#: :mod:`repro.core.pairwise` and :class:`ComputeConfig` both read it.
+DEFAULT_CHUNK = 256
+
+
+@dataclass(frozen=True)
+class ComputeConfig:
+    """Configuration of the stretch-compute substrate.
+
+    Selects and parameterizes the :class:`repro.core.engine.StretchEngine`
+    backend that executes the bulk Eq. 10 evaluations.  Kept separate
+    from :class:`GloveConfig` on purpose: the latter describes *what* to
+    compute (the anonymization semantics), this class describes *how*
+    (which hardware tier, how much memory, whether to prune).  Two runs
+    that differ only in their ``ComputeConfig`` produce byte-identical
+    results.
+
+    Attributes
+    ----------
+    backend:
+        Name of a registered compute backend: ``"numpy"`` (single
+        process, chunked broadcasting), ``"process"`` (multi-core pool),
+        or ``"auto"`` (pick by workload size).  Extensible through
+        :func:`repro.core.engine.register_backend`.
+    chunk:
+        Fingerprints per broadcast chunk in the bulk kernels.
+    workers:
+        Process-pool size for the ``process`` backend; ``None`` means
+        ``min(cpu_count, 8)``.
+    pruning:
+        Enable the bounding-box lower-bound pruning of exact Eq. 10
+        evaluations in the GLOVE nearest-neighbour search.  Pruning is
+        exact (never changes results); disable only for debugging or
+        benchmarking the unpruned path.
+    lb_bucket_minutes:
+        Width of the time buckets of the level-1 lower bound (per-slot
+        spatial hulls per time bucket).
+    lb_max_buckets:
+        Cap on the number of time buckets per slot (bucket width is
+        stretched when the recording period is long).
+    parallel_matrix_threshold:
+        ``auto`` backend: minimum fingerprint count at which full
+        pairwise-matrix builds are dispatched to the process pool.
+    parallel_targets_threshold:
+        ``process``/``auto`` backends: minimum number of targets in a
+        one-vs-all call before it is sharded across the pool (below it,
+        pool overhead exceeds kernel time and the call runs inline).
+    """
+
+    backend: str = "auto"
+    chunk: int = DEFAULT_CHUNK
+    workers: Optional[int] = None
+    pruning: bool = True
+    lb_bucket_minutes: float = 360.0
+    lb_max_buckets: int = 48
+    parallel_matrix_threshold: int = 192
+    parallel_targets_threshold: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.chunk < 1:
+            raise ValueError(f"chunk must be at least 1, got {self.chunk}")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be at least 1 or None, got {self.workers}")
+        if self.lb_bucket_minutes <= 0:
+            raise ValueError("lb_bucket_minutes must be positive")
+        if self.lb_max_buckets < 1:
+            raise ValueError("lb_max_buckets must be at least 1")
+        if self.parallel_matrix_threshold < 0 or self.parallel_targets_threshold < 0:
+            raise ValueError("parallelism thresholds must be non-negative")
+
+
+def add_compute_arguments(parser, pruning: bool = False) -> None:
+    """Attach the shared compute-substrate flags to an argparse parser.
+
+    Used by the ``glove`` CLI and the ``glove-repro`` experiment runner
+    so the substrate surface is declared once.
+    """
+    from repro.core.engine import available_backends
+
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="auto",
+        help="stretch-compute backend (default: auto = pick by workload size)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for the process backend (the pool engages on "
+        "bulk matrix builds and large target sets)",
+    )
+    parser.add_argument(
+        "--chunk", type=int, default=None, help="fingerprints per broadcast chunk"
+    )
+    if pruning:
+        parser.add_argument(
+            "--no-prune",
+            action="store_true",
+            help="disable lower-bound pruning (identical results, slower)",
+        )
+
+
+def compute_config_from_args(args) -> "ComputeConfig":
+    """Build a :class:`ComputeConfig` from parsed compute flags.
+
+    Invalid values exit with status 2 and an ``error:`` line, argparse
+    style, instead of a traceback.
+    """
+    import sys
+
+    kwargs = {"backend": args.backend}
+    if getattr(args, "workers", None) is not None:
+        kwargs["workers"] = args.workers
+    if getattr(args, "chunk", None) is not None:
+        kwargs["chunk"] = args.chunk
+    if getattr(args, "no_prune", False):
+        kwargs["pruning"] = False
+    try:
+        return ComputeConfig(**kwargs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,725 @@
+"""Pluggable stretch-compute engine: the substrate of the GLOVE hot loop.
+
+The paper offloads GLOVE's O(|M|^2 n-bar^2) Eq. 10 evaluations to a
+CUDA GPU (Section 6.3).  This module makes the compute substrate a
+first-class, swappable subsystem instead of logic inlined into the
+algorithm:
+
+* :class:`SlotStore` owns the padded fingerprint tensors and the slot
+  lifecycle (append/retire) shared by every backend;
+* :class:`StretchBackend` implementations execute the bulk Eq. 10
+  kernels — ``numpy`` (chunked broadcasting), ``process`` (multi-core
+  pool, absorbed from the former ``repro.core.parallel`` API) and
+  ``auto`` (workload-size dispatch); new tiers (sharded, GPU) register
+  through :func:`register_backend`;
+* :class:`StretchEngine` ties a store to a backend and adds the cheap
+  bounding-box lower bounds on fingerprint stretch that let callers
+  prune exact evaluations which provably cannot beat a current best.
+
+All backends run the identical kernel per (probe, target) pair, so
+results are byte-identical regardless of backend, chunking or worker
+count; see DESIGN.md for the invariants.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import ComputeConfig, StretchConfig
+from repro.core.fingerprint import Fingerprint
+from repro.core.pairwise import PaddedFingerprints, one_vs_all
+from repro.core.sample import DT, DX, DY, NCOLS, T, X, Y
+
+# ----------------------------------------------------------------------
+# Process-wide default compute configuration
+# ----------------------------------------------------------------------
+_default_compute = ComputeConfig()
+
+
+def get_default_compute() -> ComputeConfig:
+    """The process-wide :class:`ComputeConfig` used when none is given."""
+    return _default_compute
+
+
+def set_default_compute(compute: ComputeConfig) -> ComputeConfig:
+    """Install a new process-wide default compute config; returns the old one.
+
+    Entry points (``glove-repro``, the ``glove`` CLI, the benchmark
+    suite) call this once at start-up so that every internal
+    :func:`repro.core.glove.glove` / k-gap matrix build picks up the
+    selected backend without threading a parameter through the thirteen
+    experiment modules.
+    """
+    global _default_compute
+    old = _default_compute
+    _default_compute = compute
+    return old
+
+
+def _effective_workers(compute: ComputeConfig) -> int:
+    if compute.workers is not None:
+        return compute.workers
+    return min(os.cpu_count() or 1, 8)
+
+
+def grow_array(arr: np.ndarray, capacity: int, fill=0) -> np.ndarray:
+    """Return ``arr`` grown to ``capacity`` rows, new rows set to ``fill``.
+
+    Shared by the slot store, the engine's pruning summaries and the
+    GLOVE nearest-neighbour cache so capacity growth follows one policy.
+    """
+    if arr.shape[0] >= capacity:
+        return arr
+    out = np.full((capacity,) + arr.shape[1:], fill, dtype=arr.dtype)
+    out[: arr.shape[0]] = arr
+    return out
+
+
+# ----------------------------------------------------------------------
+# Slot store: padded tensors + slot lifecycle
+# ----------------------------------------------------------------------
+class SlotStore:
+    """Growable padded tensor of fingerprints with slot lifecycle.
+
+    Duck-types the :class:`repro.core.pairwise.PaddedFingerprints`
+    interface (``data``, ``mask``, ``lengths``, ``counts``) so the bulk
+    kernels can address live slots directly while slots are appended
+    (merge products) and retired (merged-away parents).
+
+    Merged fingerprints never have more samples than their shorter
+    parent, so the per-slot sample capacity ``m_max`` is fixed by the
+    initial population; the slot capacity grows geometrically on demand.
+    """
+
+    def __init__(self, fingerprints: Sequence[Fingerprint]):
+        fps = list(fingerprints)
+        if not fps:
+            raise ValueError("cannot build a slot store from zero fingerprints")
+        if any(fp.m == 0 for fp in fps):
+            raise ValueError("cannot store fingerprints with zero samples")
+        n = len(fps)
+        # n inputs + at most n-1 merge products + one leftover fold.
+        capacity = 2 * n
+        m_max = max(fp.m for fp in fps)
+        self.data = np.zeros((capacity, m_max, NCOLS), dtype=np.float64)
+        self.mask = np.zeros((capacity, m_max), dtype=bool)
+        self.lengths = np.zeros(capacity, dtype=np.int64)
+        self.counts = np.zeros(capacity, dtype=np.int64)
+        self.alive = np.zeros(capacity, dtype=bool)
+        self.fps: List[Optional[Fingerprint]] = [None] * capacity
+        self.size = 0
+        for fp in fps:
+            self.append(fp)
+
+    @property
+    def capacity(self) -> int:
+        """Currently allocated slot capacity."""
+        return self.data.shape[0]
+
+    @property
+    def m_max(self) -> int:
+        """Per-slot sample capacity."""
+        return self.data.shape[1]
+
+    def _grow(self) -> None:
+        new_cap = max(self.capacity + 1, self.capacity * 3 // 2)
+        for name in ("data", "mask", "lengths", "counts", "alive"):
+            setattr(self, name, grow_array(getattr(self, name), new_cap))
+        self.fps.extend([None] * (new_cap - len(self.fps)))
+
+    def append(self, fp: Fingerprint) -> int:
+        """Store a fingerprint in the next free slot; returns the slot id."""
+        if fp.m > self.m_max:
+            raise ValueError(
+                f"fingerprint {fp.uid!r} has {fp.m} samples, exceeding the "
+                f"per-slot capacity {self.m_max}"
+            )
+        if self.size == self.capacity:
+            self._grow()
+        slot = self.size
+        self.data[slot, : fp.m] = fp.data
+        self.mask[slot, : fp.m] = True
+        self.lengths[slot] = fp.m
+        self.counts[slot] = fp.count
+        self.alive[slot] = True
+        self.fps[slot] = fp
+        self.size += 1
+        return slot
+
+    def retire(self, slot: int) -> None:
+        """Mark a slot dead (its fingerprint was merged away)."""
+        if not self.alive[slot]:
+            raise ValueError(f"slot {slot} is not alive")
+        self.alive[slot] = False
+
+    def probe(self, slot: int) -> np.ndarray:
+        """The trimmed ``(m, 6)`` sample array of a slot."""
+        return self.data[slot, : self.lengths[slot]]
+
+    def view(self) -> "PaddedFingerprints":
+        """A packed view of the first ``size`` slots (shared memory)."""
+        packed = PaddedFingerprints.__new__(PaddedFingerprints)
+        packed.data = self.data[: self.size]
+        packed.mask = self.mask[: self.size]
+        packed.lengths = self.lengths[: self.size]
+        packed.counts = self.counts[: self.size]
+        packed.uids = [fp.uid if fp is not None else "" for fp in self.fps[: self.size]]
+        return packed
+
+    def __len__(self) -> int:
+        return self.size
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class StretchBackend(abc.ABC):
+    """Executes bulk Eq. 10 evaluations against a packed store.
+
+    Implementations must be *value-transparent*: every (probe, target)
+    pair goes through the same floating-point kernel, so any two
+    backends return byte-identical arrays for the same inputs.
+    """
+
+    name: str = "?"
+
+    def __init__(self, compute: ComputeConfig, stretch: StretchConfig):
+        self.compute = compute
+        self.stretch = stretch
+
+    @abc.abstractmethod
+    def one_vs_all(
+        self,
+        probe_data: np.ndarray,
+        probe_count: int,
+        packed,
+        targets: np.ndarray,
+    ) -> np.ndarray:
+        """Eq. 10 efforts from one probe to the given target slots."""
+
+    @abc.abstractmethod
+    def pairwise_matrix(self, packed) -> np.ndarray:
+        """Full symmetric ``Delta`` matrix with ``+inf`` diagonal."""
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class NumpyBackend(StretchBackend):
+    """Single-process chunked-broadcasting backend (the default tier)."""
+
+    name = "numpy"
+
+    def one_vs_all(self, probe_data, probe_count, packed, targets):
+        return one_vs_all(
+            probe_data,
+            probe_count,
+            packed,
+            self.stretch,
+            indices=targets,
+            chunk=self.compute.chunk,
+        )
+
+    def pairwise_matrix(self, packed):
+        n = len(packed)
+        mat = np.full((n, n), np.inf, dtype=np.float64)
+        for i in range(n - 1):
+            targets = np.arange(i + 1, n)
+            vals = self.one_vs_all(
+                packed.data[i, : packed.lengths[i]], int(packed.counts[i]), packed, targets
+            )
+            mat[i, i + 1 :] = vals
+            mat[i + 1 :, i] = vals
+        return mat
+
+
+# Worker-side state for matrix builds, installed once per process by the
+# pool initializer (the packed tensors are shipped a single time).
+_WORKER_PACKED: Optional[PaddedFingerprints] = None
+_WORKER_STRETCH: Optional[StretchConfig] = None
+_WORKER_CHUNK: int = 0
+
+
+def _matrix_init(data, mask, lengths, counts, stretch, chunk) -> None:
+    global _WORKER_PACKED, _WORKER_STRETCH, _WORKER_CHUNK
+    packed = PaddedFingerprints.__new__(PaddedFingerprints)
+    packed.data = data
+    packed.mask = mask
+    packed.lengths = lengths
+    packed.counts = counts
+    packed.uids = [""] * data.shape[0]
+    _WORKER_PACKED = packed
+    _WORKER_STRETCH = stretch
+    _WORKER_CHUNK = chunk
+
+
+def _matrix_row_block(rows: np.ndarray) -> List[np.ndarray]:
+    packed = _WORKER_PACKED
+    n = len(packed)
+    out = []
+    for i in rows:
+        i = int(i)
+        targets = np.arange(i + 1, n)
+        if targets.size == 0:
+            out.append(np.empty(0))
+            continue
+        probe = packed.data[i, : packed.lengths[i]]
+        out.append(
+            one_vs_all(
+                probe,
+                int(packed.counts[i]),
+                packed,
+                _WORKER_STRETCH,
+                indices=targets,
+                chunk=_WORKER_CHUNK,
+            )
+        )
+    return out
+
+
+def _ova_shard(args) -> np.ndarray:
+    """Stateless one-vs-all shard: all tensors travel with the task."""
+    probe_data, probe_count, data, mask, lengths, counts, stretch, chunk = args
+    packed = PaddedFingerprints.__new__(PaddedFingerprints)
+    packed.data = data
+    packed.mask = mask
+    packed.lengths = lengths
+    packed.counts = counts
+    packed.uids = [""] * data.shape[0]
+    return one_vs_all(
+        probe_data, probe_count, packed, stretch,
+        indices=np.arange(data.shape[0]), chunk=chunk,
+    )
+
+
+class ProcessBackend(StretchBackend):
+    """Multi-core tier: Eq. 10 evaluations sharded over a process pool.
+
+    Full matrix builds ship the packed tensors to each worker once (pool
+    initializer) and shard probe rows in blocks; large one-vs-all calls
+    shard their target set with stateless tasks.  Small calls run inline
+    on the NumPy kernel — below
+    :attr:`~repro.core.config.ComputeConfig.parallel_targets_threshold`
+    the per-call pool overhead exceeds the kernel time.
+    """
+
+    name = "process"
+
+    #: Probe rows per matrix-build task.
+    MATRIX_BLOCK = 16
+
+    def __init__(self, compute: ComputeConfig, stretch: StretchConfig):
+        super().__init__(compute, stretch)
+        self.workers = _effective_workers(compute)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _shard_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def one_vs_all(self, probe_data, probe_count, packed, targets):
+        targets = np.asarray(targets, dtype=np.int64)
+        if self.workers <= 1 or targets.size < self.compute.parallel_targets_threshold:
+            return one_vs_all(
+                probe_data, probe_count, packed, self.stretch,
+                indices=targets, chunk=self.compute.chunk,
+            )
+        shards = np.array_split(targets, self.workers)
+        shards = [s for s in shards if s.size]
+        tasks = [
+            (
+                probe_data,
+                probe_count,
+                packed.data[s],
+                packed.mask[s],
+                packed.lengths[s],
+                packed.counts[s],
+                self.stretch,
+                self.compute.chunk,
+            )
+            for s in shards
+        ]
+        results = list(self._shard_pool().map(_ova_shard, tasks))
+        return np.concatenate(results)
+
+    def pairwise_matrix(self, packed):
+        n = len(packed)
+        if n < 4 or self.workers <= 1:
+            return NumpyBackend(self.compute, self.stretch).pairwise_matrix(packed)
+        mat = np.full((n, n), np.inf, dtype=np.float64)
+        blocks = [
+            np.arange(s, min(s + self.MATRIX_BLOCK, n - 1))
+            for s in range(0, n - 1, self.MATRIX_BLOCK)
+        ]
+        # A dedicated pool per build: the initializer broadcast ties the
+        # workers to this packed snapshot.
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_matrix_init,
+            initargs=(
+                packed.data,
+                packed.mask,
+                packed.lengths,
+                packed.counts,
+                self.stretch,
+                self.compute.chunk,
+            ),
+        ) as pool:
+            for rows, results in zip(blocks, pool.map(_matrix_row_block, blocks)):
+                for i, vals in zip(rows, results):
+                    i = int(i)
+                    if vals.size:
+                        mat[i, i + 1 :] = vals
+                        mat[i + 1 :, i] = vals
+        return mat
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+class AutoBackend(StretchBackend):
+    """Workload-size dispatch between the registered compute tiers.
+
+    Small workloads stay on the in-process NumPy kernels; full matrix
+    builds over at least ``parallel_matrix_threshold`` fingerprints and
+    one-vs-all calls over at least ``parallel_targets_threshold``
+    targets go to the process pool (when more than one worker is
+    available).
+    """
+
+    name = "auto"
+
+    def __init__(self, compute: ComputeConfig, stretch: StretchConfig):
+        super().__init__(compute, stretch)
+        self.workers = _effective_workers(compute)
+        self._numpy = NumpyBackend(compute, stretch)
+        self._process: Optional[ProcessBackend] = None
+
+    def _pooled(self) -> ProcessBackend:
+        if self._process is None:
+            self._process = ProcessBackend(self.compute, self.stretch)
+        return self._process
+
+    def one_vs_all(self, probe_data, probe_count, packed, targets):
+        targets = np.asarray(targets, dtype=np.int64)
+        if self.workers > 1 and targets.size >= self.compute.parallel_targets_threshold:
+            return self._pooled().one_vs_all(probe_data, probe_count, packed, targets)
+        return self._numpy.one_vs_all(probe_data, probe_count, packed, targets)
+
+    def pairwise_matrix(self, packed):
+        if self.workers > 1 and len(packed) >= self.compute.parallel_matrix_threshold:
+            return self._pooled().pairwise_matrix(packed)
+        return self._numpy.pairwise_matrix(packed)
+
+    def close(self) -> None:
+        if self._process is not None:
+            self._process.close()
+            self._process = None
+
+
+# ----------------------------------------------------------------------
+# Backend registry
+# ----------------------------------------------------------------------
+BackendFactory = Callable[[ComputeConfig, StretchConfig], StretchBackend]
+
+_BACKENDS: Dict[str, BackendFactory] = {
+    "numpy": NumpyBackend,
+    "process": ProcessBackend,
+    "auto": AutoBackend,
+}
+
+
+def available_backends() -> List[str]:
+    """Names of the registered compute backends."""
+    return sorted(_BACKENDS)
+
+
+def register_backend(name: str, factory: BackendFactory, overwrite: bool = False) -> None:
+    """Register a compute backend under ``name``.
+
+    ``factory(compute, stretch)`` must return a :class:`StretchBackend`.
+    This is the extension point for future tiers (sharded, GPU): a
+    registered backend is selectable by name through
+    :class:`~repro.core.config.ComputeConfig` everywhere — CLI,
+    experiment runner, benchmarks.
+    """
+    if not overwrite and name in _BACKENDS:
+        raise ValueError(f"backend {name!r} is already registered")
+    _BACKENDS[name] = factory
+
+
+def create_backend(
+    compute: ComputeConfig, stretch: StretchConfig = StretchConfig()
+) -> StretchBackend:
+    """Instantiate the backend selected by ``compute.backend``."""
+    try:
+        factory = _BACKENDS[compute.backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown compute backend {compute.backend!r}; "
+            f"registered: {', '.join(available_backends())}"
+        ) from None
+    return factory(compute, stretch)
+
+
+def compute_pairwise_matrix(
+    fingerprints: Sequence[Fingerprint],
+    config: StretchConfig = StretchConfig(),
+    compute: Optional[ComputeConfig] = None,
+) -> np.ndarray:
+    """Full pairwise ``Delta`` matrix through the selected backend.
+
+    The backend-aware counterpart of
+    :func:`repro.core.pairwise.pairwise_matrix`; values are
+    byte-identical across backends.
+    """
+    compute = compute if compute is not None else get_default_compute()
+    packed = PaddedFingerprints(list(fingerprints))
+    with create_backend(compute, config) as backend:
+        return backend.pairwise_matrix(packed)
+
+
+# ----------------------------------------------------------------------
+# The engine: store + backend + lower bounds
+# ----------------------------------------------------------------------
+def _interval_gap(a_lo, a_hi, b_lo, b_hi):
+    """Separation between intervals ``[a_lo, a_hi]`` and ``[b_lo, b_hi]``."""
+    return np.maximum(0.0, np.maximum(a_lo - b_hi, b_lo - a_hi))
+
+
+class StretchEngine:
+    """Stretch-compute subsystem driving one GLOVE (or k-gap) workload.
+
+    Owns a :class:`SlotStore`, a backend instance, and — when pruning is
+    enabled — per-slot bounding-box summaries supporting two levels of
+    lower bounds on the fingerprint stretch effort (Eq. 10):
+
+    * **level 0** (:meth:`hull_lower_bounds`): the spatiotemporal gap
+      between two slots' global bounding boxes, O(1) per pair;
+    * **level 1** (:meth:`bucket_lower_bounds`): the probe's samples
+      against the target's per-time-bucket spatial hulls (and vice
+      versa, following Eq. 10's longer-side rule), O(m·B) per pair with
+      ``B`` a small constant.
+
+    Both bounds never exceed the exact effort (see DESIGN.md for the
+    proof sketch), so a caller tracking a current-best value may skip
+    the exact kernel for any candidate whose bound is already worse.
+    """
+
+    def __init__(
+        self,
+        fingerprints: Sequence[Fingerprint],
+        stretch: StretchConfig = StretchConfig(),
+        compute: Optional[ComputeConfig] = None,
+    ):
+        self.compute = compute if compute is not None else get_default_compute()
+        self.stretch = stretch
+        self.store = SlotStore(fingerprints)
+        self.backend = create_backend(self.compute, stretch)
+        self.pruning = self.compute.pruning
+        if self.pruning:
+            self._init_bounds()
+
+    # -- slot lifecycle -------------------------------------------------
+    def append(self, fp: Fingerprint) -> int:
+        """Add a fingerprint (e.g. a merge product); returns its slot."""
+        slot = self.store.append(fp)
+        if self.pruning:
+            self._ensure_bound_capacity()
+            self._summarize(slot)
+        return slot
+
+    def retire(self, slot: int) -> None:
+        """Retire a slot whose fingerprint was merged away."""
+        self.store.retire(slot)
+
+    # -- exact evaluation ----------------------------------------------
+    def row(self, slot: int, targets: np.ndarray) -> np.ndarray:
+        """Exact Eq. 10 efforts from a live slot to the target slots."""
+        targets = np.asarray(targets, dtype=np.int64)
+        return self.backend.one_vs_all(
+            self.store.probe(slot), int(self.store.counts[slot]), self.store, targets
+        )
+
+    def pairwise_matrix(self) -> np.ndarray:
+        """Full matrix over the currently stored slots."""
+        return self.backend.pairwise_matrix(self.store.view())
+
+    # -- pruning summaries ---------------------------------------------
+    def _init_bounds(self) -> None:
+        store = self.store
+        n = store.size
+        t_lo = min(float(store.data[s, : store.lengths[s], T].min()) for s in range(n))
+        t_hi = max(
+            float(
+                (store.data[s, : store.lengths[s], T] + store.data[s, : store.lengths[s], DT]).max()
+            )
+            for s in range(n)
+        )
+        span = max(t_hi - t_lo, 1e-9)
+        n_buckets = int(np.ceil(span / self.compute.lb_bucket_minutes))
+        n_buckets = int(np.clip(n_buckets, 1, self.compute.lb_max_buckets))
+        self._bucket_edges = np.linspace(t_lo, t_hi, n_buckets + 1)
+        cap = store.capacity
+        self._hull = np.zeros((cap, 6), dtype=np.float64)
+        self._bucket_hull = np.zeros((cap, n_buckets, 6), dtype=np.float64)
+        self._bucket_occ = np.zeros((cap, n_buckets), dtype=bool)
+        for slot in range(n):
+            self._summarize(slot)
+
+    def _ensure_bound_capacity(self) -> None:
+        cap = self.store.capacity
+        for name in ("_hull", "_bucket_hull", "_bucket_occ"):
+            setattr(self, name, grow_array(getattr(self, name), cap))
+
+    def _summarize(self, slot: int) -> None:
+        """Compute the hull and per-bucket hulls of a slot."""
+        d = self.store.probe(slot)
+        x_lo, x_hi = d[:, X], d[:, X] + d[:, DX]
+        y_lo, y_hi = d[:, Y], d[:, Y] + d[:, DY]
+        t_lo, t_hi = d[:, T], d[:, T] + d[:, DT]
+        self._hull[slot] = (
+            x_lo.min(), x_hi.max(), y_lo.min(), y_hi.max(), t_lo.min(), t_hi.max()
+        )
+        edges = self._bucket_edges
+        # A sample belongs to every bucket its time interval touches
+        # (closed bounds, so boundary samples are never orphaned).
+        overlap = (t_lo[:, None] <= edges[1:][None, :]) & (t_hi[:, None] >= edges[:-1][None, :])
+        occ = overlap.any(axis=0)
+        inf = np.inf
+
+        def bucket_min(v):
+            return np.where(overlap, v[:, None], inf).min(axis=0)
+
+        bh = self._bucket_hull[slot]
+        bh[:, 0] = bucket_min(x_lo)
+        bh[:, 1] = -bucket_min(-x_hi)
+        bh[:, 2] = bucket_min(y_lo)
+        bh[:, 3] = -bucket_min(-y_hi)
+        # Clamp occupied time ranges to the bucket: tighter, still valid.
+        bh[:, 4] = np.maximum(bucket_min(t_lo), edges[:-1])
+        bh[:, 5] = np.minimum(-bucket_min(-t_hi), edges[1:])
+        self._bucket_occ[slot] = occ
+
+    # -- lower bounds ---------------------------------------------------
+    def hull_lower_bounds(self, slot: int, targets: np.ndarray) -> np.ndarray:
+        """Level-0 bound: gap between global bounding boxes, O(1)/pair."""
+        h = self._hull[slot]
+        H = self._hull[targets]
+        gx = _interval_gap(h[0], h[1], H[:, 0], H[:, 1])
+        gy = _interval_gap(h[2], h[3], H[:, 2], H[:, 3])
+        gt = _interval_gap(h[4], h[5], H[:, 4], H[:, 5])
+        cfg = self.stretch
+        return cfg.w_sigma * np.minimum((gx + gy) / cfg.phi_max_sigma_m, 1.0) + (
+            cfg.w_tau * np.minimum(gt / cfg.phi_max_tau_min, 1.0)
+        )
+
+    def bucket_lower_bounds(self, slot: int, targets: np.ndarray) -> np.ndarray:
+        """Level-1 bound: samples vs per-time-bucket hulls, O(m·B)/pair.
+
+        Follows Eq. 10's direction rule: the mean runs over the longer
+        fingerprint's samples (both directions averaged on equal
+        lengths), so each direction is bounded with the corresponding
+        side's samples against the other side's bucket hulls.
+        """
+        targets = np.asarray(targets, dtype=np.int64)
+        ma = int(self.store.lengths[slot])
+        len_t = self.store.lengths[targets]
+        a_side = ma >= len_t  # probe is the longer (or equal) side
+        b_side = len_t >= ma  # target is the longer (or equal) side
+        la = np.zeros(targets.size)
+        lb = np.zeros(targets.size)
+        if a_side.any():
+            la[a_side] = self._lb_probe_samples(slot, targets[a_side])
+        if b_side.any():
+            lb[b_side] = self._lb_target_samples(slot, targets[b_side])
+        out = np.where(
+            ma > len_t, la, np.where(len_t > ma, lb, (la + lb) / 2.0)
+        )
+        return out
+
+    def _sample_bucket_lb(self, s_lo, s_hi, hulls, occ):
+        """Per-(sample, bucket) bound; ``inf`` on unoccupied buckets.
+
+        ``s_lo``/``s_hi`` are ``(..., 3)`` interval bounds (x, y, t) and
+        ``hulls`` is ``(..., B, 6)``; broadcasting aligns the rest.
+        """
+        gx = _interval_gap(s_lo[..., 0], s_hi[..., 0], hulls[..., 0], hulls[..., 1])
+        gy = _interval_gap(s_lo[..., 1], s_hi[..., 1], hulls[..., 2], hulls[..., 3])
+        gt = _interval_gap(s_lo[..., 2], s_hi[..., 2], hulls[..., 4], hulls[..., 5])
+        cfg = self.stretch
+        lb = cfg.w_sigma * np.minimum((gx + gy) / cfg.phi_max_sigma_m, 1.0) + (
+            cfg.w_tau * np.minimum(gt / cfg.phi_max_tau_min, 1.0)
+        )
+        return np.where(occ, lb, np.inf)
+
+    def _lb_probe_samples(self, slot: int, targets: np.ndarray) -> np.ndarray:
+        """Mean over probe samples of the min bound to target buckets."""
+        d = self.store.probe(slot)
+        s_lo = np.stack([d[:, X], d[:, Y], d[:, T]], axis=-1)
+        s_hi = np.stack([d[:, X] + d[:, DX], d[:, Y] + d[:, DY], d[:, T] + d[:, DT]], axis=-1)
+        ma = d.shape[0]
+        n_buckets = self._bucket_hull.shape[1]
+        out = np.empty(targets.size)
+        block = max(1, (1 << 21) // max(ma * n_buckets, 1))
+        for start in range(0, targets.size, block):
+            sel = targets[start : start + block]
+            hulls = self._bucket_hull[sel][:, None, :, :]  # (C, 1, B, 6)
+            occ = self._bucket_occ[sel][:, None, :]  # (C, 1, B)
+            lb = self._sample_bucket_lb(
+                s_lo[None, :, None, :], s_hi[None, :, None, :], hulls, occ
+            )  # (C, ma, B)
+            out[start : start + sel.size] = lb.min(axis=2).mean(axis=1)
+        return out
+
+    def _lb_target_samples(self, slot: int, targets: np.ndarray) -> np.ndarray:
+        """Masked mean over target samples of the min bound to probe buckets."""
+        occ = self._bucket_occ[slot]
+        hulls = self._bucket_hull[slot][occ]  # (Bo, 6)
+        n_b = hulls.shape[0]
+        m_max = self.store.m_max
+        out = np.empty(targets.size)
+        block = max(1, (1 << 21) // max(m_max * n_b, 1))
+        for start in range(0, targets.size, block):
+            sel = targets[start : start + block]
+            d = self.store.data[sel]  # (C, m_max, 6)
+            mask = self.store.mask[sel]
+            s_lo = np.stack([d[:, :, X], d[:, :, Y], d[:, :, T]], axis=-1)
+            s_hi = np.stack(
+                [d[:, :, X] + d[:, :, DX], d[:, :, Y] + d[:, :, DY], d[:, :, T] + d[:, :, DT]],
+                axis=-1,
+            )
+            lb = self._sample_bucket_lb(
+                s_lo[:, :, None, :], s_hi[:, :, None, :], hulls[None, None, :, :], True
+            )  # (C, m_max, Bo)
+            per_sample = lb.min(axis=2)
+            per_sample = np.where(mask, per_sample, 0.0)
+            out[start : start + sel.size] = per_sample.sum(axis=1) / self.store.lengths[sel]
+        return out
+
+    # -- resource management -------------------------------------------
+    def close(self) -> None:
+        """Release the backend's pooled resources."""
+        self.backend.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

@@ -4,10 +4,11 @@ GLOVE greedily merges the two not-yet-anonymized fingerprints at
 minimum fingerprint stretch effort (Eq. 10) until every fingerprint
 hides at least ``k`` subscribers:
 
-1. compute the stretch effort between all fingerprint pairs;
-2. repeatedly pick the closest pair, merge it through specialized
-   generalization (Eq. 12-13 with two-stage matching), and re-insert the
-   merged fingerprint, recomputing its efforts to the remaining ones;
+1. find, for every fingerprint, its nearest not-yet-anonymized
+   neighbour under the stretch effort;
+2. repeatedly pick the globally closest pair, merge it through
+   specialized generalization (Eq. 12-13 with two-stage matching), and
+   re-insert the merged fingerprint;
 3. a merged fingerprint reaching ``count >= k`` is final and leaves the
    working set.
 
@@ -17,26 +18,30 @@ fingerprint can be left over; to honour the paper's "k-anonymity of all
 fingerprints by design" guarantee, the leftover is merged into its
 nearest *finished* group (documented design decision, see DESIGN.md).
 
-Complexity is O(|M|^2 n-bar^2) as in the paper's Section 6.3; the bulk
-Eq. 10 evaluations run on the vectorized kernels of
-:mod:`repro.core.pairwise` (the reproduction's stand-in for the paper's
-CUDA implementation).
+Complexity is O(|M|^2 n-bar^2) as in the paper's Section 6.3.  All bulk
+Eq. 10 evaluations run on the pluggable
+:class:`repro.core.engine.StretchEngine` (the reproduction's stand-in
+for the paper's CUDA offload); instead of materializing a dense
+``(2n, 2n)`` stretch matrix, the loop keeps one cached nearest
+neighbour per live slot (O(n) state) and uses the engine's bounding-box
+lower bounds to prune exact evaluations that provably cannot beat a
+current best.  The pruning is exact: results are identical, merge for
+merge, to an exhaustive search (see DESIGN.md).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
-from repro.core.config import GloveConfig, StretchConfig, SuppressionConfig
+from repro.core.config import ComputeConfig, GloveConfig
 from repro.core.dataset import FingerprintDataset
+from repro.core.engine import StretchEngine, get_default_compute, grow_array
 from repro.core.fingerprint import Fingerprint
 from repro.core.merge import merge_fingerprints
-from repro.core.pairwise import one_vs_all
 from repro.core.reshape import reshape_fingerprint
-from repro.core.sample import NCOLS
 from repro.core.suppression import SuppressionStats, suppress_dataset
 
 
@@ -55,6 +60,11 @@ class GloveStats:
     leftover_merged:
         Whether a final non-anonymous leftover had to be folded into an
         already-finished group.
+    n_exact_evaluations:
+        Exact Eq. 10 fingerprint-pair evaluations executed.
+    n_pruned_evaluations:
+        Candidate pairs skipped because a lower bound proved they could
+        not beat the current best (0 when pruning is disabled).
     suppression:
         Sample-suppression statistics (zero counts when disabled).
     """
@@ -63,6 +73,8 @@ class GloveStats:
     n_output_fingerprints: int = 0
     n_merges: int = 0
     leftover_merged: bool = False
+    n_exact_evaluations: int = 0
+    n_pruned_evaluations: int = 0
     suppression: Optional[SuppressionStats] = None
 
 
@@ -75,53 +87,134 @@ class GloveResult:
     config: GloveConfig
 
 
-class _WorkingSet:
-    """Growable padded tensor of live fingerprints.
+#: Candidates per exact-kernel batch in the pruned best-first scans.
+_SCAN_BATCH = 32
 
-    Duck-types the :class:`repro.core.pairwise.PaddedFingerprints`
-    interface (``data``, ``mask``, ``lengths``, ``counts``) so the
-    one-vs-all kernel can be reused while slots are added and retired.
-    Merged fingerprints never have more samples than the shorter parent,
-    so the sample capacity ``m_max`` is fixed by the input dataset.
+
+class _NearestNeighbours:
+    """Lazy per-slot nearest-neighbour cache over a stretch engine.
+
+    For every pending slot ``r`` it caches ``best_val[r]`` /
+    ``best_idx[r]``: the minimum stretch effort to any other pending
+    slot and that slot's id (ties broken toward the lowest id, exactly
+    like an exhaustive ``argmin``).  The cache is repaired lazily: a
+    slot is re-scanned only when its cached neighbour is merged away,
+    and scans walk candidates in lower-bound order so that the exact
+    Eq. 10 kernel runs only for candidates whose bound does not already
+    exceed the current best.
     """
 
-    def __init__(self, fingerprints: List[Fingerprint]):
-        n = len(fingerprints)
-        capacity = 2 * n  # n inputs + at most n-1 merge products
-        m_max = max(fp.m for fp in fingerprints)
-        self.data = np.zeros((capacity, m_max, NCOLS), dtype=np.float64)
-        self.mask = np.zeros((capacity, m_max), dtype=bool)
-        self.lengths = np.zeros(capacity, dtype=np.int64)
-        self.counts = np.zeros(capacity, dtype=np.int64)
-        self.fps: List[Optional[Fingerprint]] = [None] * capacity
-        self.size = 0
-        for fp in fingerprints:
-            self.append(fp)
+    def __init__(self, engine: StretchEngine, stats: GloveStats):
+        self.engine = engine
+        self.stats = stats
+        cap = engine.store.capacity
+        self.best_val = np.full(cap, np.inf, dtype=np.float64)
+        self.best_idx = np.full(cap, -1, dtype=np.int64)
 
-    def append(self, fp: Fingerprint) -> int:
-        """Store a fingerprint in the next free slot; returns the slot id."""
-        slot = self.size
-        if fp.m > self.data.shape[1]:
-            raise ValueError(
-                f"fingerprint {fp.uid!r} has {fp.m} samples, exceeding capacity "
-                f"{self.data.shape[1]}"
-            )
-        self.data[slot, : fp.m] = fp.data
-        self.mask[slot, : fp.m] = True
-        self.lengths[slot] = fp.m
-        self.counts[slot] = fp.count
-        self.fps[slot] = fp
-        self.size += 1
-        return slot
+    def ensure_capacity(self) -> None:
+        """Grow the cache arrays alongside the slot store."""
+        cap = self.engine.store.capacity
+        self.best_val = grow_array(self.best_val, cap, np.inf)
+        self.best_idx = grow_array(self.best_idx, cap, -1)
 
-    def __len__(self) -> int:
-        return self.size
+    def drop(self, slot: int) -> None:
+        """Forget a retired slot's cached neighbour."""
+        self.best_val[slot] = np.inf
+        self.best_idx[slot] = -1
+
+    def _exact(self, slot: int, targets: np.ndarray) -> np.ndarray:
+        self.stats.n_exact_evaluations += targets.size
+        return self.engine.row(slot, targets)
+
+    def scan(self, slot: int, candidates: np.ndarray) -> tuple:
+        """Nearest candidate of a slot: ``(value, candidate_slot)``.
+
+        ``candidates`` must be in ascending slot order; ties in the
+        effort resolve to the lowest slot id regardless of the order in
+        which the pruned walk visits them.
+        """
+        cands = np.asarray(candidates, dtype=np.int64)
+        return self._walk(slot, cands, np.zeros(cands.size, dtype=bool))
+
+    def refresh(self, slot: int, candidates: np.ndarray) -> None:
+        """Re-derive a slot's cached neighbour from scratch."""
+        self.best_val[slot], self.best_idx[slot] = self.scan(slot, candidates)
+
+    def insert(self, slot: int, candidates: np.ndarray, reverse: np.ndarray) -> None:
+        """Find a fresh slot's neighbour and propagate it into others.
+
+        Combines two walks the dense-matrix formulation did with one
+        row: finding the new slot's own nearest candidate, and updating
+        every candidate ``r`` whose cached best the new slot strictly
+        beats.  ``reverse`` masks which candidates may receive that
+        propagation (slots queued for a full refresh hold stale values
+        and are excluded).  Candidates must be in ascending slot order.
+        """
+        self.ensure_capacity()
+        cands = np.asarray(candidates, dtype=np.int64)
+        self.best_val[slot], self.best_idx[slot] = self._walk(slot, cands, reverse)
+
+    def _walk(self, slot: int, cands: np.ndarray, reverse: np.ndarray) -> tuple:
+        """Pruned best-first walk shared by :meth:`scan` and :meth:`insert`.
+
+        Walks candidates in lower-bound order, running the exact kernel
+        only where a bound could still beat the running best (tie rule:
+        lowest slot id, exactly like an exhaustive ``argmin``) or —
+        where ``reverse`` allows — strictly beat a candidate's own
+        cached best, in which case that candidate adopts ``slot``.
+        Returns the ``(value, candidate)`` nearest pair for ``slot``.
+        """
+        if cands.size == 0:
+            return np.inf, -1
+        engine = self.engine
+
+        def propagate(sub: np.ndarray, vals: np.ndarray) -> None:
+            upd = reverse[sub] & (vals < self.best_val[cands[sub]])
+            tgt = cands[sub[upd]]
+            self.best_val[tgt] = vals[upd]
+            self.best_idx[tgt] = slot
+
+        if not engine.pruning:
+            vals = self._exact(slot, cands)
+            j = int(vals.argmin())
+            propagate(np.arange(cands.size), vals)
+            return float(vals[j]), int(cands[j])
+
+        lb0 = engine.hull_lower_bounds(slot, cands)
+        order = np.argsort(lb0, kind="stable")
+        best, best_idx = np.inf, -1
+        evaluated = 0
+        pos = 0
+        while pos < order.size:
+            rest = order[pos:]
+            if lb0[rest[0]] > best and not (
+                reverse[rest] & (lb0[rest] < self.best_val[cands[rest]])
+            ).any():
+                break
+            sel = rest[:_SCAN_BATCH]
+            need = (lb0[sel] <= best) | (reverse[sel] & (lb0[sel] < self.best_val[cands[sel]]))
+            sub = sel[need]
+            if sub.size:
+                lb1 = engine.bucket_lower_bounds(slot, cands[sub])
+                need = (lb1 <= best) | (reverse[sub] & (lb1 < self.best_val[cands[sub]]))
+                sub = sub[need]
+            if sub.size:
+                vals = self._exact(slot, cands[sub])
+                evaluated += sub.size
+                vmin = float(vals.min())
+                cmin = int(cands[sub][vals == vmin].min())
+                if vmin < best or (vmin == best and cmin < best_idx):
+                    best, best_idx = vmin, cmin
+                propagate(sub, vals)
+            pos += _SCAN_BATCH
+        self.stats.n_pruned_evaluations += cands.size - evaluated
+        return best, best_idx
 
 
 def glove(
     dataset: FingerprintDataset,
     config: GloveConfig = GloveConfig(),
-    chunk: int = 256,
+    compute: Optional[ComputeConfig] = None,
 ) -> GloveResult:
     """k-anonymize a fingerprint dataset with GLOVE.
 
@@ -133,8 +226,11 @@ def glove(
         already-formed group.
     config:
         Anonymity level, stretch metric, suppression, reshaping.
-    chunk:
-        Fingerprints per broadcast chunk in the bulk kernels.
+    compute:
+        Compute-substrate selection (backend, chunking, workers,
+        pruning); defaults to the process-wide
+        :func:`repro.core.engine.get_default_compute`.  The choice
+        never changes results, only how fast they arrive.
 
     Returns
     -------
@@ -151,109 +247,9 @@ def glove(
         raise ValueError("input contains empty fingerprints; screen the dataset first")
 
     stats = GloveStats(n_input_fingerprints=n)
-    work = _WorkingSet(fps)
-    capacity = 2 * n
-
-    # S[i, j] = fingerprint stretch effort between live slots i and j.
-    stretch = np.full((capacity, capacity), np.inf, dtype=np.float64)
-    pending = np.zeros(capacity, dtype=bool)  # live and count < k
-    for slot in range(n):
-        pending[slot] = work.counts[slot] < k
-    finished: List[int] = [slot for slot in range(n) if not pending[slot]]
-
-    cfg = config.stretch
-    pending_idx = np.flatnonzero(pending)
-    for pos, i in enumerate(pending_idx[:-1]):
-        targets = pending_idx[pos + 1 :]
-        vals = one_vs_all(work.fps[i].data, work.fps[i].count, work, cfg, targets, chunk)
-        stretch[i, targets] = vals
-        stretch[targets, i] = vals
-
-    # Nearest pending neighbour per pending slot (value + index).
-    best_val = np.full(capacity, np.inf)
-    best_idx = np.full(capacity, -1, dtype=np.int64)
-
-    def _refresh_best(slot: int) -> None:
-        live = pending.copy()
-        live[slot] = False
-        if not live.any():
-            best_val[slot] = np.inf
-            best_idx[slot] = -1
-            return
-        row = np.where(live, stretch[slot], np.inf)
-        j = int(row.argmin())
-        best_val[slot] = row[j]
-        best_idx[slot] = j
-
-    for i in np.flatnonzero(pending):
-        _refresh_best(int(i))
-
-    def _merge_pair(i: int, j: int) -> Fingerprint:
-        merged = merge_fingerprints(work.fps[i], work.fps[j], cfg)
-        if config.reshape:
-            merged = reshape_fingerprint(merged)
-        return merged
-
-    while pending.sum() >= 2:
-        candidates = np.where(pending, best_val, np.inf)
-        i = int(candidates.argmin())
-        j = int(best_idx[i])
-        merged = _merge_pair(i, j)
-        stats.n_merges += 1
-
-        pending[i] = False
-        pending[j] = False
-        stretch[i, :] = np.inf
-        stretch[:, i] = np.inf
-        stretch[j, :] = np.inf
-        stretch[:, j] = np.inf
-        best_val[i] = best_val[j] = np.inf
-
-        slot = work.append(merged)
-        if merged.count >= k:
-            finished.append(slot)
-        else:
-            pending[slot] = True
-            targets = np.flatnonzero(pending)
-            targets = targets[targets != slot]
-            if targets.size:
-                vals = one_vs_all(merged.data, merged.count, work, cfg, targets, chunk)
-                stretch[slot, targets] = vals
-                stretch[targets, slot] = vals
-            _refresh_best(slot)
-
-        # Repair neighbour caches invalidated by the removal/insertion.
-        for r in np.flatnonzero(pending):
-            r = int(r)
-            if r == slot:
-                continue
-            if best_idx[r] in (i, j):
-                _refresh_best(r)
-            elif pending[slot] and stretch[r, slot] < best_val[r]:
-                best_val[r] = stretch[r, slot]
-                best_idx[r] = slot
-
-    # A single non-anonymous leftover: fold it into the nearest finished
-    # group so every subscriber ends up in a crowd of >= k.
-    leftover = np.flatnonzero(pending)
-    if leftover.size == 1:
-        lo = int(leftover[0])
-        if not finished:
-            raise RuntimeError("no finished group to absorb the leftover fingerprint")
-        targets = np.array(finished, dtype=np.int64)
-        vals = one_vs_all(work.fps[lo].data, work.fps[lo].count, work, cfg, targets, chunk)
-        tgt = int(targets[int(vals.argmin())])
-        merged = _merge_pair(lo, tgt)
-        stats.n_merges += 1
-        stats.leftover_merged = True
-        slot = work.append(merged)
-        finished[finished.index(tgt)] = slot
-        pending[lo] = False
-
-    out = FingerprintDataset(name=f"{dataset.name}-glove-k{k}")
-    for slot in finished:
-        out.add(work.fps[slot])
-    stats.n_output_fingerprints = len(out)
+    compute = compute if compute is not None else get_default_compute()
+    with StretchEngine(fps, stretch=config.stretch, compute=compute) as engine:
+        out = _anonymize(engine, fps, config, stats, name=f"{dataset.name}-glove-k{k}")
 
     if config.suppression.enabled:
         out, supp = suppress_dataset(out, config.suppression)
@@ -263,3 +259,93 @@ def glove(
             total_samples=out.n_samples, discarded_samples=0, discarded_fingerprints=0
         )
     return GloveResult(dataset=out, stats=stats, config=config)
+
+
+def _anonymize(
+    engine: StretchEngine,
+    fps: List[Fingerprint],
+    config: GloveConfig,
+    stats: GloveStats,
+    name: str,
+) -> FingerprintDataset:
+    """The greedy merge loop of Alg. 1 on top of a stretch engine."""
+    store = engine.store
+    k = config.k
+    n = len(fps)
+
+    pending = np.zeros(store.capacity, dtype=bool)
+    pending[:n] = store.counts[:n] < k
+    finished: List[int] = [s for s in range(n) if not pending[s]]
+    nn = _NearestNeighbours(engine, stats)
+
+    # Triangular initial build: each slot scans only the slots before it
+    # and insert() propagates the directed value back (strict-improvement
+    # updates keep the lowest-index tie rule), so every unordered pair is
+    # evaluated at most once — like the seed path's upper-triangle build.
+    initial = np.flatnonzero(pending)
+    for pos, i in enumerate(initial):
+        nn.insert(int(i), initial[:pos], np.ones(pos, dtype=bool))
+
+    def merge_pair(i: int, j: int) -> Fingerprint:
+        merged = merge_fingerprints(store.fps[i], store.fps[j], config.stretch)
+        if config.reshape:
+            merged = reshape_fingerprint(merged)
+        return merged
+
+    while pending.sum() >= 2:
+        live = np.flatnonzero(pending)
+        i = int(live[nn.best_val[live].argmin()])
+        j = int(nn.best_idx[i])
+        merged = merge_pair(i, j)
+        stats.n_merges += 1
+
+        pending[i] = pending[j] = False
+        engine.retire(i)
+        engine.retire(j)
+        nn.drop(i)
+        nn.drop(j)
+        # Slots whose cached neighbour just died need a full re-scan;
+        # everyone else at most adopts the merge product (below).
+        invalidated = [int(r) for r in live if r != i and r != j and nn.best_idx[r] in (i, j)]
+
+        slot = engine.append(merged)
+        pending = grow_array(pending, store.capacity, False)
+        nn.ensure_capacity()
+        if merged.count >= k:
+            finished.append(slot)
+        else:
+            pending[slot] = True
+            targets = np.flatnonzero(pending)
+            targets = targets[targets != slot]
+            reverse = np.ones(targets.size, dtype=bool)
+            if invalidated:
+                reverse = ~np.isin(targets, invalidated)
+            nn.insert(slot, targets, reverse)
+
+        for r in invalidated:
+            others = np.flatnonzero(pending)
+            nn.refresh(r, others[others != r])
+
+    # A single non-anonymous leftover: fold it into the nearest finished
+    # group so every subscriber ends up in a crowd of >= k.
+    leftover = np.flatnonzero(pending)
+    if leftover.size == 1:
+        lo = int(leftover[0])
+        if not finished:
+            raise RuntimeError("no finished group to absorb the leftover fingerprint")
+        _, tgt = nn.scan(lo, np.array(sorted(finished), dtype=np.int64))
+        merged = merge_pair(lo, tgt)
+        stats.n_merges += 1
+        stats.leftover_merged = True
+        slot = engine.append(merged)
+        engine.retire(lo)
+        engine.retire(tgt)
+        finished[finished.index(tgt)] = slot
+        pending = grow_array(pending, store.capacity, False)
+        pending[lo] = False
+
+    out = FingerprintDataset(name=name)
+    for slot in finished:
+        out.add(store.fps[slot])
+    stats.n_output_fingerprints = len(out)
+    return out

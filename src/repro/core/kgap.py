@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.config import StretchConfig
+from repro.core.config import ComputeConfig, StretchConfig
 from repro.core.dataset import FingerprintDataset
 from repro.core.fingerprint import Fingerprint
 from repro.core.pairwise import PaddedFingerprints, k_nearest, one_vs_all, pairwise_matrix
@@ -70,6 +70,7 @@ def kgap(
     k: int = 2,
     config: StretchConfig = StretchConfig(),
     matrix: Optional[np.ndarray] = None,
+    compute: Optional[ComputeConfig] = None,
 ) -> KGapResult:
     """Compute the k-gap of every fingerprint in a dataset (Eq. 11).
 
@@ -85,6 +86,11 @@ def kgap(
         Optional precomputed pairwise ``Delta`` matrix (e.g. from
         :func:`repro.core.pairwise.pairwise_matrix`), reused across
         different ``k`` values as in the paper's Fig. 3b.
+    compute:
+        Compute-substrate selection for the matrix build (ignored when
+        ``matrix`` is given); defaults to the process-wide
+        :func:`repro.core.engine.get_default_compute`.  The ``auto``
+        backend dispatches large builds to the process pool.
     """
     if k < 2:
         raise ValueError(f"k must be at least 2, got {k}")
@@ -92,7 +98,9 @@ def kgap(
     if len(fps) < k:
         raise ValueError(f"dataset has {len(fps)} fingerprints, cannot assess k={k}")
     if matrix is None:
-        matrix = pairwise_matrix(fps, config)
+        from repro.core.engine import compute_pairwise_matrix
+
+        matrix = compute_pairwise_matrix(fps, config, compute)
     idx, efforts = k_nearest(matrix, k - 1)
     gaps = efforts.mean(axis=1)
     return KGapResult(

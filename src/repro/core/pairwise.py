@@ -13,12 +13,9 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.config import StretchConfig
+from repro.core.config import DEFAULT_CHUNK, StretchConfig
 from repro.core.fingerprint import Fingerprint
 from repro.core.sample import DT, DX, DY, NCOLS, T, X, Y
-
-#: Fingerprints per broadcast chunk; bounds peak memory of the kernels.
-DEFAULT_CHUNK = 256
 
 
 class PaddedFingerprints:
@@ -123,8 +120,11 @@ def one_vs_all(
         ut = np.maximum(at + adt, bt + bdt) - np.minimum(at, bt)
 
         # Clamped at zero against floating-point cancellation noise.
-        raw_s = np.maximum((ux + uy) - w_a * a_ext_s - w_b * (bdx + bdy), 0.0)
-        raw_t = np.maximum(ut - w_a * adt - w_b * bdt, 0.0)
+        # The weighted own-extent terms are summed before subtracting so
+        # the expression is bitwise symmetric under a probe/target role
+        # swap (addition commutes exactly; chained subtraction doesn't).
+        raw_s = np.maximum((ux + uy) - (w_a * a_ext_s + w_b * (bdx + bdy)), 0.0)
+        raw_t = np.maximum(ut - (w_a * adt + w_b * bdt), 0.0)
 
         delta = config.w_sigma * np.minimum(raw_s / config.phi_max_sigma_m, 1.0)
         delta += config.w_tau * np.minimum(raw_t / config.phi_max_tau_min, 1.0)
@@ -133,12 +133,25 @@ def one_vs_all(
         delta[~mask[:, None, :].repeat(ma, axis=1)] = np.inf
 
         # Case ma > mb: for each probe sample, nearest target sample.
+        # Both directional means sum a zero-padded (C, pad_width) array:
+        # NumPy's pairwise summation groups operands by array length, so
+        # identical shapes keep the kernel bitwise symmetric under a
+        # probe/target role swap.
+        pad_width = max(ma, delta.shape[2])
         per_a = delta.min(axis=2)  # (C, ma)
-        mean_long_a = per_a.mean(axis=1)
+        if per_a.shape[1] < pad_width:
+            padded = np.zeros((per_a.shape[0], pad_width), dtype=per_a.dtype)
+            padded[:, : per_a.shape[1]] = per_a
+            per_a = padded
+        mean_long_a = per_a.sum(axis=1) / ma
 
         # Case mb > ma: for each *valid* target sample, nearest probe sample.
         per_b = delta.min(axis=1)  # (C, m_max)
         per_b = np.where(mask, per_b, 0.0)
+        if per_b.shape[1] < pad_width:
+            padded = np.zeros((per_b.shape[0], pad_width), dtype=per_b.dtype)
+            padded[:, : per_b.shape[1]] = per_b
+            per_b = padded
         mean_long_b = per_b.sum(axis=1) / len_b
 
         # Equal lengths: average both directions (symmetric tie rule,

@@ -1,63 +1,21 @@
-"""Multi-process evaluation of the pairwise stretch matrix.
+"""Legacy multi-process API, now a shim over the compute engine.
 
-The paper offloads the O(|M|^2) Eq. 10 evaluations to a GPU: "all of
-[GLOVE's] key calculations are highly parallelizable" (Section 6.3).
-The NumPy kernels in :mod:`repro.core.pairwise` are the single-process
-equivalent; this module adds the multi-core tier: the probe rows of the
-pairwise matrix are sharded across a process pool, with the packed
-fingerprint tensor shipped to each worker once at pool start-up.
-
-Use it when building large initial matrices (hundreds of users or
-more); for the incremental one-vs-all calls inside the GLOVE loop the
-per-call pool overhead exceeds the kernel time, so the sequential path
-remains the default there.
+The process pool that used to live here was absorbed into
+:class:`repro.core.engine.ProcessBackend` — the paper's "all of
+[GLOVE's] key calculations are highly parallelizable" (Section 6.3)
+observation is now served by the backend registry instead of a parallel
+bolt-on API.  :func:`parallel_pairwise_matrix` is kept for callers of
+the original interface and simply delegates to the ``process`` backend.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.config import StretchConfig
+from repro.core.config import ComputeConfig, StretchConfig
 from repro.core.fingerprint import Fingerprint
-from repro.core.pairwise import PaddedFingerprints, one_vs_all
-
-# Worker-side state, installed once per process by _init_worker.
-_WORKER_PACKED: Optional[PaddedFingerprints] = None
-_WORKER_CONFIG: Optional[StretchConfig] = None
-
-
-def _init_worker(data, mask, lengths, counts, uids, config) -> None:
-    global _WORKER_PACKED, _WORKER_CONFIG
-    packed = PaddedFingerprints.__new__(PaddedFingerprints)
-    packed.data = data
-    packed.mask = mask
-    packed.lengths = lengths
-    packed.counts = counts
-    packed.uids = uids
-    _WORKER_PACKED = packed
-    _WORKER_CONFIG = config
-
-
-def _row_block(rows: np.ndarray) -> List[np.ndarray]:
-    packed = _WORKER_PACKED
-    config = _WORKER_CONFIG
-    out = []
-    n = len(packed)
-    for i in rows:
-        i = int(i)
-        targets = np.arange(i + 1, n)
-        if targets.size == 0:
-            out.append(np.empty(0))
-            continue
-        probe = packed.data[i, : packed.lengths[i]]
-        out.append(
-            one_vs_all(probe, int(packed.counts[i]), packed, config, indices=targets)
-        )
-    return out
 
 
 def parallel_pairwise_matrix(
@@ -68,40 +26,26 @@ def parallel_pairwise_matrix(
 ) -> np.ndarray:
     """Pairwise ``Delta`` matrix computed on a process pool.
 
-    Equivalent to :func:`repro.core.pairwise.pairwise_matrix` (same
-    values, ``+inf`` diagonal); rows are sharded over ``n_workers``
-    processes in blocks of ``block`` probes.  Falls back to the
-    sequential kernel for trivially small inputs or ``n_workers=1``.
+    Byte-identical to :func:`repro.core.pairwise.pairwise_matrix` (same
+    values, ``+inf`` diagonal); probe rows are sharded over
+    ``n_workers`` processes in blocks of ``block`` probes.  Falls back
+    to the sequential kernel for trivially small inputs or
+    ``n_workers=1``.
+
+    .. deprecated::
+        Prefer :func:`repro.core.engine.compute_pairwise_matrix` with
+        ``ComputeConfig(backend="process")``, which also covers the
+        ``auto`` workload-size dispatch.
     """
+    from repro.core.engine import ProcessBackend
+    from repro.core.pairwise import PaddedFingerprints
+
     fps = list(fingerprints)
-    n = len(fps)
-    if n_workers is None:
-        n_workers = min(os.cpu_count() or 1, 8)
-    if n < 4 or n_workers <= 1:
-        from repro.core.pairwise import pairwise_matrix
-
-        return pairwise_matrix(fps, config)
-
-    packed = PaddedFingerprints(fps)
-    mat = np.full((n, n), np.inf, dtype=np.float64)
-    blocks = [np.arange(s, min(s + block, n - 1)) for s in range(0, n - 1, block)]
-
-    with ProcessPoolExecutor(
-        max_workers=n_workers,
-        initializer=_init_worker,
-        initargs=(
-            packed.data,
-            packed.mask,
-            packed.lengths,
-            packed.counts,
-            packed.uids,
-            config,
-        ),
-    ) as pool:
-        for rows, results in zip(blocks, pool.map(_row_block, blocks)):
-            for i, vals in zip(rows, results):
-                i = int(i)
-                if vals.size:
-                    mat[i, i + 1 :] = vals
-                    mat[i + 1 :, i] = vals
-    return mat
+    if n_workers is not None and n_workers < 1:
+        n_workers = 1  # the historical `n_workers <= 1` sequential fallback
+    backend = ProcessBackend(ComputeConfig(backend="process", workers=n_workers), config)
+    backend.MATRIX_BLOCK = block
+    try:
+        return backend.pairwise_matrix(PaddedFingerprints(fps))
+    finally:
+        backend.close()

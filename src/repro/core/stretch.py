@@ -138,9 +138,11 @@ def stretch_matrix(
     ut = np.maximum(at + adt, bt + bdt) - np.minimum(at, bt)
 
     # Clamp at zero: identical samples can produce raw stretches of
-    # -1e-15 through floating-point cancellation.
-    raw_s = np.maximum((ux + uy) - w_a * (adx + ady) - w_b * (bdx + bdy), 0.0)
-    raw_t = np.maximum(ut - w_a * adt - w_b * bdt, 0.0)
+    # -1e-15 through floating-point cancellation.  Weighted own-extent
+    # terms are summed before subtracting so a role swap of a and b is
+    # bitwise neutral (matches repro.core.pairwise.one_vs_all).
+    raw_s = np.maximum((ux + uy) - (w_a * (adx + ady) + w_b * (bdx + bdy)), 0.0)
+    raw_t = np.maximum(ut - (w_a * adt + w_b * bdt), 0.0)
 
     spatial = config.w_sigma * np.minimum(raw_s / config.phi_max_sigma_m, 1.0)
     temporal = config.w_tau * np.minimum(raw_t / config.phi_max_tau_min, 1.0)

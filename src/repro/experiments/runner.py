@@ -17,8 +17,14 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
+from repro.core.config import (
+    ComputeConfig,
+    add_compute_arguments,
+    compute_config_from_args,
+)
+from repro.core.engine import set_default_compute
 from repro.experiments import (
     ablation_weights,
     fig3,
@@ -79,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to save .txt/.json report artifacts",
     )
+    add_compute_arguments(parser, pruning=True)
     return parser
 
 
@@ -89,25 +96,34 @@ def run_experiments(
     seed: int,
     stream=sys.stdout,
     output: str = None,
+    compute: Optional[ComputeConfig] = None,
 ) -> Dict[str, object]:
     """Run the named experiments, printing each report; returns them.
 
     With ``output`` set, every report is also saved as ``.txt`` and
-    ``.json`` artifacts in that directory.
+    ``.json`` artifacts in that directory.  ``compute`` selects the
+    stretch-compute backend for every GLOVE run and k-gap matrix build
+    of the session (installed as the process-wide default for the
+    duration, then restored).
     """
     reports = {}
-    for name in names:
-        t0 = time.time()
-        report = EXPERIMENTS[name](n_users=n_users, days=days, seed=seed)
-        elapsed = time.time() - t0
-        reports[name] = report
-        print(report.render(), file=stream)
-        print(f"[{name} completed in {elapsed:.1f} s]\n", file=stream)
-        if output is not None:
-            from repro.experiments.artifacts import save_report
+    previous = set_default_compute(compute) if compute is not None else None
+    try:
+        for name in names:
+            t0 = time.time()
+            report = EXPERIMENTS[name](n_users=n_users, days=days, seed=seed)
+            elapsed = time.time() - t0
+            reports[name] = report
+            print(report.render(), file=stream)
+            print(f"[{name} completed in {elapsed:.1f} s]\n", file=stream)
+            if output is not None:
+                from repro.experiments.artifacts import save_report
 
-            paths = save_report(report, output)
-            print(f"[artifacts: {paths['txt']}, {paths['json']}]\n", file=stream)
+                paths = save_report(report, output)
+                print(f"[artifacts: {paths['txt']}, {paths['json']}]\n", file=stream)
+    finally:
+        if previous is not None:
+            set_default_compute(previous)
     return reports
 
 
@@ -115,7 +131,12 @@ def main(argv: List[str] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     run_experiments(
-        args.experiments, args.n_users, args.days, args.seed, output=args.output
+        args.experiments,
+        args.n_users,
+        args.days,
+        args.seed,
+        output=args.output,
+        compute=compute_config_from_args(args),
     )
     return 0
 

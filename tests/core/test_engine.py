@@ -1,0 +1,291 @@
+"""Tests for the pluggable stretch-compute engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DEFAULT_CHUNK, ComputeConfig, GloveConfig, StretchConfig
+from repro.core.dataset import FingerprintDataset
+from repro.core.engine import (
+    NumpyBackend,
+    SlotStore,
+    StretchEngine,
+    _BACKENDS,
+    available_backends,
+    compute_pairwise_matrix,
+    create_backend,
+    get_default_compute,
+    register_backend,
+    set_default_compute,
+)
+from repro.core.glove import glove
+from repro.core.merge import merge_fingerprints
+from repro.core.pairwise import PaddedFingerprints, pairwise_matrix
+from repro.core.parallel import parallel_pairwise_matrix
+from tests.conftest import make_fp
+
+
+class TestSlotStore:
+    def test_packs_and_appends(self, small_civ):
+        fps = list(small_civ)[:6]
+        store = SlotStore(fps)
+        assert len(store) == 6
+        assert store.capacity == 12
+        assert store.alive[:6].all()
+        np.testing.assert_array_equal(store.lengths[:6], [fp.m for fp in fps])
+
+    def test_retire_marks_dead(self, small_civ):
+        store = SlotStore(list(small_civ)[:4])
+        store.retire(2)
+        assert not store.alive[2]
+        with pytest.raises(ValueError):
+            store.retire(2)
+
+    def test_grows_past_initial_capacity(self):
+        fps = [make_fp(f"u{i}", [(float(i), 0.0, float(i))]) for i in range(3)]
+        store = SlotStore(fps)
+        for i in range(10):
+            store.append(make_fp(f"extra{i}", [(0.0, 0.0, 0.0)]))
+        assert len(store) == 13
+        assert store.capacity >= 13
+        assert store.fps[12].uid == "extra9"
+
+    def test_rejects_oversized_fingerprint(self):
+        store = SlotStore([make_fp("a", [(0.0, 0.0, 0.0)])])
+        tall = make_fp("b", [(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)])
+        with pytest.raises(ValueError, match="exceeding"):
+            store.append(tall)
+
+    def test_view_matches_packed(self, small_civ):
+        fps = list(small_civ)[:5]
+        store = SlotStore(fps)
+        packed = PaddedFingerprints(fps)
+        view = store.view()
+        np.testing.assert_array_equal(view.data, packed.data)
+        np.testing.assert_array_equal(view.mask, packed.mask)
+
+
+class TestBackendEquivalence:
+    """Backends must be value-transparent: byte-identical results."""
+
+    def test_matrix_process_equals_numpy(self, small_civ):
+        fps = list(small_civ)[:20]
+        stretch = StretchConfig()
+        seq = compute_pairwise_matrix(fps, stretch, ComputeConfig(backend="numpy"))
+        par = compute_pairwise_matrix(
+            fps, stretch, ComputeConfig(backend="process", workers=2)
+        )
+        np.testing.assert_array_equal(seq, par)
+
+    def test_matrix_matches_legacy_kernels(self, small_civ):
+        fps = list(small_civ)[:15]
+        engine_mat = compute_pairwise_matrix(fps, compute=ComputeConfig(backend="numpy"))
+        np.testing.assert_array_equal(engine_mat, pairwise_matrix(fps))
+        np.testing.assert_array_equal(
+            engine_mat, parallel_pairwise_matrix(fps, n_workers=2, block=4)
+        )
+
+    def test_sharded_one_vs_all_equals_inline(self, small_civ):
+        fps = list(small_civ)[:16]
+        stretch = StretchConfig()
+        packed = PaddedFingerprints(fps)
+        targets = np.arange(1, len(fps))
+        inline = create_backend(ComputeConfig(backend="numpy"), stretch)
+        sharded = create_backend(
+            ComputeConfig(backend="process", workers=2, parallel_targets_threshold=1),
+            stretch,
+        )
+        with inline, sharded:
+            a = inline.one_vs_all(fps[0].data, fps[0].count, packed, targets)
+            b = sharded.one_vs_all(fps[0].data, fps[0].count, packed, targets)
+        np.testing.assert_array_equal(a, b)
+
+    def test_glove_identical_across_backends(self, small_civ):
+        config = GloveConfig(k=3)
+        results = {
+            name: glove(small_civ, config, ComputeConfig(backend=name))
+            for name in ("numpy", "process", "auto")
+        }
+        reference = results["numpy"]
+        for name, result in results.items():
+            assert result.stats.n_merges == reference.stats.n_merges, name
+            for a, b in zip(result.dataset, reference.dataset):
+                assert a.members == b.members, name
+                np.testing.assert_array_equal(a.data, b.data)
+
+    def test_glove_identical_with_and_without_pruning(self, small_civ):
+        config = GloveConfig(k=2)
+        pruned = glove(small_civ, config, ComputeConfig(backend="numpy", pruning=True))
+        full = glove(small_civ, config, ComputeConfig(backend="numpy", pruning=False))
+        assert pruned.stats.n_merges == full.stats.n_merges
+        for a, b in zip(pruned.dataset, full.dataset):
+            assert a.members == b.members
+            np.testing.assert_array_equal(a.data, b.data)
+        assert pruned.stats.n_pruned_evaluations > 0
+        assert full.stats.n_pruned_evaluations == 0
+        assert pruned.stats.n_exact_evaluations < full.stats.n_exact_evaluations
+
+
+class TestLowerBounds:
+    """The pruning bounds must never exceed the exact Eq. 10 effort."""
+
+    @pytest.fixture
+    def engine(self, small_civ):
+        return StretchEngine(list(small_civ), compute=ComputeConfig(backend="numpy"))
+
+    def test_hull_bound_is_a_lower_bound(self, engine):
+        n = len(engine.store)
+        for slot in range(0, n, 5):
+            targets = np.array([t for t in range(n) if t != slot], dtype=np.int64)
+            exact = engine.row(slot, targets)
+            lb = engine.hull_lower_bounds(slot, targets)
+            assert (lb <= exact + 1e-12).all()
+
+    def test_bucket_bound_is_a_lower_bound_and_tighter(self, engine):
+        n = len(engine.store)
+        total_lb0 = total_lb1 = 0.0
+        for slot in range(0, n, 5):
+            targets = np.array([t for t in range(n) if t != slot], dtype=np.int64)
+            exact = engine.row(slot, targets)
+            lb0 = engine.hull_lower_bounds(slot, targets)
+            lb1 = engine.bucket_lower_bounds(slot, targets)
+            assert (lb1 <= exact + 1e-12).all()
+            assert (lb0 <= lb1 + 1e-12).all()
+            total_lb0 += lb0.sum()
+            total_lb1 += lb1.sum()
+        assert total_lb1 >= total_lb0
+
+    def test_bounds_stay_valid_for_merge_products(self, engine, small_civ):
+        fps = list(small_civ)
+        merged = merge_fingerprints(fps[0], fps[1], StretchConfig())
+        slot = engine.append(merged)
+        targets = np.arange(2, 10, dtype=np.int64)
+        exact = engine.row(slot, targets)
+        assert (engine.hull_lower_bounds(slot, targets) <= exact + 1e-12).all()
+        assert (engine.bucket_lower_bounds(slot, targets) <= exact + 1e-12).all()
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = available_backends()
+        assert {"numpy", "process", "auto"} <= set(names)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown compute backend"):
+            create_backend(ComputeConfig(backend="quantum"))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("numpy", NumpyBackend)
+
+    def test_custom_backend_drives_glove(self, small_civ):
+        calls = []
+
+        class TracingBackend(NumpyBackend):
+            name = "tracing"
+
+            def one_vs_all(self, probe_data, probe_count, packed, targets):
+                calls.append(len(targets))
+                return super().one_vs_all(probe_data, probe_count, packed, targets)
+
+        register_backend("tracing", TracingBackend)
+        try:
+            result = glove(small_civ, GloveConfig(k=2), ComputeConfig(backend="tracing"))
+            reference = glove(small_civ, GloveConfig(k=2), ComputeConfig(backend="numpy"))
+            assert calls, "custom backend was never invoked"
+            for a, b in zip(result.dataset, reference.dataset):
+                assert a.members == b.members
+        finally:
+            _BACKENDS.pop("tracing", None)
+
+
+class TestAutoSelection:
+    def test_small_workload_stays_in_process(self, small_civ):
+        fps = list(small_civ)[:10]
+        backend = create_backend(ComputeConfig(backend="auto"), StretchConfig())
+        with backend:
+            backend.pairwise_matrix(PaddedFingerprints(fps))
+            assert backend._process is None  # the pool was never spun up
+
+    def test_large_matrix_goes_to_pool(self, small_civ):
+        fps = list(small_civ)[:10]
+        compute = ComputeConfig(backend="auto", workers=2, parallel_matrix_threshold=4)
+        backend = create_backend(compute, StretchConfig())
+        with backend:
+            mat = backend.pairwise_matrix(PaddedFingerprints(fps))
+            assert backend._process is not None
+        np.testing.assert_array_equal(mat, pairwise_matrix(fps))
+
+
+class TestDefaultCompute:
+    def test_round_trip(self):
+        original = get_default_compute()
+        replacement = ComputeConfig(backend="numpy", chunk=64)
+        try:
+            previous = set_default_compute(replacement)
+            assert previous is original
+            assert get_default_compute() is replacement
+        finally:
+            set_default_compute(original)
+
+    def test_glove_uses_installed_default(self, small_civ):
+        original = get_default_compute()
+        try:
+            set_default_compute(ComputeConfig(backend="numpy", pruning=False))
+            result = glove(small_civ, GloveConfig(k=2))
+            assert result.stats.n_pruned_evaluations == 0
+        finally:
+            set_default_compute(original)
+
+
+class TestComputeConfig:
+    def test_chunk_single_source_of_truth(self):
+        from repro.core import pairwise
+
+        assert ComputeConfig().chunk == DEFAULT_CHUNK == pairwise.DEFAULT_CHUNK
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"chunk": 0},
+            {"workers": 0},
+            {"lb_bucket_minutes": -1.0},
+            {"lb_max_buckets": 0},
+            {"parallel_matrix_threshold": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ComputeConfig(**kwargs)
+
+    def test_chunking_never_changes_values(self, small_civ):
+        fps = list(small_civ)[:12]
+        a = compute_pairwise_matrix(fps, compute=ComputeConfig(backend="numpy", chunk=1))
+        b = compute_pairwise_matrix(fps, compute=ComputeConfig(backend="numpy", chunk=256))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestEngineLifecycle:
+    def test_context_manager_closes_backend(self, small_civ):
+        closed = []
+
+        class ClosingBackend(NumpyBackend):
+            name = "closing"
+
+            def close(self):
+                closed.append(True)
+
+        register_backend("closing", ClosingBackend)
+        try:
+            with StretchEngine(list(small_civ)[:4], compute=ComputeConfig(backend="closing")):
+                pass
+            assert closed == [True]
+        finally:
+            _BACKENDS.pop("closing", None)
+
+    def test_row_matches_matrix(self, small_civ):
+        engine = StretchEngine(
+            list(small_civ)[:8], compute=ComputeConfig(backend="numpy")
+        )
+        mat = engine.pairwise_matrix()
+        row = engine.row(3, np.array([0, 1, 2, 4, 5, 6, 7]))
+        np.testing.assert_array_equal(row, mat[3, [0, 1, 2, 4, 5, 6, 7]])

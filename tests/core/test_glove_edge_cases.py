@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.config import GloveConfig, StretchConfig
+from repro.core.config import ComputeConfig, GloveConfig, StretchConfig
 from repro.core.dataset import FingerprintDataset
 from repro.core.glove import glove
 from tests.conftest import make_fp
@@ -67,6 +67,84 @@ class TestDegenerateGeometry:
         result = glove(subset, GloveConfig(k=5))
         assert len(result.dataset) == 1
         assert result.dataset[0].count == 5
+
+
+class TestLeftoverMerge:
+    """The fold-in of a final non-anonymous leftover (see DESIGN.md)."""
+
+    @staticmethod
+    def _two_clusters_and_a_straggler():
+        """Two tight pairs far apart plus a straggler near the second."""
+        return FingerprintDataset(
+            [
+                make_fp("L1", [(0.0, 0.0, 0.0)]),
+                make_fp("L2", [(10.0, 0.0, 1.0)]),
+                make_fp("R1", [(80_000.0, 0.0, 0.0)]),
+                make_fp("R2", [(80_010.0, 0.0, 1.0)]),
+                make_fp("straggler", [(80_500.0, 0.0, 2.0)]),
+            ]
+        )
+
+    def test_leftover_folds_into_nearest_finished_group(self):
+        result = glove(self._two_clusters_and_a_straggler(), GloveConfig(k=2))
+        assert result.stats.leftover_merged
+        index = {m: fp for fp in result.dataset for m in fp.members}
+        # The straggler must land in the right-hand group, not cross the
+        # 80 km gap to the left-hand one.
+        assert index["straggler"] is index["R1"]
+        assert index["straggler"] is index["R2"]
+        assert index["L1"] is index["L2"]
+
+    def test_leftover_merge_counts_as_a_merge(self):
+        result = glove(self._two_clusters_and_a_straggler(), GloveConfig(k=2))
+        # Two pair merges plus the leftover fold.
+        assert result.stats.n_merges == 3
+        assert result.stats.n_output_fingerprints == 2
+        assert result.dataset.is_k_anonymous(2)
+
+    def test_leftover_group_exceeds_k(self):
+        result = glove(self._two_clusters_and_a_straggler(), GloveConfig(k=2))
+        counts = sorted(fp.count for fp in result.dataset)
+        assert counts == [2, 3]
+
+    @pytest.mark.parametrize("pruning", [True, False])
+    def test_leftover_path_identical_with_pruning(self, pruning):
+        baseline = glove(
+            self._two_clusters_and_a_straggler(),
+            GloveConfig(k=2),
+            ComputeConfig(backend="numpy", pruning=False),
+        )
+        result = glove(
+            self._two_clusters_and_a_straggler(),
+            GloveConfig(k=2),
+            ComputeConfig(backend="numpy", pruning=pruning),
+        )
+        assert result.stats.leftover_merged == baseline.stats.leftover_merged
+        for a, b in zip(result.dataset, baseline.dataset):
+            assert a.members == b.members
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_no_leftover_on_even_arithmetic(self, small_civ):
+        # 40 single users at k=2: every merge of two singles reaches
+        # count == 2 and finishes immediately, so the population pairs
+        # up evenly and no fold-in is required.
+        result = glove(small_civ, GloveConfig(k=2))
+        assert result.stats.n_input_fingerprints == 40
+        assert all(fp.count == 2 for fp in result.dataset)
+        assert not result.stats.leftover_merged
+
+    def test_leftover_with_pregrouped_absorber(self):
+        # The only finished group available is a pre-grouped input.
+        ds = FingerprintDataset(
+            [
+                make_fp("g", [(0.0, 0.0, 0.0)], count=3, members=("a", "b", "c")),
+                make_fp("solo", [(50.0, 0.0, 1.0)]),
+            ]
+        )
+        result = glove(ds, GloveConfig(k=3))
+        assert result.stats.leftover_merged
+        assert len(result.dataset) == 1
+        assert result.dataset[0].count == 4
 
 
 class TestCustomMetric:
