@@ -21,6 +21,17 @@ is tracked PR over PR.  Scale/skip knobs:
 * ``REPRO_BENCH_GLOVE`` — set to ``0`` to skip the emission;
 * ``REPRO_BENCH_GLOVE_USERS`` (default 500), ``REPRO_BENCH_GLOVE_DAYS``
   (default 2) — scale of the timed run.
+
+The emission also covers the sharded tier: a ``sharded`` row on the
+500-fingerprint scenario (same wall-clock comparison as numpy/process,
+plus the k-anonymity audit — sharded output is *not* expected to be
+byte-identical at shards > 1), and a ``large_n`` record that runs the
+sharded backend on a 10k+-fingerprint synthetic population and audits
+it with the reusable ``assert_k_anonymous`` checker from
+``tests/properties/test_k_anonymity.py``.  Knobs:
+
+* ``REPRO_BENCH_SHARD_USERS`` (default 10500; ``0`` skips the large-n
+  record), ``REPRO_BENCH_SHARD_DAYS`` (default 2).
 """
 
 import json
@@ -38,7 +49,22 @@ BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
 
 GLOVE_BENCH_USERS = int(os.environ.get("REPRO_BENCH_GLOVE_USERS", "500"))
 GLOVE_BENCH_DAYS = int(os.environ.get("REPRO_BENCH_GLOVE_DAYS", "2"))
+SHARD_BENCH_USERS = int(os.environ.get("REPRO_BENCH_SHARD_USERS", "10500"))
+SHARD_BENCH_DAYS = int(os.environ.get("REPRO_BENCH_SHARD_DAYS", "2"))
 GLOVE_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_glove.json"
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_module(name: str, path: Path):
+    """Import a module by file path (seed baseline, test-side checker)."""
+    import importlib.util
+    import sys
+
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
 
 
 def bench_scale():
@@ -60,20 +86,14 @@ def sen_dataset():
 
 def _run_glove_bench() -> dict:
     """Time a seeded GLOVE run on the baseline and on every backend."""
-    import importlib.util
-    import sys
-
     import numpy as np
 
     from repro.core.config import ComputeConfig, GloveConfig
     from repro.core.glove import glove
 
-    spec = importlib.util.spec_from_file_location(
+    seed_path = _load_module(
         "benchmarks_seed_path", Path(__file__).resolve().parent / "seed_path.py"
     )
-    seed_path = importlib.util.module_from_spec(spec)
-    sys.modules["benchmarks_seed_path"] = seed_path
-    spec.loader.exec_module(seed_path)
     seed_glove = seed_path.seed_glove
 
     dataset = synthesize(
@@ -127,7 +147,69 @@ def _run_glove_bench() -> dict:
             "pruned_evaluations": result.stats.n_pruned_evaluations,
             "identical_to_seed_path": consistent,
         }
+
+    # The sharded tier on the same scenario: output is k-anonymous but
+    # not byte-identical at shards > 1 (grouping is shard-local), so the
+    # row records the anonymity audit instead of the identity check.
+    t0 = time.time()
+    sharded = glove(dataset, config, ComputeConfig(backend="sharded", shards=4))
+    elapsed = time.time() - t0
+    record["backends"]["sharded"] = {
+        "wall_s": round(elapsed, 3),
+        "shards_used": sharded.stats.shards_used,
+        "boundary_repaired": sharded.stats.boundary_repaired,
+        "speedup_vs_seed_path": round(seed_s / elapsed, 2) if elapsed > 0 else None,
+        "exact_evaluations": sharded.stats.n_exact_evaluations,
+        "pruned_evaluations": sharded.stats.n_pruned_evaluations,
+        "k_anonymous": sharded.dataset.is_k_anonymous(config.k),
+        "covers_all_users": sharded.dataset.n_users == dataset.n_users,
+    }
     return record
+
+
+def _run_shard_bench() -> dict:
+    """Sharded GLOVE on a 10k+-fingerprint population, audited for
+    k-anonymity with the reusable test-harness checker."""
+    from repro.core.config import ComputeConfig, GloveConfig
+    from repro.core.glove import glove
+
+    harness = _load_module(
+        "tests_properties_k_anonymity",
+        _REPO_ROOT / "tests" / "properties" / "test_k_anonymity.py",
+    )
+    dataset = synthesize(
+        "synth-civ", n_users=SHARD_BENCH_USERS, days=SHARD_BENCH_DAYS, seed=BENCH_SEED
+    )
+    config = GloveConfig(k=2)
+    compute = ComputeConfig(backend="sharded")
+    t0 = time.time()
+    result = glove(dataset, config, compute)
+    elapsed = time.time() - t0
+    # Record the *computed* audit results: a raise here would leave the
+    # previous (green) BENCH_glove.json on disk, hiding the regression.
+    try:
+        harness.assert_k_anonymous(result.dataset, config.k)
+        k_anonymous = True
+    except AssertionError:
+        k_anonymous = False
+    # Coverage is judged independently of the group-size audit so the
+    # record attributes a regression to the right invariant.
+    covered = {member for fp in result.dataset for member in fp.members}
+    return {
+        "n_fingerprints": len(dataset),
+        "days": SHARD_BENCH_DAYS,
+        "seed": BENCH_SEED,
+        "k": config.k,
+        "backend": "sharded",
+        "shards_used": result.stats.shards_used,
+        "shard_strategy": compute.shard_strategy,
+        "boundary_repaired": result.stats.boundary_repaired,
+        "wall_s": round(elapsed, 3),
+        "n_merges": result.stats.n_merges,
+        "n_output_groups": len(result.dataset),
+        "k_anonymous": k_anonymous,
+        "covers_all_users": covered == set(dataset.uids),
+    }
 
 
 #: Minimum tests in the session before the timed benchmark runs, so a
@@ -151,11 +233,21 @@ def pytest_sessionfinish(session, exitstatus):
     if session.testscollected < _GLOVE_BENCH_MIN_TESTS:
         return
     record = _run_glove_bench()
+    if SHARD_BENCH_USERS > 0:
+        record["large_n"] = _run_shard_bench()
     GLOVE_BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
     reporter = session.config.pluginmanager.get_plugin("terminalreporter")
     if reporter is not None:
         numpy_speedup = record["backends"]["numpy"]["speedup_vs_seed_path"]
-        reporter.write_line(
+        line = (
             f"[BENCH_glove] n={record['n_fingerprints']} seed-path "
-            f"{record['seed_path_s']}s, numpy backend x{numpy_speedup} -> {GLOVE_BENCH_PATH.name}"
+            f"{record['seed_path_s']}s, numpy backend x{numpy_speedup}"
         )
+        if "large_n" in record:
+            big = record["large_n"]
+            audit = "k-anonymous" if big["k_anonymous"] else "K-ANONYMITY VIOLATED"
+            line += (
+                f"; sharded n={big['n_fingerprints']} in {big['wall_s']}s "
+                f"({big['shards_used']} shards, {audit})"
+            )
+        reporter.write_line(line + f" -> {GLOVE_BENCH_PATH.name}")

@@ -41,6 +41,7 @@ from repro.core import (
     glove,
     kgap,
     sample_stretch,
+    sharded_glove,
 )
 
 __version__ = "1.0.0"
@@ -54,6 +55,7 @@ __all__ = [
     "GloveConfig",
     "GloveResult",
     "glove",
+    "sharded_glove",
     "kgap",
     "sample_stretch",
     "fingerprint_stretch",

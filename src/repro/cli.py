@@ -14,6 +14,10 @@ Example session::
     glove measure raw.csv -k 2
     glove anonymize raw.csv -k 2 --suppress 15000 360 -o published.csv
     glove attack raw.csv published.csv -k 2
+
+Large populations can be anonymized on the sharded tier
+(``--backend sharded --shards 8``): shards are k-anonymized
+concurrently and the shard boundaries repaired, see DESIGN.md D5.
 """
 
 from __future__ import annotations

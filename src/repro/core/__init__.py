@@ -30,6 +30,7 @@ from repro.core.engine import (
     compute_pairwise_matrix,
     get_default_compute,
     register_backend,
+    register_glove_driver,
     set_default_compute,
 )
 from repro.core.fingerprint import Fingerprint
@@ -46,6 +47,7 @@ from repro.core.partial import (
 )
 from repro.core.reshape import reshape_fingerprint
 from repro.core.sample import Sample
+from repro.core.shard import ShardedBackend, partition_indices, resolve_shards, sharded_glove
 from repro.core.stretch import fingerprint_stretch, sample_stretch, stretch_matrix
 from repro.core.suppression import SuppressionStats, suppress_dataset
 
@@ -62,12 +64,17 @@ __all__ = [
     "SlotStore",
     "available_backends",
     "register_backend",
+    "register_glove_driver",
     "compute_pairwise_matrix",
     "get_default_compute",
     "set_default_compute",
     "GloveResult",
     "GloveStats",
     "glove",
+    "sharded_glove",
+    "ShardedBackend",
+    "partition_indices",
+    "resolve_shards",
     "kgap",
     "KGapResult",
     "stretch_decomposition",

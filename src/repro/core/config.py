@@ -37,13 +37,26 @@ class ComputeConfig:
     backend:
         Name of a registered compute backend: ``"numpy"`` (single
         process, chunked broadcasting), ``"process"`` (multi-core pool),
-        or ``"auto"`` (pick by workload size).  Extensible through
+        ``"auto"`` (pick by workload size), or ``"sharded"`` (partition
+        the population, anonymize shards concurrently, repair the
+        boundaries).  Extensible through
         :func:`repro.core.engine.register_backend`.
     chunk:
         Fingerprints per broadcast chunk in the bulk kernels.
     workers:
-        Process-pool size for the ``process`` backend; ``None`` means
+        Process-pool size for the ``process`` backend and shard-level
+        pool size for the ``sharded`` backend; ``None`` means
         ``min(cpu_count, 8)``.
+    shards:
+        Shard count of the ``sharded`` backend; ``None`` picks one from
+        the population size (roughly one shard per
+        :data:`repro.core.shard.AUTO_SHARD_TARGET` fingerprints).
+        Ignored by the other backends.
+    shard_strategy:
+        Population partitioning rule of the ``sharded`` backend:
+        ``"time"`` (activity-midpoint locality, the default) or
+        ``"hash"`` (deterministic uid hash, the locality-free
+        fallback).
     pruning:
         Enable the bounding-box lower-bound pruning of exact Eq. 10
         evaluations in the GLOVE nearest-neighbour search.  Pruning is
@@ -67,6 +80,8 @@ class ComputeConfig:
     backend: str = "auto"
     chunk: int = DEFAULT_CHUNK
     workers: Optional[int] = None
+    shards: Optional[int] = None
+    shard_strategy: str = "time"
     pruning: bool = True
     lb_bucket_minutes: float = 360.0
     lb_max_buckets: int = 48
@@ -78,6 +93,12 @@ class ComputeConfig:
             raise ValueError(f"chunk must be at least 1, got {self.chunk}")
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be at least 1 or None, got {self.workers}")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError(f"shards must be at least 1 or None, got {self.shards}")
+        if self.shard_strategy not in ("time", "hash"):
+            raise ValueError(
+                f"shard_strategy must be 'time' or 'hash', got {self.shard_strategy!r}"
+            )
         if self.lb_bucket_minutes <= 0:
             raise ValueError("lb_bucket_minutes must be positive")
         if self.lb_max_buckets < 1:
@@ -104,11 +125,25 @@ def add_compute_arguments(parser, pruning: bool = False) -> None:
         "--workers",
         type=int,
         default=None,
-        help="process-pool size for the process backend (the pool engages on "
-        "bulk matrix builds and large target sets)",
+        help="pool size: process backend (bulk matrix builds, large target "
+        "sets) and shard-level concurrency of the sharded backend",
     )
     parser.add_argument(
         "--chunk", type=int, default=None, help="fingerprints per broadcast chunk"
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for the sharded backend (default: pick from the "
+        "population size; must be at least 1)",
+    )
+    parser.add_argument(
+        "--shard-strategy",
+        choices=("time", "hash"),
+        default=None,
+        help="sharded backend partitioning rule (default: time = "
+        "activity-midpoint locality; hash = deterministic uid hash)",
     )
     if pruning:
         parser.add_argument(
@@ -131,6 +166,10 @@ def compute_config_from_args(args) -> "ComputeConfig":
         kwargs["workers"] = args.workers
     if getattr(args, "chunk", None) is not None:
         kwargs["chunk"] = args.chunk
+    if getattr(args, "shards", None) is not None:
+        kwargs["shards"] = args.shards
+    if getattr(args, "shard_strategy", None) is not None:
+        kwargs["shard_strategy"] = args.shard_strategy
     if getattr(args, "no_prune", False):
         kwargs["pruning"] = False
     try:

@@ -463,6 +463,30 @@ def register_backend(name: str, factory: BackendFactory, overwrite: bool = False
     _BACKENDS[name] = factory
 
 
+# Algorithm-level drivers: a backend may take over whole glove() runs
+# (the sharded tier partitions the population before any kernel runs,
+# which cannot be expressed at the one_vs_all/pairwise_matrix level).
+_GLOVE_DRIVERS: Dict[str, Callable] = {}
+
+
+def register_glove_driver(name: str, driver: Callable, overwrite: bool = False) -> None:
+    """Route ``glove()`` runs of backend ``name`` to an algorithm driver.
+
+    ``driver(dataset, config, compute)`` must return a
+    :class:`repro.core.glove.GloveResult`.  Kernel-level calls (k-gap
+    matrix builds, one-vs-all rows) still go through the backend
+    registered under the same name via :func:`register_backend`.
+    """
+    if not overwrite and name in _GLOVE_DRIVERS:
+        raise ValueError(f"glove driver {name!r} is already registered")
+    _GLOVE_DRIVERS[name] = driver
+
+
+def get_glove_driver(name: str) -> Optional[Callable]:
+    """The glove driver registered for a backend name, if any."""
+    return _GLOVE_DRIVERS.get(name)
+
+
 def create_backend(
     compute: ComputeConfig, stretch: StretchConfig = StretchConfig()
 ) -> StretchBackend:

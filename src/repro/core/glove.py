@@ -38,7 +38,12 @@ import numpy as np
 
 from repro.core.config import ComputeConfig, GloveConfig
 from repro.core.dataset import FingerprintDataset
-from repro.core.engine import StretchEngine, get_default_compute, grow_array
+from repro.core.engine import (
+    StretchEngine,
+    get_default_compute,
+    get_glove_driver,
+    grow_array,
+)
 from repro.core.fingerprint import Fingerprint
 from repro.core.merge import merge_fingerprints
 from repro.core.reshape import reshape_fingerprint
@@ -60,6 +65,14 @@ class GloveStats:
     leftover_merged:
         Whether a final non-anonymous leftover had to be folded into an
         already-finished group.
+    shards_used:
+        Population partitions the run was split into (1 for the
+        unsharded path; the ``sharded`` backend records its effective
+        shard count here).
+    boundary_repaired:
+        Per-shard non-anonymous leftovers that the sharded tier's
+        cross-shard boundary-repair pass had to re-merge (0 for
+        unsharded runs).
     n_exact_evaluations:
         Exact Eq. 10 fingerprint-pair evaluations executed.
     n_pruned_evaluations:
@@ -73,6 +86,8 @@ class GloveStats:
     n_output_fingerprints: int = 0
     n_merges: int = 0
     leftover_merged: bool = False
+    shards_used: int = 1
+    boundary_repaired: int = 0
     n_exact_evaluations: int = 0
     n_pruned_evaluations: int = 0
     suppression: Optional[SuppressionStats] = None
@@ -229,28 +244,43 @@ def glove(
     compute:
         Compute-substrate selection (backend, chunking, workers,
         pruning); defaults to the process-wide
-        :func:`repro.core.engine.get_default_compute`.  The choice
-        never changes results, only how fast they arrive.
+        :func:`repro.core.engine.get_default_compute`.  Backends with a
+        registered glove driver (e.g. ``sharded``) take over the whole
+        run; for plain kernel backends the choice never changes
+        results, only how fast they arrive.
 
     Returns
     -------
     :class:`GloveResult` whose dataset contains one fingerprint per
     group, each hiding at least ``config.k`` subscribers.
     """
+    compute = compute if compute is not None else get_default_compute()
+    driver = get_glove_driver(compute.backend)
+    if driver is not None:
+        return driver(dataset, config, compute)
+
     fps = list(dataset)
     k = config.k
-    n = len(fps)
+    validate_population(fps, k)
+    stats = GloveStats(n_input_fingerprints=len(fps))
+    with StretchEngine(fps, stretch=config.stretch, compute=compute) as engine:
+        out = _anonymize(engine, fps, config, stats, name=f"{dataset.name}-glove-k{k}")
+    return finalize_result(out, stats, config)
+
+
+def validate_population(fps: List[Fingerprint], k: int) -> None:
+    """Reject inputs that cannot be k-anonymized (shared with the sharded tier)."""
     total_users = sum(fp.count for fp in fps)
     if total_users < k:
         raise ValueError(f"dataset hides {total_users} users in total, cannot reach k={k}")
     if any(fp.m == 0 for fp in fps):
         raise ValueError("input contains empty fingerprints; screen the dataset first")
 
-    stats = GloveStats(n_input_fingerprints=n)
-    compute = compute if compute is not None else get_default_compute()
-    with StretchEngine(fps, stretch=config.stretch, compute=compute) as engine:
-        out = _anonymize(engine, fps, config, stats, name=f"{dataset.name}-glove-k{k}")
 
+def finalize_result(
+    out: FingerprintDataset, stats: GloveStats, config: GloveConfig
+) -> GloveResult:
+    """Apply output suppression and package a :class:`GloveResult`."""
     if config.suppression.enabled:
         out, supp = suppress_dataset(out, config.suppression)
         stats.suppression = supp
@@ -268,7 +298,47 @@ def _anonymize(
     stats: GloveStats,
     name: str,
 ) -> FingerprintDataset:
-    """The greedy merge loop of Alg. 1 on top of a stretch engine."""
+    """Full Alg. 1 on a stretch engine: greedy loop plus leftover fold."""
+    finished, leftover, nn = _greedy_merge(engine, fps, config, stats)
+    if leftover is not None:
+        _fold_leftover(engine, nn, finished, leftover, config, stats)
+    out = FingerprintDataset(name=name)
+    for slot in finished:
+        out.add(engine.store.fps[slot])
+    stats.n_output_fingerprints = len(out)
+    return out
+
+
+def _merge_pair(a: Fingerprint, b: Fingerprint, config: GloveConfig) -> Fingerprint:
+    """Merge (and optionally reshape) two fingerprints per the config.
+
+    The single definition of GLOVE's merge post-processing, shared by
+    the greedy loop, the leftover fold and the sharded tier's boundary
+    repair so the steps can never diverge.
+    """
+    merged = merge_fingerprints(a, b, config.stretch)
+    if config.reshape:
+        merged = reshape_fingerprint(merged)
+    return merged
+
+
+def _greedy_merge(
+    engine: StretchEngine,
+    fps: List[Fingerprint],
+    config: GloveConfig,
+    stats: GloveStats,
+) -> tuple:
+    """The greedy merge loop of Alg. 1 on top of a stretch engine.
+
+    Runs until fewer than two non-anonymized fingerprints remain and
+    returns ``(finished_slots, leftover_slot, nn)``: the slots of the
+    groups that reached ``count >= k``, the at-most-one still
+    non-anonymous slot (``None`` when the arithmetic worked out), and
+    the nearest-neighbour cache for callers that need further scans.
+    The sharded tier uses this entry point per shard and handles
+    leftovers in its cross-shard boundary-repair pass instead of the
+    local fold of :func:`_fold_leftover`.
+    """
     store = engine.store
     k = config.k
     n = len(fps)
@@ -287,10 +357,7 @@ def _anonymize(
         nn.insert(int(i), initial[:pos], np.ones(pos, dtype=bool))
 
     def merge_pair(i: int, j: int) -> Fingerprint:
-        merged = merge_fingerprints(store.fps[i], store.fps[j], config.stretch)
-        if config.reshape:
-            merged = reshape_fingerprint(merged)
-        return merged
+        return _merge_pair(store.fps[i], store.fps[j], config)
 
     while pending.sum() >= 2:
         live = np.flatnonzero(pending)
@@ -326,26 +393,31 @@ def _anonymize(
             others = np.flatnonzero(pending)
             nn.refresh(r, others[others != r])
 
-    # A single non-anonymous leftover: fold it into the nearest finished
-    # group so every subscriber ends up in a crowd of >= k.
     leftover = np.flatnonzero(pending)
-    if leftover.size == 1:
-        lo = int(leftover[0])
-        if not finished:
-            raise RuntimeError("no finished group to absorb the leftover fingerprint")
-        _, tgt = nn.scan(lo, np.array(sorted(finished), dtype=np.int64))
-        merged = merge_pair(lo, tgt)
-        stats.n_merges += 1
-        stats.leftover_merged = True
-        slot = engine.append(merged)
-        engine.retire(lo)
-        engine.retire(tgt)
-        finished[finished.index(tgt)] = slot
-        pending = grow_array(pending, store.capacity, False)
-        pending[lo] = False
+    return finished, (int(leftover[0]) if leftover.size else None), nn
 
-    out = FingerprintDataset(name=name)
-    for slot in finished:
-        out.add(store.fps[slot])
-    stats.n_output_fingerprints = len(out)
-    return out
+
+def _fold_leftover(
+    engine: StretchEngine,
+    nn: "_NearestNeighbours",
+    finished: List[int],
+    leftover: int,
+    config: GloveConfig,
+    stats: GloveStats,
+) -> None:
+    """Fold a single non-anonymous leftover into the nearest finished
+    group so every subscriber ends up in a crowd of >= k (DESIGN.md D2).
+
+    Mutates ``finished`` in place: the absorbing group's slot is
+    replaced by the merge product's.
+    """
+    if not finished:
+        raise RuntimeError("no finished group to absorb the leftover fingerprint")
+    _, tgt = nn.scan(leftover, np.array(sorted(finished), dtype=np.int64))
+    merged = _merge_pair(engine.store.fps[leftover], engine.store.fps[tgt], config)
+    stats.n_merges += 1
+    stats.leftover_merged = True
+    slot = engine.append(merged)
+    engine.retire(leftover)
+    engine.retire(tgt)
+    finished[finished.index(tgt)] = slot

@@ -90,7 +90,10 @@ def kgap(
         Compute-substrate selection for the matrix build (ignored when
         ``matrix`` is given); defaults to the process-wide
         :func:`repro.core.engine.get_default_compute`.  The ``auto``
-        backend dispatches large builds to the process pool.
+        backend dispatches large builds to the process pool; the
+        ``sharded`` backend's kernels delegate to the same dispatch
+        (matrix builds have no population to partition), so ``--backend
+        sharded`` is safe end-to-end through ``glove measure``.
     """
     if k < 2:
         raise ValueError(f"k must be at least 2, got {k}")

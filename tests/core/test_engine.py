@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
 
 from repro.core.config import DEFAULT_CHUNK, ComputeConfig, GloveConfig, StretchConfig
 from repro.core.dataset import FingerprintDataset
@@ -19,9 +20,10 @@ from repro.core.engine import (
 )
 from repro.core.glove import glove
 from repro.core.merge import merge_fingerprints
-from repro.core.pairwise import PaddedFingerprints, pairwise_matrix
+from repro.core.pairwise import PaddedFingerprints, one_vs_all, pairwise_matrix
 from repro.core.parallel import parallel_pairwise_matrix
 from tests.conftest import make_fp
+from tests.properties.test_k_anonymity import populations
 
 
 class TestSlotStore:
@@ -164,6 +166,48 @@ class TestLowerBounds:
         assert (engine.bucket_lower_bounds(slot, targets) <= exact + 1e-12).all()
 
 
+class TestKernelProperties:
+    """Property-based guarantees over randomized fingerprint populations.
+
+    The greedy loop evaluates pairs from whichever side is cheaper, so
+    the kernel must be *bitwise* direction-symmetric (DESIGN.md D4);
+    and pruning is only exact if every lower bound is admissible
+    (bound <= exact stretch, level 0 <= level 1).
+    """
+
+    @given(populations(max_users=6))
+    @settings(max_examples=40, deadline=None)
+    def test_bitwise_direction_symmetry(self, dataset):
+        fps = list(dataset)
+        packed = PaddedFingerprints(fps)
+        stretch = StretchConfig()
+        for i in range(len(fps)):
+            for j in range(i + 1, len(fps)):
+                ij = one_vs_all(
+                    fps[i].data, fps[i].count, packed, stretch,
+                    indices=np.array([j], dtype=np.int64),
+                )[0]
+                ji = one_vs_all(
+                    fps[j].data, fps[j].count, packed, stretch,
+                    indices=np.array([i], dtype=np.int64),
+                )[0]
+                assert ij == ji  # bitwise, not approximate
+
+    @given(populations(max_users=8))
+    @settings(max_examples=40, deadline=None)
+    def test_lower_bounds_admissible(self, dataset):
+        fps = list(dataset)
+        engine = StretchEngine(fps, compute=ComputeConfig(backend="numpy"))
+        n = len(fps)
+        for slot in range(n):
+            targets = np.array([t for t in range(n) if t != slot], dtype=np.int64)
+            exact = engine.row(slot, targets)
+            lb0 = engine.hull_lower_bounds(slot, targets)
+            lb1 = engine.bucket_lower_bounds(slot, targets)
+            assert (lb0 <= lb1 + 1e-12).all()
+            assert (lb1 <= exact + 1e-12).all()
+
+
 class TestRegistry:
     def test_builtin_backends_registered(self):
         names = available_backends()
@@ -248,6 +292,9 @@ class TestComputeConfig:
         [
             {"chunk": 0},
             {"workers": 0},
+            {"shards": 0},
+            {"shards": -4},
+            {"shard_strategy": "geo"},
             {"lb_bucket_minutes": -1.0},
             {"lb_max_buckets": 0},
             {"parallel_matrix_threshold": -1},

@@ -1,0 +1,181 @@
+"""The k-anonymity invariant harness (paper Alg. 1, DESIGN.md D2/D5).
+
+The one guarantee that must survive every scaling tier — unsharded
+GLOVE, the sharded backend at any shard count, any compute substrate —
+is *k-anonymity by design*: every published group hides at least ``k``
+subscribers, every non-suppressed input subscriber lands in exactly one
+group, and generalization only ever coarsens (a merged fingerprint
+never has more samples than its shorter parent, the SlotStore ``m_max``
+invariant).
+
+:func:`assert_k_anonymous` is the reusable checker enforcing the first
+invariant; the benchmark suite loads it by file path to audit the
+large-n sharded scenario (``benchmarks/conftest.py``), so it must stay
+importable without pytest fixtures.  The rest of the module
+property-tests all three invariants over randomized populations.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ComputeConfig, GloveConfig
+from repro.core.dataset import FingerprintDataset
+from repro.core.fingerprint import Fingerprint
+from repro.core.glove import glove
+from repro.core.sample import DT, DX, DY, NCOLS, T, X, Y
+from repro.core.shard import sharded_glove
+
+
+def assert_k_anonymous(groups, k):
+    """Assert the k-anonymity-by-design invariants of a GLOVE output.
+
+    ``groups`` is any iterable of :class:`Fingerprint` (a
+    :class:`FingerprintDataset` works).  Checks that every group hides
+    at least ``k`` subscribers, that its member list is consistent with
+    its count, and that no subscriber is claimed by two groups.
+    Returns the set of covered member uids so callers can additionally
+    check coverage against the input population.
+    """
+    seen = {}
+    for fp in groups:
+        assert fp.count >= k, f"group {fp.uid!r} hides {fp.count} < k={k} subscribers"
+        assert len(fp.members) == fp.count, (
+            f"group {fp.uid!r}: count={fp.count} but {len(fp.members)} members"
+        )
+        for member in fp.members:
+            assert member not in seen, (
+                f"subscriber {member!r} claimed by groups {seen[member]!r} and {fp.uid!r}"
+            )
+            seen[member] = fp.uid
+    return set(seen)
+
+
+@st.composite
+def populations(draw, max_users=12):
+    """Random single-subscriber populations of 2..``max_users`` fingerprints."""
+    n = draw(st.integers(min_value=2, max_value=max_users))
+    fps = []
+    for i in range(n):
+        m = draw(st.integers(min_value=1, max_value=5))
+        rows = np.empty((m, NCOLS))
+        for r in range(m):
+            rows[r, X] = draw(st.floats(min_value=0, max_value=6e4, allow_nan=False))
+            rows[r, DX] = 100.0
+            rows[r, Y] = draw(st.floats(min_value=0, max_value=6e4, allow_nan=False))
+            rows[r, DY] = 100.0
+            rows[r, T] = draw(st.floats(min_value=0, max_value=4e3, allow_nan=False))
+            rows[r, DT] = 1.0
+        fps.append(Fingerprint(f"u{i}", rows))
+    return FingerprintDataset(fps, name="hyp")
+
+
+def _input_lengths(dataset):
+    return {fp.uid: fp.m for fp in dataset}
+
+
+def _sharded_compute(shards, strategy="time"):
+    # workers=1 keeps hypothesis examples off the process pool.
+    return ComputeConfig(backend="sharded", shards=shards, workers=1, shard_strategy=strategy)
+
+
+class TestChecker:
+    def test_accepts_valid_groups(self):
+        groups = [
+            Fingerprint("g0", np.array([[0.0, 100.0, 0.0, 100.0, 0.0, 1.0]]),
+                        count=2, members=("a", "b")),
+            Fingerprint("g1", np.array([[5.0, 100.0, 5.0, 100.0, 5.0, 1.0]]),
+                        count=3, members=("c", "d", "e")),
+        ]
+        assert assert_k_anonymous(groups, 2) == {"a", "b", "c", "d", "e"}
+
+    def test_rejects_undersized_group(self):
+        groups = [Fingerprint("solo", np.array([[0.0, 100.0, 0.0, 100.0, 0.0, 1.0]]))]
+        try:
+            assert_k_anonymous(groups, 2)
+        except AssertionError as exc:
+            assert "hides 1 < k=2" in str(exc)
+        else:
+            raise AssertionError("undersized group was not rejected")
+
+    def test_rejects_double_counted_subscriber(self):
+        groups = [
+            Fingerprint("g0", np.array([[0.0, 100.0, 0.0, 100.0, 0.0, 1.0]]),
+                        count=2, members=("a", "b")),
+            Fingerprint("g1", np.array([[5.0, 100.0, 5.0, 100.0, 5.0, 1.0]]),
+                        count=2, members=("b", "c")),
+        ]
+        try:
+            assert_k_anonymous(groups, 2)
+        except AssertionError as exc:
+            assert "claimed by" in str(exc)
+        else:
+            raise AssertionError("double-counted subscriber was not rejected")
+
+
+class TestGloveInvariants:
+    """Unsharded GLOVE output under the harness."""
+
+    @given(populations(), st.integers(min_value=2, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_k_anonymous_and_covers_exactly_once(self, dataset, k):
+        if dataset.n_users < k:
+            return
+        result = glove(dataset, GloveConfig(k=k), ComputeConfig(backend="numpy"))
+        covered = assert_k_anonymous(result.dataset, k)
+        assert covered == set(dataset.uids)
+
+    @given(populations())
+    @settings(max_examples=30, deadline=None)
+    def test_merged_never_longer_than_shorter_parent(self, dataset):
+        lengths = _input_lengths(dataset)
+        result = glove(dataset, GloveConfig(k=2), ComputeConfig(backend="numpy"))
+        for fp in result.dataset:
+            # Inductively: every merge is capped by its shorter parent,
+            # so a group never exceeds its shortest member's input length.
+            assert fp.m <= min(lengths[m] for m in fp.members)
+
+
+class TestShardedInvariants:
+    """The same guarantees at every shard count and strategy."""
+
+    @given(
+        populations(),
+        st.integers(min_value=2, max_value=3),
+        st.integers(min_value=2, max_value=4),
+        st.sampled_from(["time", "hash"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_k_anonymous_and_covers_exactly_once(self, dataset, k, shards, strategy):
+        if dataset.n_users < k:
+            return
+        result = sharded_glove(
+            dataset, GloveConfig(k=k), _sharded_compute(shards, strategy)
+        )
+        covered = assert_k_anonymous(result.dataset, k)
+        assert covered == set(dataset.uids)
+        assert result.stats.shards_used >= 1
+        assert result.dataset.is_k_anonymous(k)
+
+    @given(populations(), st.integers(min_value=2, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_merged_never_longer_than_shorter_parent(self, dataset, shards):
+        lengths = _input_lengths(dataset)
+        result = sharded_glove(dataset, GloveConfig(k=2), _sharded_compute(shards))
+        for fp in result.dataset:
+            assert fp.m <= min(lengths[m] for m in fp.members)
+
+    def test_suppressed_output_still_k_anonymous(self, small_civ):
+        from repro.core.config import SuppressionConfig
+
+        config = GloveConfig(
+            k=2,
+            suppression=SuppressionConfig(
+                spatial_threshold_m=15_000.0, temporal_threshold_min=360.0
+            ),
+        )
+        result = sharded_glove(small_civ, config, _sharded_compute(3))
+        covered = assert_k_anonymous(result.dataset, 2)
+        # Suppression can discard whole fingerprints but never invents
+        # subscribers: the covered set stays within the input population.
+        assert covered <= set(small_civ.uids)

@@ -119,6 +119,74 @@ class TestComputeFlags:
         out = capsys.readouterr().out
         assert "2-gap" in out
 
+
+class TestShardedBackend:
+    """The sharded tier end-to-end through the CLI."""
+
+    def test_anonymize_sharded_end_to_end(self, raw_csv, tmp_path, capsys):
+        published = tmp_path / "pub-sharded.csv"
+        code = main(
+            ["anonymize", str(raw_csv), "-k", "2", "--backend", "sharded",
+             "--shards", "3", "-o", str(published)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["info", str(published)]) == 0
+        out = capsys.readouterr().out
+        assert "minimum anonymity-set size: 2" in out
+
+    def test_single_shard_byte_identical_to_numpy(self, raw_csv, tmp_path):
+        one_shard = tmp_path / "one-shard.csv"
+        unsharded = tmp_path / "unsharded.csv"
+        assert main(
+            ["anonymize", str(raw_csv), "-k", "2", "--backend", "sharded",
+             "--shards", "1", "-o", str(one_shard)]
+        ) == 0
+        assert main(
+            ["anonymize", str(raw_csv), "-k", "2", "--backend", "numpy",
+             "-o", str(unsharded)]
+        ) == 0
+        assert one_shard.read_bytes() == unsharded.read_bytes()
+
+    def test_shard_strategy_flag(self, raw_csv, tmp_path):
+        published = tmp_path / "pub-hash.csv"
+        assert main(
+            ["anonymize", str(raw_csv), "-k", "2", "--backend", "sharded",
+             "--shards", "2", "--shard-strategy", "hash", "-o", str(published)]
+        ) == 0
+        assert published.exists()
+
+    def test_measure_accepts_sharded(self, raw_csv, capsys):
+        assert main(["measure", str(raw_csv), "-k", "2", "--backend", "sharded"]) == 0
+        out = capsys.readouterr().out
+        assert "2-gap" in out
+
+
+class TestComputeFlagValidation:
+    """Invalid substrate flags must exit 2 with a clear message."""
+
+    @pytest.mark.parametrize("value", ["0", "-2"])
+    def test_workers_rejected(self, raw_csv, tmp_path, capsys, value):
+        with pytest.raises(SystemExit) as exc:
+            main(["anonymize", str(raw_csv), "-k", "2", "--workers", value,
+                  "-o", str(tmp_path / "x.csv")])
+        assert exc.value.code == 2
+        assert "workers must be at least 1" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_shards_rejected(self, raw_csv, tmp_path, capsys, value):
+        with pytest.raises(SystemExit) as exc:
+            main(["anonymize", str(raw_csv), "-k", "2", "--backend", "sharded",
+                  "--shards", value, "-o", str(tmp_path / "x.csv")])
+        assert exc.value.code == 2
+        assert "shards must be at least 1" in capsys.readouterr().err
+
+    def test_unknown_shard_strategy_rejected(self, raw_csv, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["anonymize", str(raw_csv), "-k", "2", "--backend", "sharded",
+                  "--shard-strategy", "geo", "-o", str(tmp_path / "x.csv")])
+        assert exc.value.code == 2
+
     def test_rejects_unknown_backend(self, raw_csv, tmp_path):
         with pytest.raises(SystemExit):
             main(
