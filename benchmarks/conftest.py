@@ -14,24 +14,25 @@ larger on beefier machines:
 
 At session end the suite also emits ``BENCH_glove.json`` at the repo
 root: wall-clock of a seeded 500-fingerprint ``glove()`` run per
-compute backend, against the pre-engine dense-matrix baseline
-(:mod:`benchmarks.seed_path`), so the perf trajectory of the hot loop
-is tracked PR over PR.  Scale/skip knobs:
+compute backend against the pre-engine dense-matrix baseline
+(:mod:`benchmarks.seed_path`), a 10k+-fingerprint sharded-tier audit,
+and a ``suite_cached`` record timing a repeated experiment-suite run
+cold vs warm through the artifact pipeline.  Scale/skip knobs:
 
 * ``REPRO_BENCH_GLOVE`` — set to ``0`` to skip the emission;
 * ``REPRO_BENCH_GLOVE_USERS`` (default 500), ``REPRO_BENCH_GLOVE_DAYS``
-  (default 2) — scale of the timed run.
-
-The emission also covers the sharded tier: a ``sharded`` row on the
-500-fingerprint scenario (same wall-clock comparison as numpy/process,
-plus the k-anonymity audit — sharded output is *not* expected to be
-byte-identical at shards > 1), and a ``large_n`` record that runs the
-sharded backend on a 10k+-fingerprint synthetic population and audits
-it with the reusable ``assert_k_anonymous`` checker from
-``tests/properties/test_k_anonymity.py``.  Knobs:
-
+  (default 2) — scale of the timed run;
 * ``REPRO_BENCH_SHARD_USERS`` (default 10500; ``0`` skips the large-n
-  record), ``REPRO_BENCH_SHARD_DAYS`` (default 2).
+  record), ``REPRO_BENCH_SHARD_DAYS`` (default 2);
+* ``REPRO_BENCH_SUITE_USERS`` (default 60; ``0`` skips the
+  suite_cached record).
+
+Every emission record is itself a content-addressed artifact
+(:mod:`repro.core.artifacts`), keyed by its scenario parameters plus a
+digest of the package sources: re-running the tier-1 suite with
+unchanged code and scenarios serves the records from the store instead
+of re-paying the multi-run ``glove()`` price, while any source edit
+recomputes them.  ``REPRO_CACHE=0`` forces a full re-measure.
 """
 
 import json
@@ -41,18 +42,40 @@ from pathlib import Path
 
 import pytest
 
-from repro.cdr.datasets import synthesize
+from repro.core.artifacts import ArtifactStore, canonical_key, source_digest
+from repro.core.pipeline import Pipeline
+from repro.core.scenarios import get_scenario
 
 BENCH_USERS = int(os.environ.get("REPRO_BENCH_USERS", "120"))
 BENCH_DAYS = int(os.environ.get("REPRO_BENCH_DAYS", "4"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
 
-GLOVE_BENCH_USERS = int(os.environ.get("REPRO_BENCH_GLOVE_USERS", "500"))
-GLOVE_BENCH_DAYS = int(os.environ.get("REPRO_BENCH_GLOVE_DAYS", "2"))
-SHARD_BENCH_USERS = int(os.environ.get("REPRO_BENCH_SHARD_USERS", "10500"))
-SHARD_BENCH_DAYS = int(os.environ.get("REPRO_BENCH_SHARD_DAYS", "2"))
 GLOVE_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_glove.json"
 _REPO_ROOT = Path(__file__).resolve().parent.parent
+_SEED_PATH_FILE = Path(__file__).resolve().parent / "seed_path.py"
+
+#: The emission's workload scenarios, env-scaled from the registry.
+BENCH_SCENARIO = get_scenario("bench").scaled(
+    n_users=BENCH_USERS, days=BENCH_DAYS, seed=BENCH_SEED
+)
+GLOVE_SCENARIO = get_scenario("glove-500").scaled(
+    n_users=int(os.environ.get("REPRO_BENCH_GLOVE_USERS", "500")),
+    days=int(os.environ.get("REPRO_BENCH_GLOVE_DAYS", "2")),
+    seed=BENCH_SEED,
+)
+SHARD_BENCH_USERS = int(os.environ.get("REPRO_BENCH_SHARD_USERS", "10500"))
+SHARD_SCENARIO = get_scenario("large-n").scaled(
+    n_users=max(SHARD_BENCH_USERS, 1),
+    days=int(os.environ.get("REPRO_BENCH_SHARD_DAYS", "2")),
+    seed=BENCH_SEED,
+)
+SUITE_BENCH_USERS = int(os.environ.get("REPRO_BENCH_SUITE_USERS", "60"))
+SUITE_SCENARIO = get_scenario("suite").scaled(n_users=max(SUITE_BENCH_USERS, 1))
+
+#: One store (and pipeline) for the whole benchmark session: dataset
+#: synthesis and emission records persist across runs.
+_STORE = ArtifactStore.from_env()
+_PIPELINE = Pipeline(_STORE)
 
 
 def _load_module(name: str, path: Path):
@@ -75,13 +98,35 @@ def bench_scale():
 @pytest.fixture(scope="session")
 def civ_dataset():
     """Session-cached synth-civ dataset at benchmark scale."""
-    return synthesize("synth-civ", n_users=BENCH_USERS, days=BENCH_DAYS, seed=BENCH_SEED)
+    return _PIPELINE.dataset(
+        "synth-civ", n_users=BENCH_USERS, days=BENCH_DAYS, seed=BENCH_SEED
+    )
 
 
 @pytest.fixture(scope="session")
 def sen_dataset():
     """Session-cached synth-sen dataset at benchmark scale."""
-    return synthesize("synth-sen", n_users=BENCH_USERS, days=BENCH_DAYS, seed=BENCH_SEED)
+    return _PIPELINE.dataset(
+        "synth-sen", n_users=BENCH_USERS, days=BENCH_DAYS, seed=BENCH_SEED
+    )
+
+
+def _bench_record_key(name: str, scenario) -> str:
+    """Artifact key of one emission record: scenario + package sources.
+
+    The source digest makes code edits (anywhere in ``repro`` or the
+    preserved seed path) invalidate the cached measurement, so BENCH
+    numbers always describe the checked-out implementation (DESIGN.md
+    D6).
+    """
+    return canonical_key(
+        "bench",
+        {
+            "record": name,
+            "scenario": scenario.key_params(),
+            "sources": source_digest("repro", str(_SEED_PATH_FILE)),
+        },
+    )
 
 
 def _run_glove_bench() -> dict:
@@ -91,15 +136,11 @@ def _run_glove_bench() -> dict:
     from repro.core.config import ComputeConfig, GloveConfig
     from repro.core.glove import glove
 
-    seed_path = _load_module(
-        "benchmarks_seed_path", Path(__file__).resolve().parent / "seed_path.py"
-    )
+    seed_path = _load_module("benchmarks_seed_path", _SEED_PATH_FILE)
     seed_glove = seed_path.seed_glove
 
-    dataset = synthesize(
-        "synth-civ", n_users=GLOVE_BENCH_USERS, days=GLOVE_BENCH_DAYS, seed=BENCH_SEED
-    )
-    config = GloveConfig(k=2)
+    dataset = GLOVE_SCENARIO.synthesize(_PIPELINE)
+    config = GloveConfig(k=GLOVE_SCENARIO.k)
 
     def digest(result):
         return (
@@ -115,8 +156,8 @@ def _run_glove_bench() -> dict:
 
     record = {
         "n_fingerprints": len(dataset),
-        "days": GLOVE_BENCH_DAYS,
-        "seed": BENCH_SEED,
+        "days": GLOVE_SCENARIO.days,
+        "seed": GLOVE_SCENARIO.seed,
         "k": config.k,
         "seed_path_s": round(seed_s, 3),
         "seed_path_exact_evaluations": baseline.stats.n_exact_evaluations,
@@ -177,10 +218,8 @@ def _run_shard_bench() -> dict:
         "tests_properties_k_anonymity",
         _REPO_ROOT / "tests" / "properties" / "test_k_anonymity.py",
     )
-    dataset = synthesize(
-        "synth-civ", n_users=SHARD_BENCH_USERS, days=SHARD_BENCH_DAYS, seed=BENCH_SEED
-    )
-    config = GloveConfig(k=2)
+    dataset = SHARD_SCENARIO.synthesize(_PIPELINE)
+    config = GloveConfig(k=SHARD_SCENARIO.k)
     compute = ComputeConfig(backend="sharded")
     t0 = time.time()
     result = glove(dataset, config, compute)
@@ -197,8 +236,8 @@ def _run_shard_bench() -> dict:
     covered = {member for fp in result.dataset for member in fp.members}
     return {
         "n_fingerprints": len(dataset),
-        "days": SHARD_BENCH_DAYS,
-        "seed": BENCH_SEED,
+        "days": SHARD_SCENARIO.days,
+        "seed": SHARD_SCENARIO.seed,
         "k": config.k,
         "backend": "sharded",
         "shards_used": result.stats.shards_used,
@@ -212,6 +251,57 @@ def _run_shard_bench() -> dict:
     }
 
 
+def _run_suite_bench() -> dict:
+    """The repeated-suite scenario: cold vs warm through the pipeline.
+
+    Runs the scenario's experiment suite twice against one fresh
+    memo-only pipeline — the first pass computes every artifact, the
+    second is served entirely from the store — and records the
+    compute-once discipline: each (preset, n_users, days, seed) dataset
+    synthesized exactly once, plus the cold/warm speedup.
+    """
+    import io
+
+    from repro.experiments.runner import run_experiments
+
+    pipeline = Pipeline(ArtifactStore(root=None))
+    sc = SUITE_SCENARIO
+
+    def one_pass() -> float:
+        t0 = time.time()
+        run_experiments(
+            list(sc.experiments),
+            n_users=sc.n_users,
+            days=sc.days,
+            seed=sc.seed,
+            stream=io.StringIO(),
+            pipeline=pipeline,
+        )
+        return time.time() - t0
+
+    cold_s = one_pass()
+    warm_s = one_pass()
+    dataset_stats = pipeline.stats["dataset"]
+    glove_stats = pipeline.stats["glove"]
+    return {
+        "experiments": list(sc.experiments),
+        "preset": sc.preset,
+        "n_users": sc.n_users,
+        "days": sc.days,
+        "seed": sc.seed,
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "speedup_warm_vs_cold": round(cold_s / warm_s, 2) if warm_s > 0 else None,
+        "datasets_computed": dataset_stats.computed,
+        "datasets_unique": len(dataset_stats.computed_labels),
+        "synthesized_each_once": all(
+            count == 1 for count in dataset_stats.computed_labels.values()
+        ),
+        "glove_runs_computed": glove_stats.computed,
+        "glove_requests": glove_stats.requests,
+    }
+
+
 #: Minimum tests in the session before the timed benchmark runs, so a
 #: deselected one-test run doesn't pay the multi-run glove() price.
 _GLOVE_BENCH_MIN_TESTS = 50
@@ -222,7 +312,9 @@ def pytest_sessionfinish(session, exitstatus):
 
     Skipped on failures, on ``--collect-only``, on heavily deselected
     runs (fewer than ``_GLOVE_BENCH_MIN_TESTS`` tests), or when
-    ``REPRO_BENCH_GLOVE=0``.
+    ``REPRO_BENCH_GLOVE=0``.  Each record is fetched through the
+    artifact store: with unchanged sources and scenarios the emission
+    costs one cache lookup instead of a multi-run ``glove()`` session.
     """
     if os.environ.get("REPRO_BENCH_GLOVE", "1") == "0":
         return
@@ -232,9 +324,20 @@ def pytest_sessionfinish(session, exitstatus):
         return
     if session.testscollected < _GLOVE_BENCH_MIN_TESTS:
         return
-    record = _run_glove_bench()
+    record, glove_origin = _STORE.fetch(
+        "bench", _bench_record_key("glove", GLOVE_SCENARIO), _run_glove_bench
+    )
+    origins = {glove_origin}
     if SHARD_BENCH_USERS > 0:
-        record["large_n"] = _run_shard_bench()
+        record["large_n"], origin = _STORE.fetch(
+            "bench", _bench_record_key("large_n", SHARD_SCENARIO), _run_shard_bench
+        )
+        origins.add(origin)
+    if SUITE_BENCH_USERS > 0:
+        record["suite_cached"], origin = _STORE.fetch(
+            "bench", _bench_record_key("suite_cached", SUITE_SCENARIO), _run_suite_bench
+        )
+        origins.add(origin)
     GLOVE_BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
     reporter = session.config.pluginmanager.get_plugin("terminalreporter")
     if reporter is not None:
@@ -250,4 +353,12 @@ def pytest_sessionfinish(session, exitstatus):
                 f"; sharded n={big['n_fingerprints']} in {big['wall_s']}s "
                 f"({big['shards_used']} shards, {audit})"
             )
+        if "suite_cached" in record:
+            suite = record["suite_cached"]
+            line += (
+                f"; suite warm x{suite['speedup_warm_vs_cold']} "
+                f"({suite['datasets_computed']} datasets synthesized)"
+            )
+        if origins != {"computed"}:
+            line += " [records served from artifact store]"
         reporter.write_line(line + f" -> {GLOVE_BENCH_PATH.name}")

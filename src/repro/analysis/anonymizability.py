@@ -24,7 +24,7 @@ from repro.baselines.generalization import GeneralizationLevel, generalize_datas
 from repro.core.config import StretchConfig
 from repro.core.dataset import FingerprintDataset
 from repro.core.kgap import KGapResult, kgap, stretch_decomposition
-from repro.core.pairwise import pairwise_matrix
+from repro.core.pipeline import cached_kgap, cached_matrix
 
 
 def kgap_cdf(
@@ -33,8 +33,17 @@ def kgap_cdf(
     config: StretchConfig = StretchConfig(),
     matrix: Optional[np.ndarray] = None,
 ) -> Tuple[EmpiricalCDF, KGapResult]:
-    """CDF of the k-gap of every user in a dataset (Fig. 3a)."""
-    result = kgap(dataset, k=k, config=config, matrix=matrix)
+    """CDF of the k-gap of every user in a dataset (Fig. 3a).
+
+    Without an explicit ``matrix``, the pairwise build goes through the
+    default pipeline, so repeated evaluations of one dataset — across
+    figures, k values or generalization levels — share a single
+    artifact.
+    """
+    if matrix is None:
+        result = cached_kgap(dataset, k=k, config=config)
+    else:
+        result = kgap(dataset, k=k, config=config, matrix=matrix)
     return EmpiricalCDF(result.gaps), result
 
 
@@ -45,12 +54,13 @@ def kgap_curves(
 ) -> Dict[int, EmpiricalCDF]:
     """k-gap CDFs for several anonymity levels (Fig. 3b).
 
-    The pairwise stretch matrix is computed once and shared across all
-    ``k`` values, as the definition of Eq. 11 allows.
+    The pairwise stretch matrix is computed once — through the
+    pipeline's ``matrix`` stage — and shared across all ``k`` values,
+    as the definition of Eq. 11 allows.
     """
     if not ks:
         raise ValueError("ks must be non-empty")
-    matrix = pairwise_matrix(list(dataset), config)
+    matrix = cached_matrix(dataset, config)
     return {
         k: EmpiricalCDF(kgap(dataset, k=k, config=config, matrix=matrix).gaps)
         for k in sorted(set(ks))
@@ -90,7 +100,7 @@ def tail_weight_analysis(
     nearest fingerprints.
     """
     if result is None:
-        result = kgap(dataset, k=k, config=config)
+        result = cached_kgap(dataset, k=k, config=config)
     decomp = stretch_decomposition(dataset, result, config)
     return {
         "delta": np.array([tail_weight_index(d.delta) for d in decomp]),
@@ -111,6 +121,6 @@ def temporal_ratio_cdf(
     the paper reports this for ~95% of fingerprints.
     """
     if result is None:
-        result = kgap(dataset, k=k, config=config)
+        result = cached_kgap(dataset, k=k, config=config)
     decomp = stretch_decomposition(dataset, result, config)
     return EmpiricalCDF(np.array([d.temporal_to_spatial_ratio for d in decomp]))

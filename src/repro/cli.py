@@ -2,7 +2,8 @@
 
 Subcommands (all operating on the CSV formats of :mod:`repro.cdr.io`):
 
-* ``generate`` — synthesize a preset dataset into an event CSV;
+* ``generate`` — synthesize a preset (or scenario) dataset into an
+  event CSV;
 * ``measure``  — anonymizability statistics (k-gap) of an event CSV;
 * ``anonymize`` — GLOVE a dataset into a publishable fingerprint CSV;
 * ``attack``   — mount record-linkage attacks against a publication;
@@ -18,6 +19,13 @@ Example session::
 Large populations can be anonymized on the sharded tier
 (``--backend sharded --shards 8``): shards are k-anonymized
 concurrently and the shard boundaries repaired, see DESIGN.md D5.
+
+``generate``, ``measure`` and ``anonymize`` request their expensive
+stages (synthesis, k-gap matrices, GLOVE runs) through the
+content-addressed artifact pipeline (:mod:`repro.core.pipeline`);
+repeating a command on unchanged inputs is served from the on-disk
+store (``--no-cache`` recomputes, byte-identically).  ``generate``
+also accepts registered scenario names (``glove generate smoke``).
 """
 
 from __future__ import annotations
@@ -35,7 +43,7 @@ from repro.attacks.record_linkage import (
     uniqueness_given_random_points,
     uniqueness_given_top_locations,
 )
-from repro.cdr.datasets import PRESETS, synthesize
+from repro.cdr.datasets import PRESETS
 from repro.cdr.io import (
     read_events_csv,
     read_fingerprints_csv,
@@ -44,13 +52,12 @@ from repro.cdr.io import (
 )
 from repro.core.config import (
     GloveConfig,
-    StretchConfig,
     SuppressionConfig,
     add_compute_arguments,
     compute_config_from_args,
 )
-from repro.core.glove import glove
-from repro.core.kgap import kgap
+from repro.core.pipeline import add_pipeline_arguments, pipeline_from_args
+from repro.core.scenarios import available_scenarios, get_scenario
 
 
 def _read_any(path: str):
@@ -65,7 +72,19 @@ def _read_any(path: str):
 # Subcommand implementations
 # ----------------------------------------------------------------------
 def cmd_generate(args) -> int:
-    dataset = synthesize(args.preset, n_users=args.users, days=args.days, seed=args.seed)
+    if args.preset in PRESETS:
+        preset, users, days, seed = args.preset, args.users, args.days, args.seed
+    else:
+        scenario = get_scenario(args.preset)
+        preset = scenario.preset
+        users = args.users if args.users is not None else scenario.n_users
+        days = args.days if args.days is not None else scenario.days
+        seed = args.seed if args.seed is not None else scenario.seed
+    users = users if users is not None else 150
+    days = days if days is not None else 5
+    seed = seed if seed is not None else 0
+    pipeline = pipeline_from_args(args)
+    dataset = pipeline.dataset(preset, n_users=users, days=days, seed=seed)
     rows = write_events_csv(dataset, args.output)
     print(f"wrote {rows} events for {len(dataset)} users to {args.output}")
     return 0
@@ -76,7 +95,8 @@ def cmd_measure(args) -> int:
     if len(dataset) < args.k:
         print(f"error: dataset has {len(dataset)} users, k={args.k}", file=sys.stderr)
         return 2
-    result = kgap(dataset, k=args.k, compute=compute_config_from_args(args))
+    pipeline = pipeline_from_args(args)
+    result = pipeline.kgap(dataset, k=args.k, compute=compute_config_from_args(args))
     print(f"dataset: {dataset}")
     print(f"{args.k}-gap: median={result.quantile(0.5):.4f} "
           f"p90={result.quantile(0.9):.4f} max={result.gaps.max():.4f}")
@@ -94,7 +114,8 @@ def cmd_anonymize(args) -> int:
             temporal_threshold_min=args.suppress[1],
         )
     config = GloveConfig(k=args.k, suppression=suppression, reshape=not args.no_reshape)
-    result = glove(dataset, config, compute=compute_config_from_args(args))
+    pipeline = pipeline_from_args(args)
+    result = pipeline.anonymize(dataset, config, compute=compute_config_from_args(args))
     if not result.dataset.is_k_anonymous(args.k):
         print("error: output failed the k-anonymity audit", file=sys.stderr)
         return 3
@@ -155,18 +176,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    g = sub.add_parser("generate", help="synthesize a preset dataset")
-    g.add_argument("preset", choices=sorted(PRESETS))
-    g.add_argument("--users", type=int, default=150)
-    g.add_argument("--days", type=int, default=5)
-    g.add_argument("--seed", type=int, default=0)
+    g = sub.add_parser("generate", help="synthesize a preset or scenario dataset")
+    g.add_argument(
+        "preset",
+        choices=sorted(PRESETS) + available_scenarios(),
+        help="dataset preset, or a registered scenario name (whose "
+        "scale fills in --users/--days/--seed)",
+    )
+    g.add_argument("--users", type=int, default=None, help="default: 150")
+    g.add_argument("--days", type=int, default=None, help="default: 5")
+    g.add_argument("--seed", type=int, default=None, help="default: 0")
     g.add_argument("-o", "--output", required=True)
+    add_pipeline_arguments(g)
     g.set_defaults(func=cmd_generate)
 
     m = sub.add_parser("measure", help="anonymizability statistics")
     m.add_argument("dataset")
     m.add_argument("-k", type=int, default=2)
     add_compute_arguments(m)
+    add_pipeline_arguments(m)
     m.set_defaults(func=cmd_measure)
 
     a = sub.add_parser("anonymize", help="k-anonymize with GLOVE")
@@ -182,6 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument("--no-reshape", action="store_true")
     a.add_argument("-o", "--output", required=True)
     add_compute_arguments(a, pruning=True)
+    add_pipeline_arguments(a)
     a.set_defaults(func=cmd_anonymize)
 
     t = sub.add_parser("attack", help="record-linkage attack validation")

@@ -47,6 +47,22 @@ from repro.core.partial import (
 )
 from repro.core.reshape import reshape_fingerprint
 from repro.core.sample import Sample
+from repro.core.artifacts import ArtifactStore, canonical_key, dataset_digest, source_digest
+from repro.core.pipeline import (
+    Pipeline,
+    cached_dataset,
+    cached_glove,
+    cached_kgap,
+    cached_matrix,
+    get_default_pipeline,
+    set_default_pipeline,
+)
+from repro.core.scenarios import (
+    Scenario,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+)
 from repro.core.shard import ShardedBackend, partition_indices, resolve_shards, sharded_glove
 from repro.core.stretch import fingerprint_stretch, sample_stretch, stretch_matrix
 from repro.core.suppression import SuppressionStats, suppress_dataset
@@ -88,6 +104,21 @@ __all__ = [
     "pairwise_matrix",
     "one_vs_all",
     "PaddedFingerprints",
+    "ArtifactStore",
+    "canonical_key",
+    "dataset_digest",
+    "source_digest",
+    "Pipeline",
+    "cached_dataset",
+    "cached_glove",
+    "cached_kgap",
+    "cached_matrix",
+    "get_default_pipeline",
+    "set_default_pipeline",
+    "Scenario",
+    "available_scenarios",
+    "get_scenario",
+    "register_scenario",
     "parallel_pairwise_matrix",
     "partial_glove",
     "PartialResult",

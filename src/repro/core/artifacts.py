@@ -1,0 +1,377 @@
+"""Content-addressed artifact store for the compute-once pipeline.
+
+The paper's evaluation measures the *same* anonymized datasets under
+many lenses (Figs. 3-11, Table 2); production telemetry pipelines solve
+the analogous problem with staged, content-addressed datasets.  This
+module provides the storage half of that discipline:
+
+* :func:`canonical_key` -- a stable hash of a stage name plus its
+  parameter dict (canonical JSON, key-order independent);
+* :func:`dataset_digest` -- a content hash of a
+  :class:`~repro.core.dataset.FingerprintDataset`, so derived stages
+  (GLOVE runs, pairwise matrices) are keyed by *what the data is*, not
+  by how it was obtained — a CSV-loaded dataset and a synthesized one
+  with identical records share every downstream artifact;
+* :func:`source_digest` -- a hash of the source files a stage's output
+  depends on, folded into every key so editing the algorithms
+  invalidates exactly the artifacts they produce (see DESIGN.md D6);
+* :class:`ArtifactStore` -- the two-layer store: a bounded in-process
+  memo (zero-copy hits within a run) over an on-disk LRU-bounded pickle
+  store (hits across runs and processes).
+
+Environment knobs (all read at store construction):
+
+* ``REPRO_ARTIFACT_DIR`` -- on-disk root (default
+  ``$XDG_CACHE_HOME/repro`` or ``~/.cache/repro``);
+* ``REPRO_CACHE=0`` -- disable the disk layer entirely;
+* ``REPRO_CACHE_MAX_MB`` -- LRU bound on the total on-disk size
+  (default 512);
+* ``REPRO_CACHE_MAX_ARTIFACT_MB`` -- artifacts serializing above this
+  are memo-only, never written to disk (default 64).
+
+Disk artifacts are pickles segregated by interpreter version
+(``v1/cpython-3.11/<stage>/<key>.pkl``), written atomically; any read
+failure (corruption, version skew) degrades to a cache miss and the
+value is recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import sys
+import tempfile
+from collections import OrderedDict
+from dataclasses import is_dataclass, asdict
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Store layout version: bump to orphan every existing on-disk artifact
+#: when the serialization format (not the content) changes.
+STORE_VERSION = "v1"
+
+_MISS = object()
+
+
+def _jsonable(value: Any) -> Any:
+    """Reduce a key parameter to canonical JSON-compatible primitives."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {"__dataclass__": type(value).__name__, **_jsonable(asdict(value))}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        # repr round-trips float64 exactly; avoids 0.1+0.2 style drift
+        # from JSON re-parsing on the read side (keys are write-only).
+        return repr(value)
+    raise TypeError(
+        f"artifact key parameters must be JSON-like primitives or "
+        f"dataclasses, got {type(value).__name__}"
+    )
+
+
+def canonical_key(stage: str, params: Dict[str, Any]) -> str:
+    """Hex digest identifying one artifact: stage + canonical params.
+
+    Key-order independent (canonical JSON with sorted keys); two
+    parameter dicts differing in any value — including nested dataclass
+    fields — produce different keys.
+    """
+    payload = json.dumps(
+        {"stage": stage, "params": _jsonable(params)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def dataset_digest(dataset) -> str:
+    """Content hash of a fingerprint dataset (order-sensitive).
+
+    Covers every record field that downstream stages can observe: uid,
+    group count, member list and the raw float64 sample array.  The
+    dataset *name* is deliberately excluded — it is presentation
+    metadata and two identically-recorded datasets must share their
+    derived artifacts.
+    """
+    h = hashlib.sha256()
+    for fp in dataset:
+        h.update(fp.uid.encode("utf-8"))
+        h.update(b"\x00")
+        h.update(str(fp.count).encode("ascii"))
+        for member in fp.members:
+            h.update(b"\x00")
+            h.update(member.encode("utf-8"))
+        h.update(b"\x01")
+        h.update(str(fp.data.shape).encode("ascii"))
+        h.update(fp.data.tobytes())
+    return h.hexdigest()
+
+
+_SOURCE_DIGESTS: Dict[Tuple[str, ...], str] = {}
+
+
+def source_digest(*modules: str) -> str:
+    """Hash of the ``.py`` sources of the named modules/packages.
+
+    Folded into artifact keys so a cached value is only ever served
+    while the code that produced it is unchanged (DESIGN.md D6).  A
+    package name digests every ``*.py`` beneath it; extra plain file
+    paths may be passed directly.  Memoized per process (sources cannot
+    change under a running interpreter).
+    """
+    cache_key = tuple(modules)
+    cached = _SOURCE_DIGESTS.get(cache_key)
+    if cached is not None:
+        return cached
+    files: List[Path] = []
+    for name in modules:
+        as_path = Path(name)
+        if as_path.suffix == ".py" and as_path.exists():
+            files.append(as_path)
+            continue
+        import importlib.util
+
+        try:
+            spec = importlib.util.find_spec(name)
+        except ModuleNotFoundError:
+            spec = None
+        if spec is None or spec.origin is None:
+            raise ValueError(f"cannot locate sources of {name!r}")
+        origin = Path(spec.origin)
+        if origin.name == "__init__.py":
+            files.extend(sorted(origin.parent.rglob("*.py")))
+        else:
+            files.append(origin)
+    h = hashlib.sha256()
+    for path in sorted(set(files)):
+        h.update(path.name.encode("utf-8"))
+        h.update(b"\x00")
+        h.update(path.read_bytes())
+        h.update(b"\x01")
+    digest = h.hexdigest()
+    _SOURCE_DIGESTS[cache_key] = digest
+    return digest
+
+
+def default_artifact_dir() -> Path:
+    """Resolve the on-disk root from the environment."""
+    override = os.environ.get("REPRO_ARTIFACT_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+class ArtifactStore:
+    """Two-layer content-addressed store: in-process memo over disk LRU.
+
+    Parameters
+    ----------
+    root:
+        On-disk root directory; ``None`` disables the disk layer (the
+        store becomes memo-only).
+    max_bytes:
+        LRU bound on the total on-disk artifact size; least-recently-
+        *used* files (reads refresh the clock) are evicted first.
+    max_artifact_bytes:
+        Values serializing above this stay memo-only — e.g. the
+        pairwise matrix of a 10k-fingerprint ``glove measure`` run is
+        ~800 MB and must not wash the cache out.
+    memo_entries:
+        Bound on the in-process memo (plain LRU on entry count).
+    """
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        max_bytes: int = 512 * 1024 * 1024,
+        max_artifact_bytes: int = 64 * 1024 * 1024,
+        memo_entries: int = 64,
+    ):
+        self.root = Path(root) if root is not None else None
+        self.max_bytes = int(max_bytes)
+        self.max_artifact_bytes = int(max_artifact_bytes)
+        self.memo_entries = int(memo_entries)
+        self._memo: "OrderedDict[str, Any]" = OrderedDict()
+        # Running estimate of the disk layer's size: one directory scan
+        # on the first write, then incremental accounting, with a full
+        # rescan only when the estimate crosses the bound — keeps puts
+        # O(1) instead of O(store files) (concurrent writers may make
+        # the estimate drift; eviction re-measures before acting).
+        self._approx_bytes: Optional[int] = None
+
+    @classmethod
+    def from_env(cls, root: Optional[os.PathLike] = None, enabled: Optional[bool] = None) -> "ArtifactStore":
+        """Build a store honouring the ``REPRO_CACHE*`` environment.
+
+        ``root``/``enabled`` override the environment (CLI flags use
+        them); with the disk layer gated off the store is memo-only.
+        """
+        if enabled is None:
+            enabled = os.environ.get("REPRO_CACHE", "1") != "0"
+        max_mb = float(os.environ.get("REPRO_CACHE_MAX_MB", "512"))
+        max_artifact_mb = float(os.environ.get("REPRO_CACHE_MAX_ARTIFACT_MB", "64"))
+        return cls(
+            root=(Path(root) if root is not None else default_artifact_dir()) if enabled else None,
+            max_bytes=int(max_mb * 1024 * 1024),
+            max_artifact_bytes=int(max_artifact_mb * 1024 * 1024),
+        )
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def _stage_dir(self, stage: str) -> Path:
+        # Segregate by interpreter *and* numpy version: numpy upgrades
+        # may change bit-level results (RNG streams, reduction order),
+        # and the cached bytes must always match what --no-cache would
+        # produce on the current stack.
+        import numpy
+
+        runtime = (
+            f"cpython-{sys.version_info.major}.{sys.version_info.minor}"
+            f"-numpy-{numpy.__version__}"
+        )
+        return self.root / STORE_VERSION / runtime / stage
+
+    def _path(self, stage: str, key: str) -> Path:
+        return self._stage_dir(stage) / f"{key}.pkl"
+
+    @property
+    def disk_enabled(self) -> bool:
+        """Whether the persistent layer is active."""
+        return self.root is not None
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def get(self, stage: str, key: str) -> Any:
+        """The stored value, or the :data:`MISS` sentinel."""
+        memo_key = f"{stage}/{key}"
+        if memo_key in self._memo:
+            self._memo.move_to_end(memo_key)
+            return self._memo[memo_key]
+        if self.root is None:
+            return _MISS
+        path = self._path(stage, key)
+        try:
+            with open(path, "rb") as f:
+                value = pickle.load(f)
+        except Exception:
+            # Any unreadable artifact — truncated stream, bit rot,
+            # version skew in a pickled class — is a miss, never an
+            # error (DESIGN.md D6); the value is simply recomputed.
+            return _MISS
+        try:
+            os.utime(path)  # refresh the LRU clock
+        except OSError:
+            pass
+        self._memoize(memo_key, value)
+        return value
+
+    def put(self, stage: str, key: str, value: Any) -> None:
+        """Store a value in the memo and (size permitting) on disk."""
+        self._memoize(f"{stage}/{key}", value)
+        if self.root is None:
+            return
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return  # unpicklable values stay memo-only
+        if len(payload) > self.max_artifact_bytes:
+            return
+        path = self._path(stage, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    f.write(payload)
+                os.replace(tmp, path)  # atomic under concurrent writers
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+            if self._approx_bytes is None:
+                self._approx_bytes = self.disk_bytes()
+            else:
+                self._approx_bytes += len(payload)
+            if self._approx_bytes > self.max_bytes:
+                self._evict()
+        except OSError:
+            return  # a read-only or full disk degrades to memo-only
+
+    def fetch(self, stage: str, key: str, compute: Callable[[], Any]) -> Tuple[Any, str]:
+        """Value for ``key``, computing on miss.
+
+        Returns ``(value, origin)`` with origin one of ``"memo"``,
+        ``"disk"`` or ``"computed"``.
+        """
+        memo_key = f"{stage}/{key}"
+        if memo_key in self._memo:
+            self._memo.move_to_end(memo_key)
+            return self._memo[memo_key], "memo"
+        value = self.get(stage, key)
+        if value is not _MISS:
+            return value, "disk"
+        value = compute()
+        self.put(stage, key, value)
+        return value, "computed"
+
+    def contains(self, stage: str, key: str) -> bool:
+        """Whether the key is resolvable without computing."""
+        return self.get(stage, key) is not _MISS
+
+    # ------------------------------------------------------------------
+    # Bounds
+    # ------------------------------------------------------------------
+    def _memoize(self, memo_key: str, value: Any) -> None:
+        self._memo[memo_key] = value
+        self._memo.move_to_end(memo_key)
+        while len(self._memo) > self.memo_entries:
+            self._memo.popitem(last=False)
+
+    def _artifact_files(self) -> List[Path]:
+        if self.root is None or not self.root.exists():
+            return []
+        return [p for p in self.root.rglob("*.pkl") if p.is_file()]
+
+    def disk_bytes(self) -> int:
+        """Total bytes currently held by the disk layer."""
+        return sum(p.stat().st_size for p in self._artifact_files())
+
+    def _evict(self) -> None:
+        """Drop least-recently-used artifacts until within ``max_bytes``."""
+        files = self._artifact_files()
+        sized = []
+        total = 0
+        for p in files:
+            try:
+                st = p.stat()
+            except OSError:
+                continue
+            sized.append((st.st_mtime, st.st_size, p))
+            total += st.st_size
+        if total > self.max_bytes:
+            for _, size, p in sorted(sized):
+                try:
+                    p.unlink()
+                except OSError:
+                    continue
+                total -= size
+                if total <= self.max_bytes:
+                    break
+        self._approx_bytes = total
+
+    def clear_memo(self) -> None:
+        """Drop the in-process memo layer (disk artifacts survive)."""
+        self._memo.clear()
+
+
+#: Public alias for the miss sentinel (``store.get(...) is MISS``).
+MISS = _MISS

@@ -1,0 +1,162 @@
+"""The workload scenario registry.
+
+A *scenario* names one reproducible workload — a preset dataset at a
+given scale, anonymity level and (optionally) a suite of experiments —
+so that experiments, the CLIs and the benchmark suite all speak about
+the same workloads instead of each hard-coding its own
+``(preset, n_users, days, seed)`` tuples.  Declaring a new workload
+here makes it available uniformly:
+
+* ``glove-repro --scenario NAME`` runs the experiment suite at the
+  scenario's scale (``--list`` enumerates the registry);
+* ``glove generate NAME -o out.csv`` synthesizes the scenario's
+  dataset (scenario names extend the preset names);
+* ``benchmarks/conftest.py`` keys its BENCH_glove.json records by
+  scenario, so unchanged scenarios become artifact-store cache hits.
+
+New scenarios register through :func:`register_scenario`, mirroring the
+compute-backend registry of :mod:`repro.core.engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, fully reproducible workload.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also accepted by ``glove generate``).
+    preset:
+        Dataset preset from :data:`repro.cdr.datasets.PRESETS`.
+    n_users, days, seed:
+        Scale of the synthetic population.
+    k:
+        Anonymity level the scenario's GLOVE runs target.
+    experiments:
+        For suite scenarios: the ``glove-repro`` experiment names the
+        scenario runs (empty for pure dataset scenarios).
+    description:
+        One line shown by ``glove-repro --list``.
+    """
+
+    name: str
+    preset: str
+    n_users: int
+    days: int
+    seed: int = 0
+    k: int = 2
+    experiments: Tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1:
+            raise ValueError(f"n_users must be positive, got {self.n_users}")
+        if self.days < 1:
+            raise ValueError(f"days must be positive, got {self.days}")
+        if self.k < 2:
+            raise ValueError(f"k must be at least 2, got {self.k}")
+
+    def scaled(self, **overrides) -> "Scenario":
+        """A copy with some fields overridden (e.g. env-driven scale)."""
+        return replace(self, **overrides)
+
+    def key_params(self) -> Dict[str, object]:
+        """The scenario's contribution to an artifact key."""
+        return {
+            "preset": self.preset,
+            "n_users": self.n_users,
+            "days": self.days,
+            "seed": self.seed,
+            "k": self.k,
+            "experiments": list(self.experiments),
+        }
+
+    def synthesize(self, pipeline=None):
+        """The scenario's dataset through a pipeline (default: process-wide)."""
+        from repro.core.pipeline import get_default_pipeline
+
+        pipeline = pipeline if pipeline is not None else get_default_pipeline()
+        return pipeline.dataset(
+            self.preset, n_users=self.n_users, days=self.days, seed=self.seed
+        )
+
+
+_SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, overwrite: bool = False) -> Scenario:
+    """Register a scenario under its name; returns it for chaining."""
+    if not overwrite and scenario.name in _SCENARIOS:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; registered: {', '.join(available_scenarios())}"
+        ) from None
+
+
+def available_scenarios() -> List[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_SCENARIOS)
+
+
+# ----------------------------------------------------------------------
+# Built-in scenarios
+# ----------------------------------------------------------------------
+register_scenario(Scenario(
+    name="smoke",
+    preset="synth-civ",
+    n_users=30,
+    days=2,
+    seed=4,
+    description="tiny end-to-end workload for CI smoke tests",
+))
+register_scenario(Scenario(
+    name="default",
+    preset="synth-civ",
+    n_users=150,
+    days=5,
+    description="the glove-repro default scale (laptop-minutes)",
+))
+register_scenario(Scenario(
+    name="bench",
+    preset="synth-civ",
+    n_users=120,
+    days=4,
+    description="benchmark-suite scale (REPRO_BENCH_USERS/DAYS env-scaled)",
+))
+register_scenario(Scenario(
+    name="glove-500",
+    preset="synth-civ",
+    n_users=500,
+    days=2,
+    description="seeded 500-fingerprint hot-loop timing (BENCH_glove.json)",
+))
+register_scenario(Scenario(
+    name="large-n",
+    preset="synth-civ",
+    n_users=10_500,
+    days=2,
+    description="10k+-fingerprint sharded-tier audit (BENCH_glove.json)",
+))
+register_scenario(Scenario(
+    name="suite",
+    preset="synth-civ",
+    n_users=60,
+    days=2,
+    experiments=("fig3", "fig8", "table2"),
+    description="repeated-suite caching scenario (BENCH suite_cached row)",
+))

@@ -21,7 +21,7 @@ from typing import Dict, Sequence, Tuple
 
 from repro.analysis.anonymizability import kgap_cdf, temporal_ratio_cdf
 from repro.core.config import StretchConfig
-from repro.cdr.datasets import synthesize
+from repro.core.pipeline import cached_dataset
 from repro.experiments.report import ExperimentReport, fmt
 
 #: Named metric variants: label -> StretchConfig.
@@ -51,7 +51,7 @@ def run(
             "the paper's conclusions should not hinge on the exact choice"
         ),
     )
-    dataset = synthesize(preset, n_users=n_users, days=days, seed=seed)
+    dataset = cached_dataset(preset, n_users=n_users, days=days, seed=seed)
 
     rows = []
     results = {}

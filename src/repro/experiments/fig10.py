@@ -13,8 +13,7 @@ from typing import Sequence
 
 from repro.analysis.accuracy import extent_accuracy
 from repro.core.config import GloveConfig
-from repro.core.glove import glove
-from repro.cdr.datasets import synthesize
+from repro.core.pipeline import cached_dataset, cached_glove
 from repro.experiments.report import ExperimentReport, fmt
 
 #: Timespans in days (the paper uses 1, 2, 5, 7, 14).
@@ -45,12 +44,12 @@ def run(
     )
     timespans = sorted(set(min(t, days) for t in timespans))
     for preset in presets:
-        full = synthesize(preset, n_users=n_users, days=days, seed=seed)
+        full = cached_dataset(preset, n_users=n_users, days=days, seed=seed)
         rows = []
         series = []
         for span in timespans:
             subset = full.restrict_timespan(span)
-            result = glove(subset, GloveConfig(k=k))
+            result = cached_glove(subset, GloveConfig(k=k))
             spatial, temporal = extent_accuracy(result.dataset)
             series.append(
                 {

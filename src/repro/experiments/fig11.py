@@ -14,8 +14,7 @@ import numpy as np
 
 from repro.analysis.accuracy import extent_accuracy
 from repro.core.config import GloveConfig
-from repro.core.glove import glove
-from repro.cdr.datasets import synthesize
+from repro.core.pipeline import cached_dataset, cached_glove
 from repro.experiments.report import ExperimentReport, fmt
 
 #: Retained user fractions (the paper sweeps 5% to 100%).
@@ -40,7 +39,7 @@ def run(
         ),
     )
     for preset in presets:
-        full = synthesize(preset, n_users=n_users, days=days, seed=seed)
+        full = cached_dataset(preset, n_users=n_users, days=days, seed=seed)
         rng = np.random.default_rng(seed)
         rows = []
         series = []
@@ -52,7 +51,7 @@ def run(
             )
             if len(subset) < 2 * k:
                 continue
-            result = glove(subset, GloveConfig(k=k))
+            result = cached_glove(subset, GloveConfig(k=k))
             spatial, temporal = extent_accuracy(result.dataset)
             series.append(
                 {

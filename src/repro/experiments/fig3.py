@@ -16,7 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis.anonymizability import kgap_cdf, kgap_curves
-from repro.cdr.datasets import synthesize
+from repro.core.pipeline import cached_dataset
 from repro.experiments.report import ExperimentReport, fmt
 
 #: Gap values at which the CDFs are reported.
@@ -47,7 +47,7 @@ def run(
     medians_by_preset = {}
     frac_zero = {}
     for preset in presets:
-        dataset = synthesize(preset, n_users=n_users, days=days, seed=seed)
+        dataset = cached_dataset(preset, n_users=n_users, days=days, seed=seed)
         cdf, result = kgap_cdf(dataset, k=2)
         grid, values = cdf.series(GAP_GRID)
         report.add_cdf(f"Fig.3a {preset} (k=2, n={len(dataset)})", grid, values, "gap")
@@ -59,7 +59,7 @@ def run(
 
     # Fig. 3b: k sweep on the second preset (the paper uses d4d-sen).
     sweep_preset = presets[-1]
-    dataset = synthesize(sweep_preset, n_users=n_users, days=days, seed=seed)
+    dataset = cached_dataset(sweep_preset, n_users=n_users, days=days, seed=seed)
     ks = tuple(k for k in ks if k < len(dataset))
     curves = kgap_curves(dataset, ks)
     rows = []

@@ -11,7 +11,7 @@ from typing import Sequence
 
 from repro.analysis.anonymizability import generalization_sweep
 from repro.baselines.generalization import PAPER_LEVELS, GeneralizationLevel
-from repro.cdr.datasets import synthesize
+from repro.core.pipeline import cached_dataset
 from repro.experiments.report import ExperimentReport, fmt
 
 #: Gap values at which the CDFs are reported.
@@ -37,7 +37,7 @@ def run(
     )
     anonymized_fraction = {}
     for preset in presets:
-        dataset = synthesize(preset, n_users=n_users, days=days, seed=seed)
+        dataset = cached_dataset(preset, n_users=n_users, days=days, seed=seed)
         sweep = generalization_sweep(dataset, levels, k=2)
         rows = []
         for level in levels:

@@ -18,8 +18,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis.anonymizability import tail_weight_analysis, temporal_ratio_cdf
-from repro.core.kgap import kgap
-from repro.cdr.datasets import synthesize
+from repro.core.pipeline import cached_dataset, cached_kgap
 from repro.experiments.report import ExperimentReport, fmt
 
 #: TWI thresholds reported (1.5 separates exponential-like from lighter).
@@ -47,8 +46,8 @@ def run(
     )
 
     # Fig. 5a on the first preset (the paper shows d4d-civ).
-    dataset = synthesize(presets[0], n_users=n_users, days=days, seed=seed)
-    result = kgap(dataset, k=2)
+    dataset = cached_dataset(presets[0], n_users=n_users, days=days, seed=seed)
+    result = cached_kgap(dataset, k=2)
     twi = tail_weight_analysis(dataset, k=2, result=result)
     rows = []
     for name in ("delta", "spatial", "temporal"):
@@ -76,7 +75,7 @@ def run(
     ratio_cdf = temporal_ratio_cdf(dataset, k=2, result=result)
     for preset in presets:
         if preset != presets[0]:
-            ds = synthesize(preset, n_users=n_users, days=days, seed=seed)
+            ds = cached_dataset(preset, n_users=n_users, days=days, seed=seed)
             ratio_cdf = temporal_ratio_cdf(ds, k=2)
         grid, values = ratio_cdf.series(RATIO_GRID)
         report.add_cdf(f"Fig.5b {preset}: temporal share of cost", grid, values, "share")

@@ -13,8 +13,7 @@ from typing import Sequence
 
 from repro.analysis.accuracy import extent_accuracy
 from repro.core.config import GloveConfig
-from repro.core.glove import glove
-from repro.cdr.datasets import synthesize
+from repro.core.pipeline import cached_dataset, cached_glove
 from repro.experiments.report import ExperimentReport, fmt
 
 #: Fig. 7 x-axis ticks: position accuracy in metres.
@@ -41,8 +40,8 @@ def run(
         ),
     )
     for preset in presets:
-        dataset = synthesize(preset, n_users=n_users, days=days, seed=seed)
-        result = glove(dataset, GloveConfig(k=k))
+        dataset = cached_dataset(preset, n_users=n_users, days=days, seed=seed)
+        result = cached_glove(dataset, GloveConfig(k=k))
         anonymous = result.dataset.is_k_anonymous(k)
         spatial, temporal = extent_accuracy(result.dataset)
         grid_s, val_s = spatial.series(SPATIAL_GRID_M)

@@ -12,8 +12,7 @@ from typing import Dict, Sequence
 
 from repro.analysis.accuracy import extent_accuracy
 from repro.core.config import GloveConfig
-from repro.core.glove import glove
-from repro.cdr.datasets import synthesize
+from repro.core.pipeline import cached_dataset, cached_glove
 from repro.experiments.fig7 import SPATIAL_GRID_M, TEMPORAL_GRID_MIN
 from repro.experiments.report import ExperimentReport, fmt
 
@@ -34,11 +33,11 @@ def run(
             "retain original granularity as the crowd size grows"
         ),
     )
-    dataset = synthesize(preset, n_users=n_users, days=days, seed=seed)
+    dataset = cached_dataset(preset, n_users=n_users, days=days, seed=seed)
     per_k: Dict[int, Dict[str, float]] = {}
     rows = []
     for k in sorted(ks):
-        result = glove(dataset, GloveConfig(k=k))
+        result = cached_glove(dataset, GloveConfig(k=k))
         spatial, temporal = extent_accuracy(result.dataset)
         grid_s, val_s = spatial.series(SPATIAL_GRID_M)
         grid_t, val_t = temporal.series(TEMPORAL_GRID_MIN)

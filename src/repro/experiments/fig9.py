@@ -18,9 +18,8 @@ from typing import Sequence, Tuple
 
 from repro.analysis.accuracy import extent_accuracy
 from repro.core.config import GloveConfig, SuppressionConfig
-from repro.core.glove import glove
 from repro.core.suppression import suppress_dataset
-from repro.cdr.datasets import synthesize
+from repro.core.pipeline import cached_dataset, cached_glove
 from repro.experiments.report import ExperimentReport, fmt
 
 #: Spatial threshold sweep (paper left plot): metres, at a fixed 6 h
@@ -50,8 +49,8 @@ def run(
             "small suppression fractions"
         ),
     )
-    dataset = synthesize(preset, n_users=n_users, days=days, seed=seed)
-    published = glove(dataset, GloveConfig(k=k)).dataset
+    dataset = cached_dataset(preset, n_users=n_users, days=days, seed=seed)
+    published = cached_glove(dataset, GloveConfig(k=k)).dataset
 
     spatial0, temporal0 = extent_accuracy(published)
     report.data["baseline"] = {

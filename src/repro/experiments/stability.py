@@ -17,8 +17,7 @@ from repro.analysis.accuracy import extent_accuracy
 from repro.analysis.anonymizability import kgap_cdf, temporal_ratio_cdf
 from repro.analysis.bootstrap import bootstrap_ci
 from repro.core.config import GloveConfig
-from repro.core.glove import glove
-from repro.cdr.datasets import synthesize
+from repro.core.pipeline import cached_dataset, cached_glove
 from repro.experiments.report import ExperimentReport, fmt
 
 
@@ -40,12 +39,12 @@ def run(
     )
     medians, dominances, anon_fracs, frac_2km = [], [], [], []
     for draw in range(n_seeds):
-        dataset = synthesize(preset, n_users=n_users, days=days, seed=seed + draw)
+        dataset = cached_dataset(preset, n_users=n_users, days=days, seed=seed + draw)
         cdf, result = kgap_cdf(dataset, k=2)
         medians.append(cdf.median)
         anon_fracs.append(result.fraction_anonymous())
         dominances.append(1.0 - float(temporal_ratio_cdf(dataset, k=2, result=result)(0.5)))
-        published = glove(dataset, GloveConfig(k=2)).dataset
+        published = cached_glove(dataset, GloveConfig(k=2)).dataset
         spatial, _ = extent_accuracy(published)
         frac_2km.append(float(spatial(2_000.0)))
 

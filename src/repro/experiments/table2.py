@@ -22,9 +22,8 @@ from typing import Dict, Sequence
 from repro.analysis.accuracy import utility_report
 from repro.baselines.w4m import W4MConfig, w4m_lc
 from repro.core.config import GloveConfig, SuppressionConfig
-from repro.core.glove import glove
 from repro.core.suppression import suppress_dataset
-from repro.cdr.datasets import synthesize
+from repro.core.pipeline import cached_dataset, cached_glove
 from repro.experiments.report import ExperimentReport, fmt
 
 #: Table 2 suppression thresholds for GLOVE.
@@ -59,7 +58,7 @@ def run(
     for k in ks:
         rows = []
         for preset in presets:
-            dataset = synthesize(preset, n_users=n_users, days=days, seed=seed)
+            dataset = cached_dataset(preset, n_users=n_users, days=days, seed=seed)
 
             w4m = w4m_lc(
                 dataset,
@@ -81,7 +80,7 @@ def run(
             # property: zero discarded fingerprints), while the *error
             # statistics* follow the paper's accounting and exclude all
             # suppressed samples (errors are measured over survivors).
-            g = glove(dataset, GloveConfig(k=k))
+            g = cached_glove(dataset, GloveConfig(k=k))
             release, release_stats = suppress_dataset(g.dataset, GLOVE_SUPPRESSION)
             strict_cfg = replace(GLOVE_SUPPRESSION, keep_at_least_one=False)
             survivors, strict_stats = suppress_dataset(g.dataset, strict_cfg)

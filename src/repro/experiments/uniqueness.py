@@ -18,8 +18,7 @@ from repro.attacks.record_linkage import (
     uniqueness_given_top_locations,
 )
 from repro.core.config import GloveConfig
-from repro.core.glove import glove
-from repro.cdr.datasets import synthesize
+from repro.core.pipeline import cached_dataset, cached_glove
 from repro.experiments.report import ExperimentReport, fmt
 
 
@@ -43,8 +42,8 @@ def run(
             "vulnerability"
         ),
     )
-    original = synthesize(preset, n_users=n_users, days=days, seed=seed)
-    published = glove(original, GloveConfig(k=k)).dataset
+    original = cached_dataset(preset, n_users=n_users, days=days, seed=seed)
+    published = cached_glove(original, GloveConfig(k=k)).dataset
 
     rows = []
     series_points = {}

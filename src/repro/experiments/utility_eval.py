@@ -10,8 +10,7 @@ GLOVE-anonymized data and reports the agreement.
 from __future__ import annotations
 
 from repro.core.config import GloveConfig
-from repro.core.glove import glove
-from repro.cdr.datasets import synthesize
+from repro.core.pipeline import cached_dataset, cached_glove
 from repro.experiments.report import ExperimentReport, fmt
 from repro.utility.comparison import compare_utility
 
@@ -33,8 +32,8 @@ def run(
             "statistics (commuting flows, population distributions)"
         ),
     )
-    original = synthesize(preset, n_users=n_users, days=days, seed=seed)
-    anonymized = glove(original, GloveConfig(k=k)).dataset
+    original = cached_dataset(preset, n_users=n_users, days=days, seed=seed)
+    anonymized = cached_glove(original, GloveConfig(k=k)).dataset
     comparison = compare_utility(original, anonymized)
 
     rows = [

@@ -1,0 +1,187 @@
+"""Tests for the content-addressed artifact store."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.artifacts import (
+    MISS,
+    ArtifactStore,
+    canonical_key,
+    dataset_digest,
+    default_artifact_dir,
+    source_digest,
+)
+from repro.core.config import GloveConfig, StretchConfig
+from repro.core.dataset import FingerprintDataset
+
+from tests.conftest import make_fp
+
+
+class TestCanonicalKey:
+    def test_key_order_independent(self):
+        a = canonical_key("stage", {"x": 1, "y": "two"})
+        b = canonical_key("stage", {"y": "two", "x": 1})
+        assert a == b
+
+    def test_distinguishes_values_and_stages(self):
+        base = canonical_key("stage", {"x": 1})
+        assert canonical_key("stage", {"x": 2}) != base
+        assert canonical_key("other", {"x": 1}) != base
+
+    def test_dataclass_fields_enter_the_key(self):
+        a = canonical_key("s", {"config": GloveConfig(k=2)})
+        b = canonical_key("s", {"config": GloveConfig(k=3)})
+        assert a != b
+        # Nested dataclass fields too.
+        c = canonical_key("s", {"config": StretchConfig(phi_max_sigma_m=10_000.0)})
+        d = canonical_key("s", {"config": StretchConfig(phi_max_sigma_m=20_000.0)})
+        assert c != d
+
+    def test_distinguishes_dataclass_types_with_equal_fields(self):
+        # Two different config types must never collide just because
+        # their field dicts happen to match.
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class First:
+            x: int = 1
+
+        @dataclass(frozen=True)
+        class Second:
+            x: int = 1
+
+        assert canonical_key("s", {"c": First()}) != canonical_key("s", {"c": Second()})
+
+    def test_rejects_unhashable_parameter_types(self):
+        with pytest.raises(TypeError):
+            canonical_key("s", {"x": object()})
+
+    def test_float_params_keep_precision(self):
+        a = canonical_key("s", {"x": 0.1 + 0.2})
+        b = canonical_key("s", {"x": 0.3})
+        assert a != b
+
+
+class TestDatasetDigest:
+    def test_identical_content_same_digest(self, small_civ):
+        clone = FingerprintDataset(list(small_civ), name="other-name")
+        assert dataset_digest(small_civ) == dataset_digest(clone)
+
+    def test_name_excluded_data_included(self):
+        a = FingerprintDataset([make_fp("u", [(0.0, 0.0, 0.0)])], name="a")
+        b = FingerprintDataset([make_fp("u", [(0.0, 0.0, 1.0)])], name="a")
+        assert dataset_digest(a) != dataset_digest(b)
+
+    def test_count_and_members_included(self):
+        rows = [(0.0, 0.0, 0.0)]
+        a = FingerprintDataset([make_fp("u", rows)])
+        b = FingerprintDataset([make_fp("u", rows, count=2, members=("u", "v"))])
+        assert dataset_digest(a) != dataset_digest(b)
+
+
+class TestSourceDigest:
+    def test_stable_within_process(self):
+        assert source_digest("repro.core") == source_digest("repro.core")
+
+    def test_different_scopes_differ(self):
+        assert source_digest("repro.core") != source_digest("repro.cdr")
+
+    def test_accepts_plain_files(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("x = 1\n")
+        assert source_digest(str(f))
+
+    def test_unknown_module_rejected(self):
+        with pytest.raises(ValueError):
+            source_digest("no.such.module")
+
+
+class TestArtifactStore:
+    def test_round_trip_through_disk(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        value = {"arr": np.arange(5.0)}
+        store.put("stage", "k1", value)
+        store.clear_memo()
+        loaded = store.get("stage", "k1")
+        assert np.array_equal(loaded["arr"], value["arr"])
+
+    def test_miss_sentinel(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        assert store.get("stage", "missing") is MISS
+        assert not store.contains("stage", "missing")
+
+    def test_memo_only_without_root(self):
+        store = ArtifactStore(root=None)
+        store.put("stage", "k", 42)
+        assert store.get("stage", "k") == 42
+        assert not store.disk_enabled
+
+    def test_fetch_reports_origin(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        assert store.fetch("s", "k", compute) == ("value", "computed")
+        assert store.fetch("s", "k", compute) == ("value", "memo")
+        store.clear_memo()
+        assert store.fetch("s", "k", compute) == ("value", "disk")
+        assert len(calls) == 1
+
+    def test_corrupted_artifact_degrades_to_miss(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        store.put("s", "k", [1, 2, 3])
+        store.clear_memo()
+        (path,) = list(tmp_path.rglob("k.pkl"))
+        path.write_bytes(b"not a pickle")
+        assert store.get("s", "k") is MISS
+        assert store.fetch("s", "k", lambda: "recomputed") == ("recomputed", "computed")
+
+    def test_oversized_artifacts_stay_memo_only(self, tmp_path):
+        store = ArtifactStore(root=tmp_path, max_artifact_bytes=64)
+        store.put("s", "big", np.zeros(1000))
+        assert list(tmp_path.rglob("*.pkl")) == []
+        assert store.get("s", "big") is not MISS  # memo still serves it
+        store.clear_memo()
+        assert store.get("s", "big") is MISS
+
+    def test_lru_eviction_keeps_recently_used(self, tmp_path):
+        payload = os.urandom(4000)
+        store = ArtifactStore(root=tmp_path, max_bytes=10_000)
+        store.put("s", "a", payload)
+        store.put("s", "b", payload)
+        # Refresh 'a' so 'b' is the least recently used...
+        os.utime(store._path("s", "b"), (1, 1))
+        store.clear_memo()
+        store.get("s", "a")
+        # ...then push past the bound.
+        store.put("s", "c", payload)
+        store.clear_memo()
+        assert store.get("s", "a") is not MISS
+        assert store.get("s", "c") is not MISS
+        assert store.get("s", "b") is MISS
+
+    def test_from_env_cache_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        store = ArtifactStore.from_env()
+        assert not store.disk_enabled
+
+    def test_from_env_artifact_dir(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "store"))
+        assert default_artifact_dir() == tmp_path / "store"
+        store = ArtifactStore.from_env()
+        store.put("s", "k", 1)
+        assert list((tmp_path / "store").rglob("k.pkl"))
+
+    def test_unpicklable_values_stay_memo_only(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        value = lambda: None  # noqa: E731 - deliberately unpicklable
+        store.put("s", "k", value)
+        assert store.get("s", "k") is value
+        assert list(tmp_path.rglob("*.pkl")) == []

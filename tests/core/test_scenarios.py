@@ -1,0 +1,76 @@
+"""Tests for the workload scenario registry."""
+
+import pytest
+
+from repro.cdr.datasets import PRESETS
+from repro.core.artifacts import ArtifactStore
+from repro.core.pipeline import Pipeline
+from repro.core.scenarios import (
+    Scenario,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+)
+
+
+class TestRegistry:
+    def test_builtin_scenarios_present(self):
+        names = available_scenarios()
+        for expected in ("smoke", "default", "bench", "glove-500", "large-n", "suite"):
+            assert expected in names
+
+    def test_builtin_presets_are_valid(self):
+        for name in available_scenarios():
+            assert get_scenario(name).preset in PRESETS
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            get_scenario("warp-speed")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(Scenario("smoke", "synth-civ", 10, 1))
+
+    def test_overwrite_flag(self):
+        original = get_scenario("smoke")
+        try:
+            register_scenario(original.scaled(n_users=99), overwrite=True)
+            assert get_scenario("smoke").n_users == 99
+        finally:
+            register_scenario(original, overwrite=True)
+
+
+class TestScenario:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scenario("bad", "synth-civ", n_users=0, days=1)
+        with pytest.raises(ValueError):
+            Scenario("bad", "synth-civ", n_users=10, days=0)
+        with pytest.raises(ValueError):
+            Scenario("bad", "synth-civ", n_users=10, days=1, k=1)
+
+    def test_scaled_overrides(self):
+        sc = get_scenario("bench").scaled(n_users=7, days=1)
+        assert (sc.n_users, sc.days) == (7, 1)
+        assert sc.preset == get_scenario("bench").preset
+
+    def test_key_params_cover_the_scale(self):
+        params = get_scenario("suite").key_params()
+        assert params["preset"] == "synth-civ"
+        assert params["experiments"] == ["fig3", "fig8", "table2"]
+        assert {"n_users", "days", "seed", "k"} <= set(params)
+
+    def test_suite_experiments_are_registered(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        for name in get_scenario("suite").experiments:
+            assert name in EXPERIMENTS
+
+    def test_synthesize_through_pipeline(self):
+        pipeline = Pipeline(ArtifactStore(root=None))
+        sc = get_scenario("smoke").scaled(n_users=12, days=1)
+        ds = sc.synthesize(pipeline)
+        assert len(ds) > 0
+        assert pipeline.stats["dataset"].computed == 1
+        again = sc.synthesize(pipeline)
+        assert again is ds

@@ -175,9 +175,14 @@ class TestRunner:
         }
 
     def test_parser_defaults(self):
+        # Scale flags default to None so that --scenario can fill them
+        # in main(); the fallback constants carry the actual defaults.
+        from repro.experiments.runner import DEFAULT_DAYS, DEFAULT_N_USERS
+
         args = build_parser().parse_args([])
-        assert args.n_users == 150
-        assert sorted(args.experiments) == sorted(EXPERIMENTS)
+        assert args.n_users is None
+        assert args.experiments is None
+        assert (DEFAULT_N_USERS, DEFAULT_DAYS) == (150, 5)
 
     def test_parser_subset(self):
         args = build_parser().parse_args(["-e", "fig3", "-n", "10"])

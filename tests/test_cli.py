@@ -162,6 +162,64 @@ class TestShardedBackend:
         assert "2-gap" in out
 
 
+class TestPipelineFlags:
+    """The --artifact-dir / --no-cache artifact-store flags."""
+
+    def test_generate_accepts_scenario_name(self, tmp_path, capsys):
+        # The "smoke" scenario is synth-civ at 30 users / 2 days / seed 4
+        # — the exact scale of the raw_csv fixture.
+        from_scenario = tmp_path / "scenario.csv"
+        from_preset = tmp_path / "preset.csv"
+        assert main(["generate", "smoke", "-o", str(from_scenario)]) == 0
+        assert main(
+            ["generate", "synth-civ", "--users", "30", "--days", "2", "--seed", "4",
+             "-o", str(from_preset)]
+        ) == 0
+        assert from_scenario.read_bytes() == from_preset.read_bytes()
+
+    def test_generate_flags_override_scenario(self, tmp_path, capsys):
+        small = tmp_path / "small.csv"
+        assert main(["generate", "smoke", "--users", "10", "-o", str(small)]) == 0
+        uids = {line.split(",")[0] for line in small.read_text().splitlines()[1:]}
+        assert 0 < len(uids) <= 10  # scenario's 30 users overridden
+
+    def test_anonymize_artifact_dir_reuses_cache(self, raw_csv, tmp_path, capsys):
+        store = tmp_path / "store"
+        first = tmp_path / "pub1.csv"
+        second = tmp_path / "pub2.csv"
+        for out in (first, second):
+            assert main(
+                ["anonymize", str(raw_csv), "-k", "2",
+                 "--artifact-dir", str(store), "-o", str(out)]
+            ) == 0
+        assert first.read_bytes() == second.read_bytes()
+        assert list(store.rglob("*.pkl"))  # the glove artifact landed
+
+    def test_no_cache_writes_nothing_and_matches(self, raw_csv, tmp_path, monkeypatch):
+        store = tmp_path / "store"
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(store))
+        cached = tmp_path / "cached.csv"
+        fresh = tmp_path / "fresh.csv"
+        assert main(
+            ["anonymize", str(raw_csv), "-k", "2", "-o", str(cached)]
+        ) == 0
+        populated = sorted(store.rglob("*.pkl"))
+        assert populated
+        assert main(
+            ["anonymize", str(raw_csv), "-k", "2", "--no-cache", "-o", str(fresh)]
+        ) == 0
+        assert cached.read_bytes() == fresh.read_bytes()
+        # --no-cache must not have touched the store.
+        assert sorted(store.rglob("*.pkl")) == populated
+
+    def test_measure_accepts_pipeline_flags(self, raw_csv, tmp_path, capsys):
+        assert main(
+            ["measure", str(raw_csv), "-k", "2",
+             "--artifact-dir", str(tmp_path / "store")]
+        ) == 0
+        assert "2-gap" in capsys.readouterr().out
+
+
 class TestComputeFlagValidation:
     """Invalid substrate flags must exit 2 with a clear message."""
 
