@@ -16,8 +16,10 @@ At session end the suite also emits ``BENCH_glove.json`` at the repo
 root: wall-clock of a seeded 500-fingerprint ``glove()`` run per
 compute backend against the pre-engine dense-matrix baseline
 (:mod:`benchmarks.seed_path`), a 10k+-fingerprint sharded-tier audit,
-and a ``suite_cached`` record timing a repeated experiment-suite run
-cold vs warm through the artifact pipeline.  Scale/skip knobs:
+a ``suite_cached`` record timing a repeated experiment-suite run cold
+vs warm through the artifact pipeline, and a ``stream`` record with
+the streaming tier's throughput and per-window latency on the
+stream-500 scenario.  Scale/skip knobs:
 
 * ``REPRO_BENCH_GLOVE`` — set to ``0`` to skip the emission;
 * ``REPRO_BENCH_GLOVE_USERS`` (default 500), ``REPRO_BENCH_GLOVE_DAYS``
@@ -25,7 +27,9 @@ cold vs warm through the artifact pipeline.  Scale/skip knobs:
 * ``REPRO_BENCH_SHARD_USERS`` (default 10500; ``0`` skips the large-n
   record), ``REPRO_BENCH_SHARD_DAYS`` (default 2);
 * ``REPRO_BENCH_SUITE_USERS`` (default 60; ``0`` skips the
-  suite_cached record).
+  suite_cached record);
+* ``REPRO_BENCH_STREAM_USERS`` (default 500; ``0`` skips the stream
+  throughput record), ``REPRO_BENCH_STREAM_DAYS`` (default 2).
 
 Every emission record is itself a content-addressed artifact
 (:mod:`repro.core.artifacts`), keyed by its scenario parameters plus a
@@ -71,6 +75,12 @@ SHARD_SCENARIO = get_scenario("large-n").scaled(
 )
 SUITE_BENCH_USERS = int(os.environ.get("REPRO_BENCH_SUITE_USERS", "60"))
 SUITE_SCENARIO = get_scenario("suite").scaled(n_users=max(SUITE_BENCH_USERS, 1))
+STREAM_BENCH_USERS = int(os.environ.get("REPRO_BENCH_STREAM_USERS", "500"))
+STREAM_SCENARIO = get_scenario("stream-500").scaled(
+    n_users=max(STREAM_BENCH_USERS, 1),
+    days=int(os.environ.get("REPRO_BENCH_STREAM_DAYS", "2")),
+    seed=BENCH_SEED,
+)
 
 #: One store (and pipeline) for the whole benchmark session: dataset
 #: synthesis and emission records persist across runs.
@@ -302,6 +312,56 @@ def _run_suite_bench() -> dict:
     }
 
 
+def _run_stream_bench() -> dict:
+    """Throughput of the streaming tier on the stream-500 scenario.
+
+    Replays the scenario's dataset as an event feed, anonymizes it
+    window by window with carry-over, audits every emitted window with
+    the reusable k-anonymity checker, and records the serving metrics:
+    events per second and per-window latency quantiles.
+    """
+    from repro.core.config import GloveConfig
+    from repro.stream.driver import stream_glove
+
+    harness = _load_module(
+        "tests_properties_k_anonymity",
+        _REPO_ROOT / "tests" / "properties" / "test_k_anonymity.py",
+    )
+    dataset = STREAM_SCENARIO.synthesize(_PIPELINE)
+    config = GloveConfig(k=STREAM_SCENARIO.k)
+    stream_cfg = STREAM_SCENARIO.stream_config()
+    result = stream_glove(dataset, config, stream_cfg)
+    k_anonymous = True
+    try:
+        for window in result.emitted:
+            harness.assert_k_anonymous(window.dataset, config.k)
+    except AssertionError:
+        k_anonymous = False
+    published = {m for w in result.emitted for fp in w.dataset for m in fp.members}
+    stats = result.stats
+    return {
+        "n_fingerprints": len(dataset),
+        "days": STREAM_SCENARIO.days,
+        "seed": STREAM_SCENARIO.seed,
+        "k": config.k,
+        "window_min": stream_cfg.window_min,
+        "slide_min": stream_cfg.slide,
+        "max_lag_min": stream_cfg.max_lag_min,
+        "carry_over": stream_cfg.carry_over,
+        "n_events": stats.n_events,
+        "n_windows": stats.n_windows,
+        "n_deferred_windows": stats.n_deferred_windows,
+        "n_groups": stats.n_groups,
+        "max_carried_members": stats.max_carried_members,
+        "wall_s": round(stats.wall_s, 3),
+        "events_per_sec": round(stats.events_per_sec, 1),
+        "latency_p50_ms": round(stats.latency_p50_s * 1000.0, 1),
+        "latency_p95_ms": round(stats.latency_p95_s * 1000.0, 1),
+        "every_window_k_anonymous": k_anonymous,
+        "covers_all_users": published == set(dataset.uids),
+    }
+
+
 #: Minimum tests in the session before the timed benchmark runs, so a
 #: deselected one-test run doesn't pay the multi-run glove() price.
 _GLOVE_BENCH_MIN_TESTS = 50
@@ -338,6 +398,11 @@ def pytest_sessionfinish(session, exitstatus):
             "bench", _bench_record_key("suite_cached", SUITE_SCENARIO), _run_suite_bench
         )
         origins.add(origin)
+    if STREAM_BENCH_USERS > 0:
+        record["stream"], origin = _STORE.fetch(
+            "bench", _bench_record_key("stream", STREAM_SCENARIO), _run_stream_bench
+        )
+        origins.add(origin)
     GLOVE_BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
     reporter = session.config.pluginmanager.get_plugin("terminalreporter")
     if reporter is not None:
@@ -358,6 +423,18 @@ def pytest_sessionfinish(session, exitstatus):
             line += (
                 f"; suite warm x{suite['speedup_warm_vs_cold']} "
                 f"({suite['datasets_computed']} datasets synthesized)"
+            )
+        if "stream" in record:
+            stream = record["stream"]
+            audit = (
+                "k-anonymous"
+                if stream["every_window_k_anonymous"]
+                else "K-ANONYMITY VIOLATED"
+            )
+            line += (
+                f"; stream {stream['events_per_sec']:,.0f} ev/s over "
+                f"{stream['n_windows']} windows (p95 "
+                f"{stream['latency_p95_ms']}ms, {audit})"
             )
         if origins != {"computed"}:
             line += " [records served from artifact store]"

@@ -17,6 +17,8 @@ The package is organized as:
   the W4M-LC comparator.
 * :mod:`repro.attacks` -- record-linkage attacks used to validate
   k-anonymity of the output.
+* :mod:`repro.stream` -- streaming tier: windowed incremental GLOVE
+  over replayed CDR event feeds with carry-over (DESIGN.md D7).
 * :mod:`repro.experiments` -- one module per paper figure/table.
 
 Quickstart::
@@ -43,6 +45,7 @@ from repro.core import (
     sample_stretch,
     sharded_glove,
 )
+from repro.stream import StreamConfig, StreamResult, stream_glove
 
 __version__ = "1.0.0"
 
@@ -56,6 +59,9 @@ __all__ = [
     "GloveResult",
     "glove",
     "sharded_glove",
+    "StreamConfig",
+    "StreamResult",
+    "stream_glove",
     "kgap",
     "sample_stretch",
     "fingerprint_stretch",

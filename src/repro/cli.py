@@ -6,6 +6,9 @@ Subcommands (all operating on the CSV formats of :mod:`repro.cdr.io`):
   event CSV;
 * ``measure``  — anonymizability statistics (k-gap) of an event CSV;
 * ``anonymize`` — GLOVE a dataset into a publishable fingerprint CSV;
+* ``stream``   — replay a dataset as a timestamped event feed and
+  anonymize it window by window (``--window/--slide/--carry-over/
+  --max-lag``, see DESIGN.md D7);
 * ``attack``   — mount record-linkage attacks against a publication;
 * ``info``     — summarize any dataset file.
 
@@ -58,6 +61,7 @@ from repro.core.config import (
 )
 from repro.core.pipeline import add_pipeline_arguments, pipeline_from_args
 from repro.core.scenarios import available_scenarios, get_scenario
+from repro.stream.windows import add_stream_arguments, stream_config_from_args
 
 
 def _read_any(path: str):
@@ -105,15 +109,20 @@ def cmd_measure(args) -> int:
     return 0
 
 
-def cmd_anonymize(args) -> int:
-    dataset = _read_any(args.dataset)
+def _glove_config_from_args(args) -> GloveConfig:
+    """The GloveConfig of the shared -k/--suppress/--no-reshape flags."""
     suppression = SuppressionConfig()
     if args.suppress:
         suppression = SuppressionConfig(
             spatial_threshold_m=args.suppress[0],
             temporal_threshold_min=args.suppress[1],
         )
-    config = GloveConfig(k=args.k, suppression=suppression, reshape=not args.no_reshape)
+    return GloveConfig(k=args.k, suppression=suppression, reshape=not args.no_reshape)
+
+
+def cmd_anonymize(args) -> int:
+    dataset = _read_any(args.dataset)
+    config = _glove_config_from_args(args)
     pipeline = pipeline_from_args(args)
     result = pipeline.anonymize(dataset, config, compute=compute_config_from_args(args))
     if not result.dataset.is_k_anonymous(args.k):
@@ -129,6 +138,71 @@ def cmd_anonymize(args) -> int:
         f"accuracy: median extent {spatial.median / 1000:.2f} km / "
         f"{temporal.median:.0f} min; "
         f"suppressed {result.stats.suppression.discarded_fraction:.1%} of samples"
+    )
+    print(f"wrote {rows} sample rows to {args.output}")
+    return 0
+
+
+def cmd_stream(args) -> int:
+    dataset = _read_any(args.dataset)
+    stream_cfg = stream_config_from_args(args)
+    config = _glove_config_from_args(args)
+    pipeline = pipeline_from_args(args)
+    try:
+        result = pipeline.stream(
+            dataset,
+            config,
+            stream_cfg,
+            compute=compute_config_from_args(args),
+            max_jitter_min=args.feed_jitter,
+            seed=args.feed_seed,
+        )
+    except ValueError as exc:
+        # An under-populated window with --no-carry-over, or a
+        # population that cannot reach k at all.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for window in result.emitted:
+        if not window.dataset.is_k_anonymous(args.k):
+            print(
+                f"error: window {window.index} failed the k-anonymity audit",
+                file=sys.stderr,
+            )
+            return 3
+    combined = result.combined_dataset(name=f"{dataset.name}-stream")
+    rows = write_fingerprints_csv(combined, args.output)
+    stats = result.stats
+    print(
+        f"streamed {stats.n_events} events from {stats.n_users} users into "
+        f"{stats.n_emitted_windows} windows ({stats.n_deferred_windows} deferred, "
+        f"{stats.n_groups} groups, {stats.n_merges} merges)"
+    )
+    print(
+        f"late events: {stats.n_late_redirected} redirected, "
+        f"{stats.n_late_dropped} dropped"
+    )
+    if stats.n_unpublished_members:
+        print(
+            f"warning: {stats.n_unpublished_members} subscribers left below "
+            f"k={args.k} by dropped events; their residue was suppressed",
+            file=sys.stderr,
+        )
+    for window in result.windows:
+        supp = window.stats.suppression
+        supp_txt = (
+            f"suppressed {supp.discarded_fraction:.1%}" if supp is not None else "deferred"
+        )
+        print(
+            f"  window {window.index} [{window.start_min:.0f}, {window.end_min:.0f}) min: "
+            f"{window.stats.n_events} events -> {window.stats.n_groups} groups, "
+            f"{supp_txt}"
+        )
+    stream_stage = pipeline.stats.get("stream")
+    cached = stream_stage is not None and stream_stage.hits > 0
+    print(
+        f"throughput: {stats.events_per_sec:,.0f} events/s; per-window latency "
+        f"p50 {stats.latency_p50_s * 1000:.0f} ms, p95 {stats.latency_p95_s * 1000:.0f} ms"
+        + (" [measured when computed; served from artifact store]" if cached else "")
     )
     print(f"wrote {rows} sample rows to {args.output}")
     return 0
@@ -212,6 +286,26 @@ def build_parser() -> argparse.ArgumentParser:
     add_compute_arguments(a, pruning=True)
     add_pipeline_arguments(a)
     a.set_defaults(func=cmd_anonymize)
+
+    st = sub.add_parser(
+        "stream",
+        help="windowed incremental GLOVE over a replayed event feed",
+    )
+    st.add_argument("dataset")
+    st.add_argument("-k", type=int, default=2)
+    st.add_argument(
+        "--suppress",
+        nargs=2,
+        type=float,
+        metavar=("METRES", "MINUTES"),
+        help="per-window suppression thresholds (e.g. 15000 360)",
+    )
+    st.add_argument("--no-reshape", action="store_true")
+    st.add_argument("-o", "--output", required=True)
+    add_stream_arguments(st)
+    add_compute_arguments(st, pruning=True)
+    add_pipeline_arguments(st)
+    st.set_defaults(func=cmd_stream)
 
     t = sub.add_parser("attack", help="record-linkage attack validation")
     t.add_argument("original")

@@ -62,6 +62,9 @@ DATASET_SOURCES = (
 #: Sources whose edits invalidate GLOVE runs and stretch matrices.
 CORE_SOURCES = ("repro.core",)
 
+#: Sources whose edits invalidate replayed feeds and streaming runs.
+STREAM_SOURCES = ("repro.core", "repro.stream")
+
 
 def compute_result_signature(
     compute: Optional[ComputeConfig], n_fingerprints: Optional[int] = None
@@ -271,6 +274,80 @@ class Pipeline:
         """
         return _kgap(dataset, k=k, config=config, matrix=self.matrix(dataset, config, compute))
 
+    def feed(
+        self,
+        dataset: FingerprintDataset,
+        max_jitter_min: float = 0.0,
+        seed: int = 0,
+    ):
+        """Stage 5: an arrival-ordered replay of a dataset (content-addressed).
+
+        Returns the :class:`repro.stream.feed.ReplayFeed` of the
+        dataset — the event table every streaming run of that dataset
+        consumes, shared across window/k sweeps (e.g. the
+        ``stream_eval`` experiment replays each dataset exactly once).
+        """
+        from repro.stream.feed import replay_dataset
+
+        digest = self.digest(dataset)
+        return self._fetch(
+            "feed",
+            {
+                "dataset": digest,
+                "max_jitter_min": max_jitter_min,
+                "seed": seed,
+                "sources": source_digest(*STREAM_SOURCES),
+            },
+            label=f"{digest[:10]}/j{max_jitter_min:g}",
+            compute=lambda: replay_dataset(
+                dataset, max_jitter_min=max_jitter_min, seed=seed, name=f"{dataset.name}-feed"
+            ),
+        )
+
+    def stream(
+        self,
+        dataset: FingerprintDataset,
+        config: GloveConfig = GloveConfig(),
+        stream=None,
+        compute: Optional[ComputeConfig] = None,
+        max_jitter_min: float = 0.0,
+        seed: int = 0,
+    ):
+        """Stage 6: a windowed streaming GLOVE run (content-addressed).
+
+        Returns the full :class:`repro.stream.driver.StreamResult`.
+        The key folds in the dataset digest, both configs, the feed
+        replay parameters and — like the ``glove`` stage — only the
+        result-affecting projection of the compute substrate.
+        """
+        from repro.stream.driver import stream_glove
+
+        digest = self.digest(dataset)
+        if stream is None:
+            from repro.stream.windows import StreamConfig
+
+            stream = StreamConfig(window_min=24 * 60.0)
+        return self._fetch(
+            "stream",
+            {
+                "dataset": digest,
+                "config": config,
+                "stream": stream,
+                "max_jitter_min": max_jitter_min,
+                "seed": seed,
+                "compute": compute_result_signature(compute),
+                "sources": source_digest(*STREAM_SOURCES),
+            },
+            label=f"{digest[:10]}/k{config.k}/w{stream.window_min:g}",
+            compute=lambda: stream_glove(
+                dataset,
+                config,
+                stream,
+                compute,
+                feed=self.feed(dataset, max_jitter_min=max_jitter_min, seed=seed),
+            ),
+        )
+
 
 # ----------------------------------------------------------------------
 # Process-wide default pipeline
@@ -332,6 +409,27 @@ def cached_kgap(
 ) -> KGapResult:
     """:meth:`Pipeline.kgap` on the default pipeline."""
     return get_default_pipeline().kgap(dataset, k=k, config=config, compute=compute)
+
+
+def cached_feed(
+    dataset: FingerprintDataset, max_jitter_min: float = 0.0, seed: int = 0
+):
+    """:meth:`Pipeline.feed` on the default pipeline."""
+    return get_default_pipeline().feed(dataset, max_jitter_min=max_jitter_min, seed=seed)
+
+
+def cached_stream(
+    dataset: FingerprintDataset,
+    config: GloveConfig = GloveConfig(),
+    stream=None,
+    compute: Optional[ComputeConfig] = None,
+    max_jitter_min: float = 0.0,
+    seed: int = 0,
+):
+    """:meth:`Pipeline.stream` on the default pipeline."""
+    return get_default_pipeline().stream(
+        dataset, config, stream, compute, max_jitter_min=max_jitter_min, seed=seed
+    )
 
 
 # ----------------------------------------------------------------------

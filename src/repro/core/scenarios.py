@@ -21,7 +21,7 @@ compute-backend registry of :mod:`repro.core.engine`.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -41,6 +41,17 @@ class Scenario:
     experiments:
         For suite scenarios: the ``glove-repro`` experiment names the
         scenario runs (empty for pure dataset scenarios).
+    stream:
+        For streaming scenarios: keyword arguments of
+        :class:`repro.stream.windows.StreamConfig` (``window_min``,
+        ``slide_min``, ``max_lag_min``, ...) describing how the
+        scenario's dataset is replayed and windowed; ``None`` for
+        batch scenarios.  Accepted as any mapping but stored as a
+        sorted tuple of pairs — immutable like the sibling
+        ``experiments`` field — so registry entries and ``scaled()``
+        copies can never be mutated through a shared dict; kept
+        untyped data (not a config object) so :mod:`repro.core` never
+        imports the streaming tier.
     description:
         One line shown by ``glove-repro --list``.
     """
@@ -52,6 +63,7 @@ class Scenario:
     seed: int = 0
     k: int = 2
     experiments: Tuple[str, ...] = ()
+    stream: Optional[Mapping[str, float]] = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -61,6 +73,8 @@ class Scenario:
             raise ValueError(f"days must be positive, got {self.days}")
         if self.k < 2:
             raise ValueError(f"k must be at least 2, got {self.k}")
+        if self.stream is not None:
+            object.__setattr__(self, "stream", tuple(sorted(dict(self.stream).items())))
 
     def scaled(self, **overrides) -> "Scenario":
         """A copy with some fields overridden (e.g. env-driven scale)."""
@@ -75,7 +89,19 @@ class Scenario:
             "seed": self.seed,
             "k": self.k,
             "experiments": list(self.experiments),
+            "stream": dict(self.stream) if self.stream is not None else None,
         }
+
+    def stream_config(self):
+        """The scenario's :class:`repro.stream.windows.StreamConfig`.
+
+        Raises ``ValueError`` for batch scenarios (no ``stream`` block).
+        """
+        if self.stream is None:
+            raise ValueError(f"scenario {self.name!r} has no streaming parameters")
+        from repro.stream.windows import StreamConfig
+
+        return StreamConfig(**dict(self.stream))
 
     def synthesize(self, pipeline=None):
         """The scenario's dataset through a pipeline (default: process-wide)."""
@@ -159,4 +185,21 @@ register_scenario(Scenario(
     days=2,
     experiments=("fig3", "fig8", "table2"),
     description="repeated-suite caching scenario (BENCH suite_cached row)",
+))
+register_scenario(Scenario(
+    name="stream-smoke",
+    preset="synth-civ",
+    n_users=30,
+    days=2,
+    seed=4,
+    stream={"window_min": 720.0, "max_lag_min": 60.0},
+    description="tiny streaming workload, 12 h tumbling windows (CI stream-smoke)",
+))
+register_scenario(Scenario(
+    name="stream-500",
+    preset="synth-civ",
+    n_users=500,
+    days=2,
+    stream={"window_min": 720.0, "max_lag_min": 30.0},
+    description="500-user streaming throughput scenario (BENCH stream row)",
 ))

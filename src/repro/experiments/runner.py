@@ -51,6 +51,7 @@ from repro.experiments import (
     fig10,
     fig11,
     stability,
+    stream_eval,
     table2,
     uniqueness,
     utility_eval,
@@ -68,6 +69,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "table2": table2.run,
     "utility": utility_eval.run,
     "stability": stability.run,
+    "stream": stream_eval.run,
     "uniqueness": uniqueness.run,
     "ablation-weights": ablation_weights.run,
 }

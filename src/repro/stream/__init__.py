@@ -1,0 +1,46 @@
+"""Streaming anonymization: windowed incremental GLOVE over CDR feeds.
+
+Everything in the rest of the repository is batch — a complete dataset
+in, an anonymized dataset out.  This package opens the streaming
+workload class the ROADMAP's production north-star requires: call
+detail records arrive as an ordered event feed, per-user fingerprints
+are assembled inside sliding/tumbling time windows, and each window is
+k-anonymized with the existing pruned GLOVE engine as it closes, with
+bounded O(window) memory.
+
+* :mod:`repro.stream.feed` — replay any in-memory dataset as a
+  timestamped event stream (optionally with bounded arrival jitter to
+  exercise out-of-order delivery);
+* :mod:`repro.stream.windows` — the window manager: tumbling/sliding
+  windows, watermark advancement, late-event policy;
+* :mod:`repro.stream.driver` — the incremental driver: per-window
+  greedy GLOVE via :mod:`repro.core.glove`/:mod:`repro.core.engine`,
+  carry-over of under-populated groups into the next window, residual
+  repair at end of stream (mirroring the sharded tier's cross-shard
+  boundary repair, DESIGN.md D5/D7);
+* :mod:`repro.stream.stats` — per-window suppression/latency
+  accounting and stream-level throughput aggregates.
+
+The anchor invariant (DESIGN.md D7): a single window covering the
+whole recording with carry-over disabled is byte-identical to batch
+:func:`repro.core.glove.glove`.
+"""
+
+from repro.stream.driver import StreamResult, WindowResult, stream_glove
+from repro.stream.feed import ReplayFeed, StreamEvent, replay_dataset
+from repro.stream.stats import StreamStats, WindowStats
+from repro.stream.windows import ClosedWindow, StreamConfig, WindowManager
+
+__all__ = [
+    "ClosedWindow",
+    "ReplayFeed",
+    "StreamConfig",
+    "StreamEvent",
+    "StreamResult",
+    "StreamStats",
+    "WindowManager",
+    "WindowResult",
+    "WindowStats",
+    "replay_dataset",
+    "stream_glove",
+]

@@ -231,3 +231,48 @@ class TestPipelineDisabled:
         reference = glove(small_civ, GloveConfig(k=2))
         fresh = p.anonymize(small_civ, GloveConfig(k=2))
         assert _datasets_equal(reference.dataset, fresh.dataset)
+
+
+class TestFeedAndStreamStages:
+    def test_feed_memoized_and_deterministic(self, memo_pipeline, small_civ):
+        a = memo_pipeline.feed(small_civ)
+        b = memo_pipeline.feed(small_civ)
+        assert a is b
+        assert memo_pipeline.stats["feed"].computed == 1
+        assert len(a) == small_civ.n_samples
+
+    def test_feed_keyed_by_jitter_and_seed(self, memo_pipeline, small_civ):
+        plain = memo_pipeline.feed(small_civ)
+        jittered = memo_pipeline.feed(small_civ, max_jitter_min=30.0, seed=1)
+        other_seed = memo_pipeline.feed(small_civ, max_jitter_min=30.0, seed=2)
+        assert memo_pipeline.stats["feed"].computed == 3
+        assert plain is not jittered and jittered is not other_seed
+
+    def test_stream_round_trips_through_disk(self, disk_pipeline, tmp_path, small_civ):
+        from repro.stream.windows import StreamConfig
+
+        cfg = StreamConfig(window_min=12 * 60.0)
+        first = disk_pipeline.stream(small_civ, GloveConfig(k=2), cfg)
+        again = Pipeline(ArtifactStore(root=tmp_path / "store")).stream(
+            small_civ, GloveConfig(k=2), cfg
+        )
+        assert len(again.windows) == len(first.windows)
+        for a, b in zip(first.emitted, again.emitted):
+            assert a.index == b.index
+            assert _datasets_equal(a.dataset, b.dataset)
+        assert again.stats.n_events == first.stats.n_events
+
+    def test_stream_keyed_by_window_and_config(self, memo_pipeline, small_civ):
+        from repro.stream.windows import StreamConfig
+
+        memo_pipeline.stream(small_civ, GloveConfig(k=2), StreamConfig(window_min=720.0))
+        memo_pipeline.stream(small_civ, GloveConfig(k=2), StreamConfig(window_min=360.0))
+        memo_pipeline.stream(small_civ, GloveConfig(k=3), StreamConfig(window_min=720.0))
+        memo_pipeline.stream(
+            small_civ, GloveConfig(k=2), StreamConfig(window_min=720.0, carry_over=False)
+        )
+        assert memo_pipeline.stats["stream"].computed == 4
+        # The feed is shared by every run of the same replay parameters.
+        assert memo_pipeline.stats["feed"].computed == 1
+        memo_pipeline.stream(small_civ, GloveConfig(k=2), StreamConfig(window_min=720.0))
+        assert memo_pipeline.stats["stream"].memo_hits == 1

@@ -74,3 +74,37 @@ class TestScenario:
         assert pipeline.stats["dataset"].computed == 1
         again = sc.synthesize(pipeline)
         assert again is ds
+
+
+class TestStreamScenarios:
+    def test_stream_scenarios_registered(self):
+        for name in ("stream-smoke", "stream-500"):
+            sc = get_scenario(name)
+            assert sc.stream is not None
+            assert sc.key_params()["stream"] == dict(sc.stream)
+
+    def test_stream_config_built_from_mapping(self):
+        cfg = get_scenario("stream-smoke").stream_config()
+        assert cfg.window_min == 720.0
+        assert cfg.max_lag_min == 60.0
+        assert cfg.carry_over
+
+    def test_batch_scenario_has_no_stream_config(self):
+        assert get_scenario("smoke").key_params()["stream"] is None
+        with pytest.raises(ValueError, match="no streaming parameters"):
+            get_scenario("smoke").stream_config()
+
+    def test_stream_block_survives_scaling(self):
+        sc = get_scenario("stream-500").scaled(n_users=40)
+        assert sc.n_users == 40
+        assert sc.stream_config().window_min == 720.0
+
+    def test_stream_block_is_immutable(self):
+        sc = get_scenario("stream-500")
+        assert isinstance(sc.stream, tuple)  # no shared mutable dict
+        assert hash(sc) == hash(sc)  # frozen dataclass stays hashable
+        # key_params hands out a fresh dict: mutating it cannot touch
+        # the registry entry or any scaled copy.
+        params = sc.key_params()
+        params["stream"]["window_min"] = 1.0
+        assert get_scenario("stream-500").key_params()["stream"]["window_min"] == 720.0

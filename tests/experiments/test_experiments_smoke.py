@@ -156,6 +156,34 @@ class TestTable2:
         )
 
 
+class TestStreamEval:
+    def test_window_sweep_structure(self):
+        from repro.experiments import stream_eval
+
+        report = stream_eval.run(
+            n_users=N, days=DAYS, seed=SEED, windows_h=(6.0, 24.0)
+        )
+        assert set(report.data["windows"]) == {"6h", "24h"}
+        six, day = report.data["windows"]["6h"], report.data["windows"]["24h"]
+        # 2 recorded days: 8 six-hour windows vs 2 daily windows.
+        assert six["n_windows"] > day["n_windows"] >= 2
+        for entry in (six, day):
+            assert entry["events_per_sec"] > 0
+            assert entry["latency_p95_s"] >= entry["latency_p50_s"] >= 0
+
+    def test_batch_is_the_generalization_floor(self):
+        from repro.experiments import stream_eval
+
+        report = stream_eval.run(
+            n_users=N, days=DAYS, seed=SEED, windows_h=(6.0,)
+        )
+        batch = report.data["batch"]
+        streaming = report.data["windows"]["6h"]
+        # Windowed publications split the population into more, smaller
+        # releases than the single batch publication.
+        assert streaming["n_groups"] > batch["n_groups"]
+
+
 class TestRunner:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
@@ -172,6 +200,7 @@ class TestRunner:
             "stability",
             "uniqueness",
             "ablation-weights",
+            "stream",
         }
 
     def test_parser_defaults(self):

@@ -1,0 +1,160 @@
+"""Property tests: streaming GLOVE under the k-anonymity harness.
+
+Every window the streaming tier emits is a separate publication and
+must satisfy the same k-anonymity-by-design invariants as a batch run
+(:func:`tests.properties.test_k_anonymity.assert_k_anonymous`):
+group sizes of at least ``k``, member lists consistent with counts,
+and no subscriber claimed twice *within a window* — including windows
+holding carried-over groups, absorbed members, and the end-of-stream
+residual repair.  Event arrival order is hypothesis-controlled: any
+permutation of the feed must preserve the invariants (windows may
+differ — late events are redirected — but every publication stays
+k-anonymous and the whole population stays covered).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import GloveConfig
+from repro.core.sample import T
+from repro.stream.driver import stream_glove
+from repro.stream.feed import ReplayFeed, replay_dataset
+from repro.stream.windows import StreamConfig
+
+from tests.properties.test_k_anonymity import assert_k_anonymous, populations
+
+
+@st.composite
+def distinct_time_populations(draw, max_users=10):
+    """Populations whose sample times are unique per user.
+
+    Byte-level order-independence claims need this: with duplicated
+    start times the stable time-sort preserves *arrival* order inside a
+    fingerprint, so two arrival orders could legitimately publish
+    differently shaped (equally valid) generalizations.
+    """
+    from repro.core.dataset import FingerprintDataset
+    from repro.core.fingerprint import Fingerprint
+    from repro.core.sample import DT, DX, DY, NCOLS, X, Y
+
+    n = draw(st.integers(min_value=2, max_value=max_users))
+    fps = []
+    for i in range(n):
+        times = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=4000),
+                min_size=1,
+                max_size=5,
+                unique=True,
+            )
+        )
+        rows = np.empty((len(times), NCOLS))
+        for r, t in enumerate(times):
+            rows[r, X] = draw(st.floats(min_value=0, max_value=6e4, allow_nan=False))
+            rows[r, DX] = 100.0
+            rows[r, Y] = draw(st.floats(min_value=0, max_value=6e4, allow_nan=False))
+            rows[r, DY] = 100.0
+            rows[r, T] = float(t)
+            rows[r, DT] = 1.0
+        fps.append(Fingerprint(f"u{i}", rows))
+    return FingerprintDataset(fps, name="hyp-distinct")
+
+
+def _published(result):
+    return {m for w in result.emitted for fp in w.dataset for m in fp.members}
+
+
+def _permuted_feed(dataset, order_seed):
+    """The dataset's feed under a hypothesis-chosen arrival permutation."""
+    feed = replay_dataset(dataset)
+    rng = np.random.default_rng(order_seed)
+    order = rng.permutation(len(feed))
+    return ReplayFeed([feed.uids[int(i)] for i in order], feed.rows[order], name="perm")
+
+
+@st.composite
+def stream_configs(draw):
+    """Random windowing configurations (always carry-over: the general case)."""
+    window = draw(st.floats(min_value=50.0, max_value=5000.0, allow_nan=False))
+    tumbling = draw(st.booleans())
+    slide = None if tumbling else window / draw(st.integers(min_value=2, max_value=4))
+    lag = draw(st.sampled_from([0.0, 100.0, 1e6]))
+    return StreamConfig(window_min=window, slide_min=slide, max_lag_min=lag)
+
+
+class TestStreamInvariants:
+    """Per-window k-anonymity over randomized populations and windows."""
+
+    @given(populations(), st.integers(min_value=2, max_value=3), stream_configs())
+    @settings(max_examples=30, deadline=None)
+    def test_every_window_k_anonymous_in_order(self, dataset, k, stream_cfg):
+        if dataset.n_users < k:
+            return
+        result = stream_glove(dataset, GloveConfig(k=k), stream_cfg)
+        for window in result.emitted:
+            assert_k_anonymous(window.dataset, k)
+        assert _published(result) == set(dataset.uids)
+
+    @given(
+        populations(),
+        st.integers(min_value=2, max_value=3),
+        stream_configs(),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_every_window_k_anonymous_under_arbitrary_orderings(
+        self, dataset, k, stream_cfg, order_seed
+    ):
+        if dataset.n_users < k:
+            return
+        feed = _permuted_feed(dataset, order_seed)
+        result = stream_glove(dataset, GloveConfig(k=k), stream_cfg, feed=feed)
+        for window in result.emitted:
+            assert_k_anonymous(window.dataset, k)
+        assert _published(result) == set(dataset.uids)
+        assert result.stats.n_events == len(feed)
+
+    @given(populations(max_users=8), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_carried_windows_under_high_k(self, dataset, order_seed):
+        """Tiny windows + high k force deferral/carry/residual paths."""
+        k = max(2, dataset.n_users - 1)
+        feed = _permuted_feed(dataset, order_seed)
+        result = stream_glove(
+            dataset,
+            GloveConfig(k=k),
+            StreamConfig(window_min=60.0, max_lag_min=0.0),
+            feed=feed,
+        )
+        for window in result.emitted:
+            assert_k_anonymous(window.dataset, k)
+        assert _published(result) == set(dataset.uids)
+
+    @given(distinct_time_populations())
+    @settings(max_examples=20, deadline=None)
+    def test_total_order_independence_of_window_contents(self, dataset):
+        """With an unbounded watermark, arrival order cannot change the
+        per-window populations: the same events land in the same
+        windows regardless of interleaving."""
+        if dataset.n_users < 2:
+            return
+        stream_cfg = StreamConfig(window_min=500.0, max_lag_min=1e9)
+        in_order = stream_glove(dataset, GloveConfig(k=2), stream_cfg)
+        feed = replay_dataset(dataset)
+        # Reverse arrival entirely — the adversarial ordering — but
+        # pin the first-arrived event so the window origin (defined by
+        # arrival) is unchanged.
+        t_min = feed.rows[:, T].min()
+        first = int(np.flatnonzero(feed.rows[:, T] == t_min)[0])
+        order = [first] + [i for i in range(len(feed) - 1, -1, -1) if i != first]
+        reversed_feed = ReplayFeed(
+            [feed.uids[i] for i in order], feed.rows[order], name="rev"
+        )
+        swapped = stream_glove(
+            dataset, GloveConfig(k=2), stream_cfg, feed=reversed_feed
+        )
+        assert len(in_order.windows) == len(swapped.windows)
+        for a, b in zip(in_order.emitted, swapped.emitted):
+            assert a.index == b.index
+            assert {fp.uid for fp in a.dataset} == {fp.uid for fp in b.dataset}

@@ -1,0 +1,265 @@
+"""Tests for the incremental streaming driver (:mod:`repro.stream.driver`).
+
+The anchor invariant (DESIGN.md D7) and the carry-over machinery:
+byte-identity with batch GLOVE for a whole-recording window, deferral
+and carry-over of under-populated windows, end-of-stream residual
+repair, and late-event handling at the watermark boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ComputeConfig, GloveConfig, SuppressionConfig
+from repro.core.glove import glove
+from repro.stream.driver import stream_glove
+from repro.stream.feed import replay_dataset
+from repro.stream.windows import StreamConfig
+
+from tests.properties.test_k_anonymity import assert_k_anonymous
+
+#: A window comfortably covering any reproduction-scale recording.
+WHOLE_RECORDING = StreamConfig(window_min=1e9, carry_over=False)
+
+
+def assert_same_publication(stream_ds, batch_ds):
+    """Byte-level equality of two published datasets."""
+    assert len(stream_ds) == len(batch_ds)
+    for a, b in zip(stream_ds, batch_ds):
+        assert a.uid == b.uid
+        assert a.count == b.count
+        assert a.members == b.members
+        assert np.array_equal(a.data, b.data)
+
+
+class TestAnchorInvariant:
+    """Single whole-recording window + no carry-over == batch GLOVE."""
+
+    @pytest.mark.parametrize("backend", ["numpy", "sharded"])
+    def test_byte_identical_to_batch(self, small_civ, backend):
+        compute = ComputeConfig(backend=backend, workers=1)
+        batch = glove(small_civ, GloveConfig(k=2), compute)
+        result = stream_glove(small_civ, GloveConfig(k=2), WHOLE_RECORDING, compute)
+        assert len(result.emitted) == 1
+        assert_same_publication(result.emitted[0].dataset, batch.dataset)
+
+    def test_byte_identical_with_suppression_and_no_reshape(self, small_civ):
+        config = GloveConfig(
+            k=2,
+            suppression=SuppressionConfig(
+                spatial_threshold_m=15_000.0, temporal_threshold_min=360.0
+            ),
+            reshape=False,
+        )
+        compute = ComputeConfig(backend="numpy")
+        batch = glove(small_civ, config, compute)
+        result = stream_glove(small_civ, config, WHOLE_RECORDING, compute)
+        assert_same_publication(result.emitted[0].dataset, batch.dataset)
+        supp = result.emitted[0].stats.suppression
+        assert supp.discarded_samples == batch.stats.suppression.discarded_samples
+
+    def test_combined_dataset_is_the_single_window(self, small_civ):
+        result = stream_glove(small_civ, GloveConfig(k=2), WHOLE_RECORDING)
+        combined = result.combined_dataset()
+        assert_same_publication(combined, result.emitted[0].dataset)
+
+    def test_byte_identical_for_non_uid_sorted_dataset(self, small_civ):
+        # The invariant must not depend on insertion order coinciding
+        # with lexicographic uid order (zero-padded synthetic uids hide
+        # that): reverse the population and compare again.
+        from repro.core.dataset import FingerprintDataset
+
+        reversed_ds = FingerprintDataset(list(small_civ)[::-1], name="rev")
+        assert reversed_ds.uids != sorted(reversed_ds.uids)
+        batch = glove(reversed_ds, GloveConfig(k=2), ComputeConfig(backend="numpy"))
+        result = stream_glove(
+            reversed_ds, GloveConfig(k=2), WHOLE_RECORDING, ComputeConfig(backend="numpy")
+        )
+        assert_same_publication(result.emitted[0].dataset, batch.dataset)
+
+
+class TestWindowedRuns:
+    def test_every_window_k_anonymous_and_covers_window_users(self, small_civ):
+        result = stream_glove(
+            small_civ, GloveConfig(k=2), StreamConfig(window_min=6 * 60.0)
+        )
+        assert len(result.emitted) > 1
+        for window in result.emitted:
+            assert_k_anonymous(window.dataset, 2)
+        published = {m for w in result.emitted for fp in w.dataset for m in fp.members}
+        assert published == set(small_civ.uids)
+
+    def test_no_carry_windows_match_independent_batch_runs(self, small_civ):
+        stream_cfg = StreamConfig(window_min=12 * 60.0, carry_over=False)
+        result = stream_glove(small_civ, GloveConfig(k=2), stream_cfg)
+        assert len(result.emitted) >= 2
+        for window in result.emitted:
+            assert_k_anonymous(window.dataset, 2)
+            assert window.stats.n_carried_in == 0
+
+    def test_no_carry_raises_on_under_populated_window(self, small_civ):
+        with pytest.raises(ValueError, match="carry-over"):
+            stream_glove(
+                small_civ,
+                GloveConfig(k=35),  # above any single 6 h window's population
+                StreamConfig(window_min=6 * 60.0, carry_over=False),
+            )
+
+    def test_windows_are_ordered_and_stats_aggregate(self, small_civ):
+        result = stream_glove(
+            small_civ, GloveConfig(k=2), StreamConfig(window_min=6 * 60.0)
+        )
+        indices = [w.index for w in result.windows]
+        assert indices == sorted(indices)
+        assert result.stats.n_events == small_civ.n_samples
+        assert result.stats.n_users == len(small_civ)
+        assert result.stats.n_windows == len(result.windows)
+        assert result.stats.events_per_sec > 0
+        assert result.stats.latency_p95_s >= result.stats.latency_p50_s >= 0
+        assert sum(w.stats.n_groups for w in result.emitted) == result.stats.n_groups
+
+    def test_rejects_population_below_k(self, small_civ):
+        with pytest.raises(ValueError, match="cannot reach k"):
+            stream_glove(small_civ, GloveConfig(k=99), StreamConfig(window_min=60.0))
+
+
+class TestCarryOver:
+    def test_deferred_windows_carry_into_later_ones(self, small_civ):
+        # k well above any single window's population forces deferrals.
+        result = stream_glove(
+            small_civ, GloveConfig(k=35), StreamConfig(window_min=6 * 60.0)
+        )
+        assert result.stats.n_deferred_windows > 0
+        assert any(w.stats.n_carried_in > 0 for w in result.emitted)
+        for window in result.emitted:
+            assert_k_anonymous(window.dataset, 35)
+        published = {m for w in result.emitted for fp in w.dataset for m in fp.members}
+        assert published == set(small_civ.uids)
+
+    def test_absorbed_members_not_claimed_twice(self, small_civ):
+        result = stream_glove(
+            small_civ, GloveConfig(k=5), StreamConfig(window_min=3 * 60.0)
+        )
+        for window in result.emitted:
+            assert_k_anonymous(window.dataset, 5)
+        assert any(
+            w.stats.n_absorbed > 0 or w.stats.n_carried_in > 0 for w in result.windows
+        )
+
+    def test_residual_pool_reaching_k_emits_residual_window(self, toy_dataset):
+        # One event per window at the tail forces a below-k carry chain
+        # that only the end-of-stream repair can resolve.
+        result = stream_glove(
+            toy_dataset, GloveConfig(k=2), StreamConfig(window_min=30.0)
+        )
+        for window in result.emitted:
+            assert_k_anonymous(window.dataset, 2)
+        published = {m for w in result.emitted for fp in w.dataset for m in fp.members}
+        assert published == set(toy_dataset.uids)
+
+    def test_carry_disabled_by_config(self, small_civ):
+        result = stream_glove(
+            small_civ,
+            GloveConfig(k=2),
+            StreamConfig(window_min=12 * 60.0, carry_over=False),
+        )
+        assert all(w.stats.carried_out_members == 0 for w in result.windows)
+        assert result.stats.n_deferred_windows == 0
+
+
+class TestLateEvents:
+    def test_jitter_within_lag_is_invisible(self, small_civ):
+        config = GloveConfig(k=2)
+        in_order = stream_glove(
+            small_civ, config, StreamConfig(window_min=12 * 60.0, max_lag_min=60.0)
+        )
+        jittered_feed = replay_dataset(small_civ, max_jitter_min=45.0, seed=3)
+        jittered = stream_glove(
+            small_civ,
+            config,
+            StreamConfig(window_min=12 * 60.0, max_lag_min=60.0),
+            feed=jittered_feed,
+        )
+        # The watermark absorbs any disorder below the lag: identical
+        # windows, hence identical publications.
+        assert jittered.stats.n_late_redirected == 0
+        assert len(in_order.windows) == len(jittered.windows)
+        for a, b in zip(in_order.emitted, jittered.emitted):
+            assert_same_publication(a.dataset, b.dataset)
+
+    def test_late_events_beyond_lag_redirected_but_k_anonymous(self, small_civ):
+        feed = replay_dataset(small_civ, max_jitter_min=90.0, seed=3)
+        result = stream_glove(
+            small_civ,
+            GloveConfig(k=2),
+            StreamConfig(window_min=12 * 60.0, max_lag_min=0.0),
+            feed=feed,
+        )
+        assert result.stats.n_late_redirected > 0
+        assert result.stats.n_late_dropped == 0
+        assert sum(w.stats.n_late_events for w in result.windows) == (
+            result.stats.n_late_redirected
+        )
+        for window in result.emitted:
+            assert_k_anonymous(window.dataset, 2)
+
+    def test_drop_policy_below_k_residue_suppressed_not_crashed(self):
+        # b's only event arrives after its window closed and is
+        # dropped; every window then holds only a, so nothing can ever
+        # reach k=2.  The lossy run must account the residue, not raise.
+        from repro.core.dataset import FingerprintDataset
+        from repro.core.fingerprint import Fingerprint
+        from repro.stream.feed import ReplayFeed
+
+        def row(t):
+            return [0.0, 100.0, 0.0, 100.0, float(t), 1.0]
+
+        a = Fingerprint("a", np.array([row(0), row(100), row(200)]))
+        b = Fingerprint("b", np.array([row(5)]))
+        dataset = FingerprintDataset([a, b], name="lossy")
+        rows = np.array([row(0), row(100), row(200), row(5)])
+        feed = ReplayFeed(["a", "a", "a", "b"], rows, name="lossy-feed")
+        result = stream_glove(
+            dataset,
+            GloveConfig(k=2),
+            StreamConfig(window_min=30.0, max_lag_min=0.0, late_policy="drop"),
+            feed=feed,
+        )
+        assert result.stats.n_late_dropped == 1
+        assert result.emitted == []
+        assert result.stats.n_unpublished_members == 1
+
+    def test_drop_policy_loses_only_late_events(self, small_civ):
+        feed = replay_dataset(small_civ, max_jitter_min=90.0, seed=3)
+        result = stream_glove(
+            small_civ,
+            GloveConfig(k=2),
+            StreamConfig(window_min=12 * 60.0, max_lag_min=0.0, late_policy="drop"),
+            feed=feed,
+        )
+        assert result.stats.n_late_dropped > 0
+        kept = sum(w.stats.n_events for w in result.windows)
+        assert kept == small_civ.n_samples - result.stats.n_late_dropped
+        for window in result.emitted:
+            assert_k_anonymous(window.dataset, 2)
+
+
+class TestSlidingWindows:
+    def test_overlapping_windows_each_k_anonymous(self, small_civ):
+        result = stream_glove(
+            small_civ,
+            GloveConfig(k=3),
+            StreamConfig(window_min=12 * 60.0, slide_min=6 * 60.0),
+        )
+        assert len(result.windows) > 2
+        for window in result.emitted:
+            assert_k_anonymous(window.dataset, 3)
+
+    def test_combined_dataset_disambiguates_repeated_uids(self, small_civ):
+        result = stream_glove(
+            small_civ,
+            GloveConfig(k=2),
+            StreamConfig(window_min=12 * 60.0, slide_min=6 * 60.0),
+        )
+        combined = result.combined_dataset()
+        total = sum(len(w.dataset) for w in result.emitted)
+        assert len(combined) == total  # nothing silently dropped

@@ -220,6 +220,131 @@ class TestPipelineFlags:
         assert "2-gap" in capsys.readouterr().out
 
 
+class TestStream:
+    """The ``glove stream`` subcommand end-to-end."""
+
+    def test_windowed_run_end_to_end(self, raw_csv, tmp_path, capsys):
+        out = tmp_path / "windows.csv"
+        code = main(
+            ["stream", str(raw_csv), "-k", "2", "--window", "720",
+             "--max-lag", "60", "-o", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        text = capsys.readouterr().out
+        assert "streamed" in text
+        assert "throughput" in text
+        assert "window 0" in text
+
+    def test_single_window_byte_identical_to_anonymize(self, raw_csv, tmp_path):
+        streamed = tmp_path / "streamed.csv"
+        batch = tmp_path / "batch.csv"
+        assert main(
+            ["stream", str(raw_csv), "-k", "2", "--window", "999999999",
+             "--no-carry-over", "-o", str(streamed)]
+        ) == 0
+        assert main(
+            ["anonymize", str(raw_csv), "-k", "2", "-o", str(batch)]
+        ) == 0
+        assert streamed.read_bytes() == batch.read_bytes()
+
+    def test_single_window_byte_identical_on_sharded_backend(self, raw_csv, tmp_path):
+        streamed = tmp_path / "streamed.csv"
+        batch = tmp_path / "batch.csv"
+        assert main(
+            ["stream", str(raw_csv), "-k", "2", "--window", "999999999",
+             "--no-carry-over", "--backend", "sharded", "-o", str(streamed)]
+        ) == 0
+        assert main(
+            ["anonymize", str(raw_csv), "-k", "2", "--backend", "sharded",
+             "-o", str(batch)]
+        ) == 0
+        assert streamed.read_bytes() == batch.read_bytes()
+
+    def test_published_windows_are_k_anonymous(self, raw_csv, tmp_path, capsys):
+        out = tmp_path / "windows.csv"
+        assert main(
+            ["stream", str(raw_csv), "-k", "2", "--window", "720",
+             "--suppress", "15000", "360", "-o", str(out)]
+        ) == 0
+        capsys.readouterr()
+        # Group counts survive the CSV round trip; every published
+        # group hides at least 2 subscribers.
+        from repro.cdr.io import read_fingerprints_csv
+
+        published = read_fingerprints_csv(out)
+        assert len(published) > 0
+        assert all(fp.count >= 2 for fp in published)
+
+    def test_under_populated_window_without_carry_exits_2(self, raw_csv, tmp_path, capsys):
+        # 30 users cannot fill k=25 inside 6 h windows; without
+        # carry-over this is a clean error, not a traceback.
+        code = main(
+            ["stream", str(raw_csv), "-k", "25", "--window", "360",
+             "--no-carry-over", "-o", str(tmp_path / "x.csv")]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "carry-over" in err
+
+    def test_sliding_and_jitter_flags(self, raw_csv, tmp_path):
+        out = tmp_path / "sliding.csv"
+        assert main(
+            ["stream", str(raw_csv), "-k", "2", "--window", "720",
+             "--slide", "360", "--max-lag", "30", "--feed-jitter", "15",
+             "--feed-seed", "3", "-o", str(out)]
+        ) == 0
+        assert out.exists()
+
+
+class TestStreamFlagValidation:
+    """Invalid windowing flags must exit 2, like --workers/--shards."""
+
+    @pytest.mark.parametrize("value", ["0", "-720"])
+    def test_window_rejected(self, raw_csv, tmp_path, capsys, value):
+        with pytest.raises(SystemExit) as exc:
+            main(["stream", str(raw_csv), "-k", "2", "--window", value,
+                  "-o", str(tmp_path / "x.csv")])
+        assert exc.value.code == 2
+        assert "window must be positive" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-60"])
+    def test_slide_rejected(self, raw_csv, tmp_path, capsys, value):
+        with pytest.raises(SystemExit) as exc:
+            main(["stream", str(raw_csv), "-k", "2", "--window", "720",
+                  "--slide", value, "-o", str(tmp_path / "x.csv")])
+        assert exc.value.code == 2
+        assert "slide must be positive" in capsys.readouterr().err
+
+    def test_slide_exceeding_window_rejected(self, raw_csv, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["stream", str(raw_csv), "-k", "2", "--window", "360",
+                  "--slide", "720", "-o", str(tmp_path / "x.csv")])
+        assert exc.value.code == 2
+        assert "slide must not exceed window" in capsys.readouterr().err
+
+    def test_negative_max_lag_rejected(self, raw_csv, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["stream", str(raw_csv), "-k", "2", "--window", "720",
+                  "--max-lag", "-1", "-o", str(tmp_path / "x.csv")])
+        assert exc.value.code == 2
+        assert "max-lag must be non-negative" in capsys.readouterr().err
+
+    def test_negative_feed_jitter_rejected(self, raw_csv, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["stream", str(raw_csv), "-k", "2", "--window", "720",
+                  "--feed-jitter", "-1", "-o", str(tmp_path / "x.csv")])
+        assert exc.value.code == 2
+        assert "feed-jitter must be non-negative" in capsys.readouterr().err
+
+    def test_stream_rejects_bad_compute_flags(self, raw_csv, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["stream", str(raw_csv), "-k", "2", "--window", "720",
+                  "--workers", "0", "-o", str(tmp_path / "x.csv")])
+        assert exc.value.code == 2
+        assert "workers must be at least 1" in capsys.readouterr().err
+
+
 class TestComputeFlagValidation:
     """Invalid substrate flags must exit 2 with a clear message."""
 
