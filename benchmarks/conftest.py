@@ -17,9 +17,11 @@ root: wall-clock of a seeded 500-fingerprint ``glove()`` run per
 compute backend against the pre-engine dense-matrix baseline
 (:mod:`benchmarks.seed_path`), a 10k+-fingerprint sharded-tier audit,
 a ``suite_cached`` record timing a repeated experiment-suite run cold
-vs warm through the artifact pipeline, and a ``stream`` record with
-the streaming tier's throughput and per-window latency on the
-stream-500 scenario.  Scale/skip knobs:
+vs warm through the artifact pipeline, a ``stream`` record with the
+streaming tier's throughput and per-window latency on the stream-500
+scenario, and a ``baselines`` record comparing every registered
+anonymizer (GLOVE, W4M-LC, NWA, generalization) at Table-2 settings.
+Scale/skip knobs:
 
 * ``REPRO_BENCH_GLOVE`` — set to ``0`` to skip the emission;
 * ``REPRO_BENCH_GLOVE_USERS`` (default 500), ``REPRO_BENCH_GLOVE_DAYS``
@@ -29,7 +31,10 @@ stream-500 scenario.  Scale/skip knobs:
 * ``REPRO_BENCH_SUITE_USERS`` (default 60; ``0`` skips the
   suite_cached record);
 * ``REPRO_BENCH_STREAM_USERS`` (default 500; ``0`` skips the stream
-  throughput record), ``REPRO_BENCH_STREAM_DAYS`` (default 2).
+  throughput record), ``REPRO_BENCH_STREAM_DAYS`` (default 2);
+* ``REPRO_BENCH_BASELINES_USERS`` (default 48; ``0`` skips the
+  baselines comparison record), ``REPRO_BENCH_BASELINES_DAYS``
+  (default 2).
 
 Every emission record is itself a content-addressed artifact
 (:mod:`repro.core.artifacts`), keyed by its scenario parameters plus a
@@ -79,6 +84,12 @@ STREAM_BENCH_USERS = int(os.environ.get("REPRO_BENCH_STREAM_USERS", "500"))
 STREAM_SCENARIO = get_scenario("stream-500").scaled(
     n_users=max(STREAM_BENCH_USERS, 1),
     days=int(os.environ.get("REPRO_BENCH_STREAM_DAYS", "2")),
+    seed=BENCH_SEED,
+)
+BASELINES_BENCH_USERS = int(os.environ.get("REPRO_BENCH_BASELINES_USERS", "48"))
+BASELINES_SCENARIO = get_scenario("baselines-smoke").scaled(
+    n_users=max(BASELINES_BENCH_USERS, 1),
+    days=int(os.environ.get("REPRO_BENCH_BASELINES_DAYS", "2")),
     seed=BENCH_SEED,
 )
 
@@ -362,6 +373,43 @@ def _run_stream_bench() -> dict:
     }
 
 
+def _run_baselines_bench() -> dict:
+    """Table-2-style head-to-head of every registered anonymizer.
+
+    Runs each method of the :mod:`repro.core.anonymizer` registry at
+    its Table-2 settings on the baselines-smoke scenario, recording
+    wall-clock, the normalized provenance schema, and a group-size
+    audit over the method's anonymity groups.
+    """
+    from repro.core.anonymizer import anonymize_dataset, available_anonymizers
+    from repro.experiments.table2 import method_config
+
+    dataset = BASELINES_SCENARIO.synthesize(_PIPELINE)
+    k = BASELINES_SCENARIO.k
+    record = {
+        "n_fingerprints": len(dataset),
+        "days": BASELINES_SCENARIO.days,
+        "seed": BASELINES_SCENARIO.seed,
+        "k": k,
+        "methods": {},
+    }
+    for method in available_anonymizers():
+        t0 = time.time()
+        result = anonymize_dataset(dataset, method, method_config(method, k))
+        stats = result.stats  # normalization counts toward the method's cost
+        elapsed = time.time() - t0
+        record["methods"][method] = {
+            "wall_s": round(elapsed, 3),
+            "discarded_fingerprints": stats.discarded_fingerprints,
+            "created_fraction": round(stats.created_fraction, 4),
+            "deleted_fraction": round(stats.deleted_fraction, 4),
+            "mean_position_error_m": round(stats.mean_position_error_m, 1),
+            "mean_time_error_min": round(stats.mean_time_error_min, 1),
+            "groups_all_k_anonymous": all(len(g) >= k for g in result.groups),
+        }
+    return record
+
+
 #: Minimum tests in the session before the timed benchmark runs, so a
 #: deselected one-test run doesn't pay the multi-run glove() price.
 _GLOVE_BENCH_MIN_TESTS = 50
@@ -403,6 +451,13 @@ def pytest_sessionfinish(session, exitstatus):
             "bench", _bench_record_key("stream", STREAM_SCENARIO), _run_stream_bench
         )
         origins.add(origin)
+    if BASELINES_BENCH_USERS > 0:
+        record["baselines"], origin = _STORE.fetch(
+            "bench",
+            _bench_record_key("baselines", BASELINES_SCENARIO),
+            _run_baselines_bench,
+        )
+        origins.add(origin)
     GLOVE_BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
     reporter = session.config.pluginmanager.get_plugin("terminalreporter")
     if reporter is not None:
@@ -423,6 +478,14 @@ def pytest_sessionfinish(session, exitstatus):
             line += (
                 f"; suite warm x{suite['speedup_warm_vs_cold']} "
                 f"({suite['datasets_computed']} datasets synthesized)"
+            )
+        if "baselines" in record:
+            base = record["baselines"]
+            glove_ok = base["methods"].get("glove", {}).get("groups_all_k_anonymous")
+            audit = "glove k-anonymous" if glove_ok else "GLOVE AUDIT FAILED"
+            line += (
+                f"; baselines n={base['n_fingerprints']} "
+                f"x{len(base['methods'])} methods ({audit})"
             )
         if "stream" in record:
             stream = record["stream"]

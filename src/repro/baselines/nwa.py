@@ -23,7 +23,7 @@ Pipeline:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -92,6 +92,9 @@ class NWAStats:
     total_original_samples: int = 0
     position_errors_m: List[float] = field(default_factory=list)
     time_errors_min: List[float] = field(default_factory=list)
+    #: Cluster membership as uid tuples — the (k, delta) anonymity
+    #: groups, auditable with the shared k-anonymity harness.
+    group_members: List[Tuple[str, ...]] = field(default_factory=list)
 
     @property
     def created_fraction(self) -> float:
@@ -99,6 +102,13 @@ class NWAStats:
         if self.total_original_samples == 0:
             return 0.0
         return self.created_samples / self.total_original_samples
+
+    @property
+    def deleted_fraction(self) -> float:
+        """Deleted samples over original samples."""
+        if self.total_original_samples == 0:
+            return 0.0
+        return self.deleted_samples / self.total_original_samples
 
     @property
     def mean_position_error_m(self) -> float:
@@ -168,6 +178,7 @@ def nwa(dataset: FingerprintDataset, config: NWAConfig = NWAConfig()) -> NWAResu
     radius = config.delta_m / 2.0
     half_period = config.period_min / 2.0
     for members in outcome.clusters:
+        stats.group_members.append(tuple(trajs[int(i)].uid for i in members))
         cluster_tracks = tracks[members]
         centroid = cluster_tracks.mean(axis=0)
         offsets = cluster_tracks - centroid[None, :, :]

@@ -35,7 +35,7 @@ the whole time translation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -118,6 +118,9 @@ class W4MStats:
     n_clusters: int = 0
     position_errors_m: List[float] = field(default_factory=list)
     time_errors_min: List[float] = field(default_factory=list)
+    #: Cluster membership as uid tuples — the (k, delta) anonymity
+    #: groups, auditable with the shared k-anonymity harness.
+    group_members: List[Tuple[str, ...]] = field(default_factory=list)
 
     @property
     def mean_position_error_m(self) -> float:
@@ -241,6 +244,7 @@ def _anonymize_cluster(
         rows = _trajectory_to_samples(timeline, edited[g, :, 0], edited[g, :, 1])
         out.add(Fingerprint(tr.uid, rows, count=1, members=(tr.uid,)))
     stats.n_clusters += 1
+    stats.group_members.append(tuple(tr.uid for tr in cluster))
 
 
 def w4m_lc(dataset: FingerprintDataset, config: W4MConfig = W4MConfig()) -> W4MResult:

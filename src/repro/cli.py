@@ -5,11 +5,14 @@ Subcommands (all operating on the CSV formats of :mod:`repro.cdr.io`):
 * ``generate`` — synthesize a preset (or scenario) dataset into an
   event CSV;
 * ``measure``  — anonymizability statistics (k-gap) of an event CSV;
-* ``anonymize`` — GLOVE a dataset into a publishable fingerprint CSV;
+* ``anonymize`` — anonymize a dataset into a publishable fingerprint
+  CSV with GLOVE or any registered baseline (``--method glove|w4m-lc|
+  nwa|generalization`` plus per-method options, see DESIGN.md D8);
 * ``stream``   — replay a dataset as a timestamped event feed and
   anonymize it window by window (``--window/--slide/--carry-over/
   --max-lag``, see DESIGN.md D7);
-* ``attack``   — mount record-linkage attacks against a publication;
+* ``attack``   — mount record-linkage attacks against a publication,
+  or anonymize-then-attack any registered method (``--method``);
 * ``info``     — summarize any dataset file.
 
 Example session::
@@ -53,6 +56,7 @@ from repro.cdr.io import (
     write_events_csv,
     write_fingerprints_csv,
 )
+from repro.core.anonymizer import available_anonymizers, get_anonymizer
 from repro.core.config import (
     GloveConfig,
     SuppressionConfig,
@@ -112,33 +116,100 @@ def cmd_measure(args) -> int:
 def _glove_config_from_args(args) -> GloveConfig:
     """The GloveConfig of the shared -k/--suppress/--no-reshape flags."""
     suppression = SuppressionConfig()
-    if args.suppress:
+    if getattr(args, "suppress", None):
         suppression = SuppressionConfig(
             spatial_threshold_m=args.suppress[0],
             temporal_threshold_min=args.suppress[1],
         )
-    return GloveConfig(k=args.k, suppression=suppression, reshape=not args.no_reshape)
+    return GloveConfig(
+        k=args.k, suppression=suppression, reshape=not getattr(args, "no_reshape", False)
+    )
+
+
+#: Which methods each per-method option flag applies to.
+_METHOD_FLAGS = {
+    "delta": ("w4m-lc", "nwa"),
+    "trash": ("w4m-lc", "nwa"),
+    "period": ("nwa",),
+    "grid": ("generalization",),
+    "suppress": ("glove",),
+    "no_reshape": ("glove",),
+}
+
+
+def _method_config_from_args(args, method: str):
+    """Build the chosen method's config from the per-method flags.
+
+    Flags belonging to a different method, and invalid values (e.g. a
+    non-positive ``--delta``), exit with status 2 and an ``error:``
+    line — the ``--workers``/``--shards``/``--window`` convention.
+    """
+    for flag, methods in _METHOD_FLAGS.items():
+        value = getattr(args, flag, None)
+        if value is not None and value is not False and method not in methods:
+            flag_txt = "--" + flag.replace("_", "-")
+            print(
+                f"error: {flag_txt} only applies to --method "
+                f"{'/'.join(methods)}, not {method!r}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+    try:
+        if method == "glove":
+            return _glove_config_from_args(args)
+        options = {}
+        if getattr(args, "delta", None) is not None:
+            options["delta_m"] = args.delta
+        if getattr(args, "trash", None) is not None:
+            options["trash_fraction"] = args.trash
+        if getattr(args, "period", None) is not None:
+            options["period_min"] = args.period
+        if getattr(args, "grid", None) is not None:
+            options["spatial_m"], options["temporal_min"] = args.grid
+        return get_anonymizer(method).make_config(k=args.k, **options)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
 
 
 def cmd_anonymize(args) -> int:
     dataset = _read_any(args.dataset)
-    config = _glove_config_from_args(args)
+    method = args.method
+    config = _method_config_from_args(args, method)
     pipeline = pipeline_from_args(args)
-    result = pipeline.anonymize(dataset, config, compute=compute_config_from_args(args))
-    if not result.dataset.is_k_anonymous(args.k):
+    result = pipeline.anonymize(
+        dataset, config, compute=compute_config_from_args(args), method=method
+    )
+    anonymizer = get_anonymizer(method)
+    if anonymizer.guarantees_k_anonymity and not result.dataset.is_k_anonymous(args.k):
         print("error: output failed the k-anonymity audit", file=sys.stderr)
         return 3
     rows = write_fingerprints_csv(result.dataset, args.output)
-    spatial, temporal = extent_accuracy(result.dataset)
-    print(
-        f"anonymized {result.dataset.n_users} users into "
-        f"{len(result.dataset)} groups ({result.stats.n_merges} merges)"
-    )
-    print(
-        f"accuracy: median extent {spatial.median / 1000:.2f} km / "
-        f"{temporal.median:.0f} min; "
-        f"suppressed {result.stats.suppression.discarded_fraction:.1%} of samples"
-    )
+    if method == "glove":
+        stats = result.raw.stats
+        spatial, temporal = extent_accuracy(result.dataset)
+        print(
+            f"anonymized {result.dataset.n_users} users into "
+            f"{len(result.dataset)} groups ({stats.n_merges} merges)"
+        )
+        print(
+            f"accuracy: median extent {spatial.median / 1000:.2f} km / "
+            f"{temporal.median:.0f} min; "
+            f"suppressed {stats.suppression.discarded_fraction:.1%} of samples"
+        )
+    else:
+        s = result.stats
+        print(
+            f"anonymized {dataset.n_users} users with {anonymizer.display}: "
+            f"{len(result.dataset)} fingerprints in {s.n_groups} groups, "
+            f"{s.discarded_fingerprints} discarded"
+        )
+        print(
+            f"samples: created {s.created_samples} ({s.created_fraction:.1%}), "
+            f"deleted {s.deleted_samples} ({s.deleted_fraction:.1%}); "
+            f"mean errors {s.mean_position_error_m / 1000:.2f} km / "
+            f"{s.mean_time_error_min:.0f} min"
+        )
     print(f"wrote {rows} sample rows to {args.output}")
     return 0
 
@@ -210,7 +281,35 @@ def cmd_stream(args) -> int:
 
 def cmd_attack(args) -> int:
     original = _read_any(args.original)
-    published = _read_any(args.published)
+    if args.published is not None and args.method is not None:
+        print(
+            "error: give either a published dataset file or --method, not both",
+            file=sys.stderr,
+        )
+        return 2
+    if args.published is not None:
+        stray = [
+            "--" + flag.replace("_", "-")
+            for flag in ("delta", "trash", "period", "grid")
+            if getattr(args, flag, None) is not None
+        ]
+        if stray:
+            print(
+                f"error: {'/'.join(stray)} only apply when anonymizing with "
+                "--method, not to an already published file",
+                file=sys.stderr,
+            )
+            return 2
+        published = _read_any(args.published)
+    else:
+        # Anonymize-then-attack through the cached stage: point the
+        # record-linkage attacks head-to-head at any registered method.
+        method = args.method if args.method is not None else "glove"
+        config = _method_config_from_args(args, method)
+        pipeline = pipeline_from_args(args)
+        result = pipeline.anonymize(original, config, method=method)
+        published = result.dataset
+        print(f"attacking {get_anonymizer(method).display} output (cached anonymize stage)")
     top = uniqueness_given_top_locations(original, published, n_locations=args.locations)
     rnd = uniqueness_given_random_points(
         original, published, n_points=args.points, seed=args.seed
@@ -243,6 +342,46 @@ def cmd_info(args) -> int:
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
+def _add_method_arguments(parser, default: Optional[str]) -> None:
+    """Attach the shared --method + per-method option flags."""
+    parser.add_argument(
+        "--method",
+        choices=available_anonymizers(),
+        default=default,
+        help="anonymization technique (default: glove); baselines are "
+        "cached through the same anonymize stage",
+    )
+    parser.add_argument(
+        "--delta",
+        type=float,
+        default=None,
+        metavar="METRES",
+        help="(w4m-lc, nwa) spatiotemporal cylinder diameter",
+    )
+    parser.add_argument(
+        "--trash",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="(w4m-lc, nwa) max fraction of trajectories trashed",
+    )
+    parser.add_argument(
+        "--period",
+        type=float,
+        default=None,
+        metavar="MINUTES",
+        help="(nwa) synchronized-timeline sampling period",
+    )
+    parser.add_argument(
+        "--grid",
+        nargs=2,
+        type=float,
+        default=None,
+        metavar=("METRES", "MINUTES"),
+        help="(generalization) uniform space/time bin sizes",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``glove`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -271,7 +410,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_pipeline_arguments(m)
     m.set_defaults(func=cmd_measure)
 
-    a = sub.add_parser("anonymize", help="k-anonymize with GLOVE")
+    a = sub.add_parser(
+        "anonymize", help="anonymize with GLOVE or any registered baseline"
+    )
     a.add_argument("dataset")
     a.add_argument("-k", type=int, default=2)
     a.add_argument(
@@ -279,9 +420,10 @@ def build_parser() -> argparse.ArgumentParser:
         nargs=2,
         type=float,
         metavar=("METRES", "MINUTES"),
-        help="suppression thresholds (e.g. 15000 360)",
+        help="(glove) suppression thresholds (e.g. 15000 360)",
     )
     a.add_argument("--no-reshape", action="store_true")
+    _add_method_arguments(a, default="glove")
     a.add_argument("-o", "--output", required=True)
     add_compute_arguments(a, pruning=True)
     add_pipeline_arguments(a)
@@ -309,11 +451,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     t = sub.add_parser("attack", help="record-linkage attack validation")
     t.add_argument("original")
-    t.add_argument("published")
+    t.add_argument(
+        "published",
+        nargs="?",
+        default=None,
+        help="published dataset to attack; omit to anonymize the "
+        "original with --method first (cached) and attack that",
+    )
     t.add_argument("-k", type=int, default=2)
     t.add_argument("--locations", type=int, default=3)
     t.add_argument("--points", type=int, default=5)
     t.add_argument("--seed", type=int, default=0)
+    _add_method_arguments(t, default=None)
+    add_pipeline_arguments(t)
     t.set_defaults(func=cmd_attack)
 
     i = sub.add_parser("info", help="summarize a dataset file")

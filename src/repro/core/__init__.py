@@ -9,7 +9,9 @@ Public surface:
   :func:`~repro.core.stretch.fingerprint_stretch`,
   :func:`~repro.core.kgap.kgap`;
 * anonymization -- :func:`~repro.core.glove.glove` with
-  :class:`~repro.core.config.GloveConfig`;
+  :class:`~repro.core.config.GloveConfig`, and the method registry
+  (:mod:`repro.core.anonymizer`) normalizing GLOVE and every baseline
+  behind one protocol;
 * compute substrate -- :class:`~repro.core.engine.StretchEngine` with
   :class:`~repro.core.config.ComputeConfig` and the backend registry
   (:func:`~repro.core.engine.register_backend`).
@@ -47,9 +49,19 @@ from repro.core.partial import (
 )
 from repro.core.reshape import reshape_fingerprint
 from repro.core.sample import Sample
+from repro.core.anonymizer import (
+    AnonymizationResult,
+    AnonymizationStats,
+    Anonymizer,
+    anonymize_dataset,
+    available_anonymizers,
+    get_anonymizer,
+    register_anonymizer,
+)
 from repro.core.artifacts import ArtifactStore, canonical_key, dataset_digest, source_digest
 from repro.core.pipeline import (
     Pipeline,
+    cached_anonymize,
     cached_dataset,
     cached_glove,
     cached_kgap,
@@ -109,10 +121,18 @@ __all__ = [
     "dataset_digest",
     "source_digest",
     "Pipeline",
+    "cached_anonymize",
     "cached_dataset",
     "cached_glove",
     "cached_kgap",
     "cached_matrix",
+    "Anonymizer",
+    "AnonymizationResult",
+    "AnonymizationStats",
+    "anonymize_dataset",
+    "available_anonymizers",
+    "get_anonymizer",
+    "register_anonymizer",
     "get_default_pipeline",
     "set_default_pipeline",
     "Scenario",

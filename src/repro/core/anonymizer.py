@@ -1,0 +1,441 @@
+"""The anonymizer protocol and registry — one comparison surface.
+
+The paper's central quantitative claim (Table 2, and the related-work
+contrast of Section 2) is *comparative*: GLOVE against W4M-LC (Abul,
+Bonchi & Nanni, Information Systems 2010) and its synchronized-
+trajectory predecessor NWA (ICDE 2008), with uniform spatiotemporal
+generalization (Fig. 4) as the legacy defence.  This module makes the
+comparison a first-class, pluggable axis instead of a side path: every
+anonymization technique registers here as an :class:`Anonymizer` and
+returns a normalized :class:`AnonymizationResult`, so the pipeline's
+``anonymize`` stage, the CLIs, the attack experiments and the benchmark
+suite can run any technique through one code path.
+
+The normalized result carries the shared provenance/stats schema that
+Table 2 previously assembled ad hoc per method:
+
+* ``discarded_fingerprints`` — subscribers absent from the publication
+  (W4M/NWA trashing; zero for GLOVE by design);
+* ``created_samples`` / ``created_fraction`` — fabricated samples
+  (timeline resampling; zero for GLOVE, truthfulness principle P2);
+* ``deleted_samples`` / ``deleted_fraction`` — original samples without
+  a published counterpart (trashing/clipping for W4M/NWA, suppression
+  for GLOVE) with each method's native denominator;
+* ``mean_position_error_m`` / ``mean_time_error_min`` — provenance-
+  matched errors over represented samples.
+
+Each result also exposes ``groups``: the anonymity groups of the
+publication as uid tuples, so the k-anonymity invariant harness
+(``tests/properties/test_k_anonymity.py``) audits every registered
+method through the same checker.
+
+Registration mirrors the compute-backend registry of
+:mod:`repro.core.engine` and the scenario registry of
+:mod:`repro.core.scenarios`; the built-in entries (``glove``,
+``w4m-lc``, ``nwa``, ``generalization``) lazy-import their
+implementations so ``repro.core`` never hard-depends on
+``repro.baselines``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.config import ComputeConfig, GloveConfig, SuppressionConfig
+from repro.core.dataset import FingerprintDataset
+
+
+@dataclass(frozen=True)
+class AnonymizationStats:
+    """The normalized Table-2 schema, uniform across methods.
+
+    Fractions are stored (not derived) because each method keeps its
+    native denominator: W4M/NWA count against the original dataset's
+    samples, GLOVE's suppression counts against its pre-suppression
+    output — exactly the paper's accounting.
+    """
+
+    discarded_fingerprints: int = 0
+    created_samples: int = 0
+    created_fraction: float = 0.0
+    deleted_samples: int = 0
+    deleted_fraction: float = 0.0
+    total_original_samples: int = 0
+    n_groups: int = 0
+    mean_position_error_m: float = 0.0
+    mean_time_error_min: float = 0.0
+
+
+@dataclass
+class AnonymizationResult:
+    """Normalized outcome of any registered anonymizer.
+
+    Attributes
+    ----------
+    method:
+        Registry name of the technique that produced the result.
+    dataset:
+        The published (anonymized) dataset.
+    config:
+        The method's own configuration dataclass.
+    groups:
+        Anonymity groups of the publication as tuples of original uids
+        (GLOVE merge groups, W4M/NWA clusters; singletons for uniform
+        generalization, which offers no grouping guarantee).
+    raw:
+        The method-native result object (:class:`~repro.core.glove.
+        GloveResult`, ``W4MResult``, ``NWAResult``, or the bare dataset
+        for generalization) for callers needing method-specific detail.
+    """
+
+    method: str
+    dataset: FingerprintDataset
+    config: Any
+    groups: Tuple[Tuple[str, ...], ...]
+    raw: Any = None
+    # Normalizing GLOVE stats needs a cover-mode error match against the
+    # original dataset (O(n m^2)); results built in-process defer it
+    # until `.stats` is first read.  Results destined for the artifact
+    # store are normalized eagerly (closures do not pickle).
+    _stats: Optional[AnonymizationStats] = field(default=None, repr=False)
+    _stats_factory: Optional[Callable[[], AnonymizationStats]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def stats(self) -> AnonymizationStats:
+        """The normalized provenance/error statistics."""
+        if self._stats is None:
+            self._stats = self._stats_factory()
+            self._stats_factory = None
+        return self._stats
+
+
+@dataclass(frozen=True)
+class Anonymizer:
+    """One registered anonymization technique.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also the CLI ``--method`` value).
+    display:
+        Table label, e.g. ``"W4M-LC"``.
+    config_type:
+        Dotted name of the method's configuration dataclass (kept as a
+        string so registration never imports the implementation).
+    run:
+        ``(dataset, config, compute) -> AnonymizationResult``.  Only
+        GLOVE consumes the compute substrate; baselines ignore it.
+    make_config:
+        ``(k=2, **options) -> config`` factory used by the CLI, the
+        scenario method axis and the experiments.
+    sources:
+        Module scope whose source digest enters this method's artifact
+        keys (DESIGN.md D8).
+    guarantees_k_anonymity:
+        Whether every published record hides at least ``k`` subscribers
+        (GLOVE's design guarantee; W4M/NWA provide ``(k, delta)``-
+        anonymity over per-subscriber records instead, generalization
+        provides nothing).
+    description:
+        One line for ``--help`` and the README method matrix.
+    """
+
+    name: str
+    display: str
+    config_type: str
+    run: Callable[[FingerprintDataset, Any, Optional[ComputeConfig]], AnonymizationResult]
+    make_config: Callable[..., Any]
+    sources: Tuple[str, ...]
+    guarantees_k_anonymity: bool
+    description: str = ""
+
+
+_ANONYMIZERS: Dict[str, Anonymizer] = {}
+
+
+def register_anonymizer(anonymizer: Anonymizer, overwrite: bool = False) -> Anonymizer:
+    """Register an anonymizer under its name; returns it for chaining."""
+    if not overwrite and anonymizer.name in _ANONYMIZERS:
+        raise ValueError(f"anonymizer {anonymizer.name!r} is already registered")
+    _ANONYMIZERS[anonymizer.name] = anonymizer
+    return anonymizer
+
+
+def get_anonymizer(name: str) -> Anonymizer:
+    """Look an anonymizer up by name."""
+    try:
+        return _ANONYMIZERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown anonymizer {name!r}; registered: {', '.join(available_anonymizers())}"
+        ) from None
+
+
+def available_anonymizers() -> List[str]:
+    """Registered method names, sorted."""
+    return sorted(_ANONYMIZERS)
+
+
+def anonymize_dataset(
+    dataset: FingerprintDataset,
+    method: str = "glove",
+    config: Any = None,
+    compute: Optional[ComputeConfig] = None,
+) -> AnonymizationResult:
+    """Run any registered anonymizer directly (uncached).
+
+    The pipeline's ``anonymize`` stage is the cached counterpart; this
+    helper serves one-off runs (benchmark rows, tests, notebooks).
+    """
+    anonymizer = get_anonymizer(method)
+    if config is None:
+        config = anonymizer.make_config()
+    return anonymizer.run(dataset, config, compute)
+
+
+# ----------------------------------------------------------------------
+# GLOVE adapter
+# ----------------------------------------------------------------------
+def strip_suppression(config: GloveConfig) -> GloveConfig:
+    """The suppression-free projection of a GloveConfig.
+
+    This is the form GLOVE artifacts are keyed by (DESIGN.md D8): the
+    greedy loop is blind to suppression, which re-applies post-fetch
+    via :func:`apply_glove_suppression`.  Shared by the cached
+    (:meth:`repro.core.pipeline.Pipeline.anonymize`) and uncached
+    (:func:`_run_glove`) paths so the key rule can never diverge.
+    """
+    if not config.suppression.enabled:
+        return config
+    return replace(config, suppression=SuppressionConfig())
+
+
+def apply_glove_suppression(raw, config: GloveConfig):
+    """The suppressed release of an *unsuppressed* GLOVE run.
+
+    Suppression is a pure post-filter over the merged output (the same
+    ``suppress_dataset`` call :func:`repro.core.glove.finalize_result`
+    makes), so applying it after the fact is byte-identical to running
+    ``glove()`` with the suppression config inline — which lets the
+    pipeline key GLOVE artifacts on the suppression-free config and
+    share one greedy-loop run across every suppression setting
+    (DESIGN.md D8).
+    """
+    from repro.core.glove import GloveResult
+    from repro.core.suppression import suppress_dataset
+
+    if not config.suppression.enabled:
+        return GloveResult(dataset=raw.dataset, stats=raw.stats, config=config)
+    out, supp = suppress_dataset(raw.dataset, config.suppression)
+    return GloveResult(
+        dataset=out, stats=replace(raw.stats, suppression=supp), config=config
+    )
+
+
+def normalize_glove(
+    original: FingerprintDataset, raw, config: Optional[GloveConfig] = None
+) -> AnonymizationResult:
+    """Wrap an unsuppressed :class:`GloveResult` into the shared schema.
+
+    ``config`` may carry suppression thresholds absent from ``raw``'s
+    run; the release applies them with ``keep_at_least_one`` (zero
+    discarded fingerprints, the paper's property) while the error
+    statistics follow the paper's accounting and are measured over the
+    strict survivors only — the normalization Table 2 used to inline.
+    """
+    config = config if config is not None else raw.config
+    full = apply_glove_suppression(raw, config)
+    release = full.dataset
+
+    def stats() -> AnonymizationStats:
+        from repro.analysis.accuracy import utility_report
+        from repro.core.suppression import suppress_dataset
+
+        rep = utility_report(original, release, "GLOVE", mode="cover")
+        if config.suppression.enabled:
+            strict = replace(config.suppression, keep_at_least_one=False)
+            survivors, strict_stats = suppress_dataset(raw.dataset, strict)
+            err = utility_report(original, survivors, "GLOVE", mode="cover")
+            deleted = strict_stats.discarded_samples
+            deleted_fraction = strict_stats.discarded_fraction
+        else:
+            err = rep
+            deleted, deleted_fraction = 0, 0.0
+        return AnonymizationStats(
+            discarded_fingerprints=rep.discarded_fingerprints,
+            created_samples=0,
+            created_fraction=0.0,
+            deleted_samples=deleted,
+            deleted_fraction=deleted_fraction,
+            total_original_samples=original.n_samples,
+            n_groups=len(release),
+            mean_position_error_m=err.mean_position_error_m,
+            mean_time_error_min=err.mean_time_error_min,
+        )
+
+    return AnonymizationResult(
+        method="glove",
+        dataset=release,
+        config=config,
+        groups=tuple(tuple(fp.members) for fp in release),
+        raw=full,
+        _stats_factory=stats,
+    )
+
+
+def _run_glove(dataset, config, compute) -> AnonymizationResult:
+    from repro.core.glove import glove
+
+    return normalize_glove(
+        dataset, glove(dataset, strip_suppression(config), compute), config
+    )
+
+
+# ----------------------------------------------------------------------
+# Baseline adapters
+# ----------------------------------------------------------------------
+def _native_baseline_stats(result, original: FingerprintDataset) -> AnonymizationStats:
+    """Map a W4M/NWA native stats object onto the shared schema."""
+    s = result.stats
+    return AnonymizationStats(
+        discarded_fingerprints=s.discarded_fingerprints,
+        created_samples=s.created_samples,
+        created_fraction=s.created_fraction,
+        deleted_samples=s.deleted_samples,
+        deleted_fraction=s.deleted_fraction,
+        total_original_samples=s.total_original_samples,
+        n_groups=len(s.group_members),
+        mean_position_error_m=s.mean_position_error_m,
+        mean_time_error_min=s.mean_time_error_min,
+    )
+
+
+def _run_w4m(dataset, config, compute) -> AnonymizationResult:
+    from repro.baselines.w4m import w4m_lc
+
+    result = w4m_lc(dataset, config)
+    return AnonymizationResult(
+        method="w4m-lc",
+        dataset=result.dataset,
+        config=config,
+        groups=tuple(result.stats.group_members),
+        raw=result,
+        _stats=_native_baseline_stats(result, dataset),
+    )
+
+
+def _run_nwa(dataset, config, compute) -> AnonymizationResult:
+    from repro.baselines.nwa import nwa
+
+    result = nwa(dataset, config)
+    return AnonymizationResult(
+        method="nwa",
+        dataset=result.dataset,
+        config=config,
+        groups=tuple(result.stats.group_members),
+        raw=result,
+        _stats=_native_baseline_stats(result, dataset),
+    )
+
+
+def _run_generalization(dataset, config, compute) -> AnonymizationResult:
+    from repro.analysis.accuracy import utility_report
+    from repro.baselines.generalization import generalize_dataset
+
+    published = generalize_dataset(dataset, config)
+    rep = utility_report(dataset, published, "generalization", mode="cover")
+    return AnonymizationResult(
+        method="generalization",
+        dataset=published,
+        config=config,
+        # Uniform coarsening publishes one record per subscriber: no
+        # grouping, hence singleton "groups" that correctly fail any
+        # k >= 2 audit (the Fig. 4 point).
+        groups=tuple((fp.uid,) for fp in published),
+        raw=published,
+        _stats=AnonymizationStats(
+            discarded_fingerprints=rep.discarded_fingerprints,
+            created_samples=0,
+            created_fraction=0.0,
+            deleted_samples=rep.deleted_samples,
+            deleted_fraction=rep.deleted_fraction,
+            total_original_samples=rep.total_original_samples,
+            n_groups=len(published),
+            mean_position_error_m=rep.mean_position_error_m,
+            mean_time_error_min=rep.mean_time_error_min,
+        ),
+    )
+
+
+def _glove_config(k: int = 2, **options) -> GloveConfig:
+    return GloveConfig(k=k, **options)
+
+
+def _w4m_config(k: int = 2, **options):
+    from repro.baselines.w4m import W4MConfig
+
+    return W4MConfig(k=k, **options)
+
+
+def _nwa_config(k: int = 2, **options):
+    from repro.baselines.nwa import NWAConfig
+
+    return NWAConfig(k=k, **options)
+
+
+def _generalization_config(k: int = 2, spatial_m: float = 2_500.0, temporal_min: float = 60.0):
+    # k is accepted for interface uniformity; uniform generalization has
+    # no anonymity parameter (the Fig. 4 sweep varies only granularity).
+    from repro.baselines.generalization import GeneralizationLevel
+
+    return GeneralizationLevel(spatial_m=spatial_m, temporal_min=temporal_min)
+
+
+#: Source scope of the baseline methods' artifact keys: the data model
+#: and merge machinery (repro.core), the implementations themselves,
+#: and the error-matching used by the normalized schema.
+BASELINE_SOURCES = ("repro.core", "repro.baselines", "repro.analysis.accuracy")
+
+register_anonymizer(Anonymizer(
+    name="glove",
+    display="GLOVE",
+    config_type="repro.core.config.GloveConfig",
+    run=_run_glove,
+    make_config=_glove_config,
+    sources=("repro.core",),
+    guarantees_k_anonymity=True,
+    description="the paper's stretch-effort-minimal k-anonymization (Alg. 1)",
+))
+register_anonymizer(Anonymizer(
+    name="w4m-lc",
+    display="W4M-LC",
+    config_type="repro.baselines.w4m.W4MConfig",
+    run=_run_w4m,
+    make_config=_w4m_config,
+    sources=BASELINE_SOURCES,
+    guarantees_k_anonymity=False,
+    description="Wait-for-Me (k, delta)-anonymity with LST distance and chunking",
+))
+register_anonymizer(Anonymizer(
+    name="nwa",
+    display="NWA",
+    config_type="repro.baselines.nwa.NWAConfig",
+    run=_run_nwa,
+    make_config=_nwa_config,
+    sources=BASELINE_SOURCES,
+    guarantees_k_anonymity=False,
+    description="Never-Walk-Alone (k, delta)-anonymity over synchronized trajectories",
+))
+register_anonymizer(Anonymizer(
+    name="generalization",
+    display="GEN",
+    config_type="repro.baselines.generalization.GeneralizationLevel",
+    run=_run_generalization,
+    make_config=_generalization_config,
+    sources=BASELINE_SOURCES,
+    guarantees_k_anonymity=False,
+    description="legacy uniform spatiotemporal coarsening (paper Fig. 4)",
+))

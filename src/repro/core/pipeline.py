@@ -12,6 +12,11 @@ artifacts (:mod:`repro.core.artifacts`):
   the full :class:`~repro.core.config.GloveConfig`, and the
   *result-affecting* part of the compute substrate (see
   :func:`compute_result_signature`);
+* ``anonymize`` -- the method-generic stage over the anonymizer
+  registry (:mod:`repro.core.anonymizer`): method name + the method's
+  own config + the dataset digest.  ``method="glove"`` delegates to the
+  ``glove`` stage above (byte-identical artifacts and keys, DESIGN.md
+  D8);
 * ``matrix``   -- content-addressed: dataset digest + stretch config.
   The k-gap of any ``k`` derives from one cached matrix, exactly as
   the paper's Fig. 3b reuses a single Delta matrix.
@@ -209,13 +214,13 @@ class Pipeline:
             ),
         )
 
-    def anonymize(
+    def glove(
         self,
         dataset: FingerprintDataset,
         config: GloveConfig = GloveConfig(),
         compute: Optional[ComputeConfig] = None,
     ):
-        """Stage 2: a GLOVE run over any dataset (content-addressed).
+        """Stage 2 (GLOVE form): a GLOVE run over any dataset.
 
         Returns the full :class:`~repro.core.glove.GloveResult`
         (anonymized population plus run statistics).
@@ -233,6 +238,56 @@ class Pipeline:
             },
             label=f"{digest[:10]}/k{config.k}",
             compute=lambda: glove(dataset, config, compute),
+        )
+
+    def anonymize(
+        self,
+        dataset: FingerprintDataset,
+        config=None,
+        compute: Optional[ComputeConfig] = None,
+        method: str = "glove",
+    ):
+        """Stage 2: anonymize a dataset with any registered method.
+
+        Returns a normalized
+        :class:`~repro.core.anonymizer.AnonymizationResult` whatever
+        the method.  Keys fold in the method name and the method's own
+        config (DESIGN.md D8).  ``method="glove"`` routes through the
+        historical ``glove`` stage with the suppression thresholds
+        stripped from the key and re-applied as the byte-identical
+        post-filter of :func:`~repro.core.anonymizer.
+        apply_glove_suppression` — so one greedy-loop artifact serves
+        every suppression setting and all pre-existing cache keys
+        survive.  Baselines ignore the compute substrate entirely, so
+        it never enters their keys.
+        """
+        from repro.core.anonymizer import (
+            get_anonymizer,
+            normalize_glove,
+            strip_suppression,
+        )
+
+        anonymizer = get_anonymizer(method)
+        if method == "glove":
+            config = config if config is not None else GloveConfig()
+            base = strip_suppression(config)
+            return normalize_glove(dataset, self.glove(dataset, base, compute), config)
+        config = config if config is not None else anonymizer.make_config()
+        digest = self.digest(dataset)
+        return self._fetch(
+            "anonymize",
+            {
+                "method": method,
+                "dataset": digest,
+                "config": config,
+                "sources": source_digest(*anonymizer.sources),
+            },
+            label=f"{method}/{digest[:10]}/k{getattr(config, 'k', '-')}",
+            # The compute substrate is excluded from the key, so it must
+            # not reach the run either: a registered method whose output
+            # varied with ComputeConfig would otherwise serve one
+            # config's artifact for another's request.
+            compute=lambda: anonymizer.run(dataset, config, None),
         )
 
     def matrix(
@@ -388,8 +443,23 @@ def cached_glove(
     config: GloveConfig = GloveConfig(),
     compute: Optional[ComputeConfig] = None,
 ):
+    """:meth:`Pipeline.glove` on the default pipeline.
+
+    A thin delegate kept for the experiment modules: same stage, same
+    keys, same :class:`~repro.core.glove.GloveResult` as ever.  The
+    method-generic entry point is :func:`cached_anonymize`.
+    """
+    return get_default_pipeline().glove(dataset, config, compute)
+
+
+def cached_anonymize(
+    dataset: FingerprintDataset,
+    method: str = "glove",
+    config=None,
+    compute: Optional[ComputeConfig] = None,
+):
     """:meth:`Pipeline.anonymize` on the default pipeline."""
-    return get_default_pipeline().anonymize(dataset, config, compute)
+    return get_default_pipeline().anonymize(dataset, config, compute, method=method)
 
 
 def cached_matrix(

@@ -52,6 +52,15 @@ class Scenario:
         copies can never be mutated through a shared dict; kept
         untyped data (not a config object) so :mod:`repro.core` never
         imports the streaming tier.
+    method:
+        The anonymization technique the scenario evaluates — a name
+        from the :mod:`repro.core.anonymizer` registry.  Experiments
+        that accept a ``method`` parameter (utility, uniqueness) run
+        against it when the scenario drives ``glove-repro``.
+    method_options:
+        Extra keyword arguments of the method's config factory (e.g.
+        ``{"delta_m": 2000.0}`` for ``w4m-lc``); stored as a sorted
+        tuple of pairs like ``stream``.
     description:
         One line shown by ``glove-repro --list``.
     """
@@ -64,6 +73,8 @@ class Scenario:
     k: int = 2
     experiments: Tuple[str, ...] = ()
     stream: Optional[Mapping[str, float]] = None
+    method: str = "glove"
+    method_options: Optional[Mapping[str, object]] = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -75,6 +86,17 @@ class Scenario:
             raise ValueError(f"k must be at least 2, got {self.k}")
         if self.stream is not None:
             object.__setattr__(self, "stream", tuple(sorted(dict(self.stream).items())))
+        from repro.core.anonymizer import available_anonymizers
+
+        if self.method not in available_anonymizers():
+            raise ValueError(
+                f"unknown anonymizer {self.method!r}; registered: "
+                f"{', '.join(available_anonymizers())}"
+            )
+        if self.method_options is not None:
+            object.__setattr__(
+                self, "method_options", tuple(sorted(dict(self.method_options).items()))
+            )
 
     def scaled(self, **overrides) -> "Scenario":
         """A copy with some fields overridden (e.g. env-driven scale)."""
@@ -90,7 +112,22 @@ class Scenario:
             "k": self.k,
             "experiments": list(self.experiments),
             "stream": dict(self.stream) if self.stream is not None else None,
+            "method": self.method,
+            "method_options": (
+                dict(self.method_options) if self.method_options is not None else None
+            ),
         }
+
+    def anonymizer_config(self):
+        """The scenario's method config at the scenario's ``k``.
+
+        Built through the method's registered factory with
+        ``method_options`` as keyword overrides.
+        """
+        from repro.core.anonymizer import get_anonymizer
+
+        options = dict(self.method_options) if self.method_options is not None else {}
+        return get_anonymizer(self.method).make_config(k=self.k, **options)
 
     def stream_config(self):
         """The scenario's :class:`repro.stream.windows.StreamConfig`.
@@ -202,4 +239,24 @@ register_scenario(Scenario(
     days=2,
     stream={"window_min": 720.0, "max_lag_min": 30.0},
     description="500-user streaming throughput scenario (BENCH stream row)",
+))
+register_scenario(Scenario(
+    name="baselines-smoke",
+    preset="synth-civ",
+    n_users=24,
+    days=2,
+    seed=4,
+    experiments=("table2",),
+    description="tiny W4M-vs-GLOVE comparison (CI baselines-smoke, BENCH baselines row)",
+))
+register_scenario(Scenario(
+    name="w4m-attack",
+    preset="synth-civ",
+    n_users=36,
+    days=2,
+    seed=4,
+    method="w4m-lc",
+    method_options={"delta_m": 2_000.0, "trash_fraction": 0.10},
+    experiments=("attacks", "utility"),
+    description="attack/utility evaluation pointed at the W4M-LC baseline",
 ))

@@ -1,0 +1,109 @@
+"""Attack matrix — every registered anonymizer under every attack.
+
+Not a numbered paper figure: the paper motivates GLOVE with three
+published attacks (Zang & Bolot's top-locations linkage [5], de
+Montjoye et al.'s random-points linkage [6], and Cecaj et al.'s
+cross-database correlation [7]) and argues in Section 2/Table 2 that
+prior anonymization techniques do not stop them.  This experiment makes
+that argument measurable end to end: each method of the
+:mod:`repro.core.anonymizer` registry publishes the same dataset
+through the cached ``anonymize`` stage, and all three attacks run
+head-to-head against every publication.
+
+Expected shape: GLOVE holds every candidate set at >= k (zero
+identified); W4M-LC/NWA trash subscribers and perturb within a
+delta-cylinder but keep per-subscriber records, so a fraction of users
+remains identifiable; uniform generalization leaves most users unique
+(the Fig. 4 finding, re-expressed as attack success).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.attacks.cross_database import (
+    cross_database_attack,
+    simulate_checkin_database,
+)
+from repro.attacks.record_linkage import (
+    uniqueness_given_random_points,
+    uniqueness_given_top_locations,
+)
+from repro.core.anonymizer import available_anonymizers, get_anonymizer
+from repro.core.pipeline import cached_anonymize, cached_dataset
+from repro.experiments.report import ExperimentReport
+
+
+def run(
+    n_users: int = 120,
+    days: int = 5,
+    seed: int = 0,
+    preset: str = "synth-civ",
+    k: int = 2,
+    n_locations: int = 3,
+    n_points: int = 4,
+    methods: Optional[Sequence[str]] = None,
+) -> ExperimentReport:
+    """Run the record-linkage and cross-database attacks on every method."""
+    methods = list(methods) if methods is not None else available_anonymizers()
+    report = ExperimentReport(
+        exp_id="attacks",
+        title=f"Attack matrix across anonymizers ({preset}, k={k})",
+        paper_claim=(
+            "Sections 1-2: linkage and cross-database attacks defeat "
+            "legacy anonymization; GLOVE's k-anonymity by design holds "
+            "every candidate set at >= k"
+        ),
+    )
+    original = cached_dataset(preset, n_users=n_users, days=days, seed=seed)
+    side_channel = simulate_checkin_database(original)
+
+    rows = []
+    results = {}
+    for method in methods:
+        anonymizer = get_anonymizer(method)
+        published = cached_anonymize(
+            original, method=method, config=anonymizer.make_config(k=k)
+        ).dataset
+        top = uniqueness_given_top_locations(original, published, n_locations=n_locations)
+        rnd = uniqueness_given_random_points(
+            original, published, n_points=n_points, seed=seed
+        )
+        xdb = cross_database_attack(side_channel, published)
+        entry = {
+            "top_locations_identified": top.fraction_identified_within(k),
+            "random_points_identified": rnd.fraction_identified_within(k),
+            "cross_database_reidentified": xdb.reidentification_rate,
+            "min_nonempty_candidates": xdb.min_nonempty_candidates,
+            "safe": (
+                top.fraction_identified_within(k) == 0.0
+                and rnd.fraction_identified_within(k) == 0.0
+                and xdb.reidentification_rate == 0.0
+            ),
+        }
+        results[method] = entry
+        rows.append(
+            [
+                anonymizer.display,
+                f"{entry['top_locations_identified']:.0%}",
+                f"{entry['random_points_identified']:.0%}",
+                f"{entry['cross_database_reidentified']:.0%}",
+                entry["min_nonempty_candidates"],
+                "SAFE" if entry["safe"] else "UNSAFE",
+            ]
+        )
+    report.add_table(
+        [
+            "method",
+            f"top-{n_locations} locs below k",
+            f"{n_points} points below k",
+            "x-db re-identified",
+            "min candidates",
+            "verdict",
+        ],
+        rows,
+        title=f"identified fractions at k={k}",
+    )
+    report.data["results"] = results
+    report.data["glove_safe"] = results.get("glove", {}).get("safe", None)
+    return report

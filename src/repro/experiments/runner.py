@@ -42,6 +42,7 @@ from repro.core.pipeline import (
 from repro.core.scenarios import available_scenarios, get_scenario
 from repro.experiments import (
     ablation_weights,
+    attack_matrix,
     fig3,
     fig4,
     fig5,
@@ -72,6 +73,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "stream": stream_eval.run,
     "uniqueness": uniqueness.run,
     "ablation-weights": ablation_weights.run,
+    "attacks": attack_matrix.run,
 }
 
 #: Fallback scale when neither flags nor a scenario specify one.
@@ -164,9 +166,10 @@ def print_registry(stream=None) -> None:
     for name in available_scenarios():
         sc = get_scenario(name)
         suite = f" -e {' '.join(sc.experiments)}" if sc.experiments else ""
+        method = f" method={sc.method}" if sc.method != "glove" else ""
         print(
             f"  {name:<12} {sc.preset} n={sc.n_users} d={sc.days} "
-            f"seed={sc.seed}{suite}  {sc.description}",
+            f"seed={sc.seed}{method}{suite}  {sc.description}",
             file=stream,
         )
 
@@ -180,6 +183,8 @@ def run_experiments(
     output: str = None,
     compute: Optional[ComputeConfig] = None,
     pipeline: Optional[Pipeline] = None,
+    method: str = "glove",
+    method_options=None,
 ) -> Dict[str, object]:
     """Run the named experiments, printing each report; returns them.
 
@@ -189,15 +194,26 @@ def run_experiments(
     of the session; ``pipeline`` selects the artifact store the
     experiments request datasets/anonymizations through.  Both are
     installed as the process-wide defaults for the duration, then
-    restored.
+    restored.  ``method`` and ``method_options`` (the scenario method
+    axis) are forwarded to every experiment whose signature accepts
+    them, pointing the evaluation at any registered anonymizer.
     """
+    import inspect
+
     reports = {}
     previous = set_default_compute(compute) if compute is not None else None
     previous_pipeline = set_default_pipeline(pipeline) if pipeline is not None else None
     try:
         for name in names:
             t0 = time.time()
-            report = EXPERIMENTS[name](n_users=n_users, days=days, seed=seed)
+            fn = EXPERIMENTS[name]
+            kwargs = {}
+            params = inspect.signature(fn).parameters
+            if "method" in params and (method != "glove" or method_options):
+                kwargs["method"] = method
+                if method_options and "method_options" in params:
+                    kwargs["method_options"] = dict(method_options)
+            report = fn(n_users=n_users, days=days, seed=seed, **kwargs)
             elapsed = time.time() - t0
             reports[name] = report
             print(report.render(), file=stream)
@@ -242,6 +258,8 @@ def main(argv: List[str] = None) -> int:
         output=args.output,
         compute=compute_config_from_args(args),
         pipeline=pipeline_from_args(args),
+        method=scenario.method if scenario is not None else "glove",
+        method_options=scenario.method_options if scenario is not None else None,
     )
     return 0
 

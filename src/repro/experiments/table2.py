@@ -12,18 +12,21 @@ Paper findings reproduced here, for k=2 and k=5 across four datasets
 
 GLOVE runs with the paper's Table 2 suppression thresholds (15 km,
 6 h); W4M-LC with its suggested settings (delta = 2 km, 10% trashing).
+
+Every method runs through the pipeline's content-addressed
+``anonymize`` stage and reports the normalized provenance schema of
+:mod:`repro.core.anonymizer` — so a repeated suite invocation computes
+each W4M-LC and GLOVE run exactly once, and further comparators (e.g.
+``nwa``) join the table by name.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, Sequence
 
-from repro.analysis.accuracy import utility_report
-from repro.baselines.w4m import W4MConfig, w4m_lc
+from repro.core.anonymizer import get_anonymizer
 from repro.core.config import GloveConfig, SuppressionConfig
-from repro.core.suppression import suppress_dataset
-from repro.core.pipeline import cached_dataset, cached_glove
+from repro.core.pipeline import cached_anonymize, cached_dataset
 from repro.experiments.report import ExperimentReport, fmt
 
 #: Table 2 suppression thresholds for GLOVE.
@@ -35,6 +38,20 @@ GLOVE_SUPPRESSION = SuppressionConfig(
 W4M_DELTA_M = 2_000.0
 W4M_TRASH = 0.10
 
+#: Legacy result-dict keys for the two paper methods.
+_RESULT_KEYS = {"w4m-lc": "w4m", "glove": "glove"}
+
+
+def method_config(method: str, k: int):
+    """The Table-2 configuration of one registered method at ``k``."""
+    if method == "glove":
+        return GloveConfig(k=k, suppression=GLOVE_SUPPRESSION)
+    if method in ("w4m-lc", "nwa"):
+        return get_anonymizer(method).make_config(
+            k=k, delta_m=W4M_DELTA_M, trash_fraction=W4M_TRASH
+        )
+    return get_anonymizer(method).make_config(k=k)
+
 
 def run(
     n_users: int = 120,
@@ -42,8 +59,9 @@ def run(
     seed: int = 0,
     presets: Sequence[str] = ("synth-civ", "synth-sen", "abidjan", "dakar"),
     ks: Sequence[int] = (2, 5),
+    methods: Sequence[str] = ("w4m-lc", "glove"),
 ) -> ExperimentReport:
-    """Reproduce Table 2: one row block per k, one column pair per dataset."""
+    """Reproduce Table 2: one row block per k, one row per (dataset, method)."""
     report = ExperimentReport(
         exp_id="table2",
         title="W4M-LC vs GLOVE comparative analysis",
@@ -59,56 +77,33 @@ def run(
         rows = []
         for preset in presets:
             dataset = cached_dataset(preset, n_users=n_users, days=days, seed=seed)
-
-            w4m = w4m_lc(
-                dataset,
-                W4MConfig(k=k, delta_m=W4M_DELTA_M, trash_fraction=W4M_TRASH),
-            )
-            w4m_row = {
-                "discarded_fingerprints": w4m.stats.discarded_fingerprints,
-                "created_samples": w4m.stats.created_samples,
-                "created_fraction": w4m.stats.created_fraction,
-                "deleted_samples": w4m.stats.deleted_samples,
-                "deleted_fraction": w4m.stats.deleted_fraction,
-                "mean_position_error_m": w4m.stats.mean_position_error_m,
-                "mean_time_error_min": w4m.stats.mean_time_error_min,
-            }
-
-            # GLOVE is run without suppression; the Table 2 thresholds
-            # are applied as two post-filters sharing one merge pass:
-            # the *release* keeps at least one sample per group (paper
-            # property: zero discarded fingerprints), while the *error
-            # statistics* follow the paper's accounting and exclude all
-            # suppressed samples (errors are measured over survivors).
-            g = cached_glove(dataset, GloveConfig(k=k))
-            release, release_stats = suppress_dataset(g.dataset, GLOVE_SUPPRESSION)
-            strict_cfg = replace(GLOVE_SUPPRESSION, keep_at_least_one=False)
-            survivors, strict_stats = suppress_dataset(g.dataset, strict_cfg)
-            rep = utility_report(dataset, release, "GLOVE", mode="cover")
-            err = utility_report(dataset, survivors, "GLOVE", mode="cover")
-            glove_row = {
-                "discarded_fingerprints": rep.discarded_fingerprints,
-                "created_samples": 0,
-                "created_fraction": 0.0,
-                "deleted_samples": strict_stats.discarded_samples,
-                "deleted_fraction": strict_stats.discarded_fraction,
-                "mean_position_error_m": err.mean_position_error_m,
-                "mean_time_error_min": err.mean_time_error_min,
-            }
-            results[(k, preset)] = {"w4m": w4m_row, "glove": glove_row}
-
-            for method, row in (("W4M-LC", w4m_row), ("GLOVE", glove_row)):
+            per_method = {}
+            for method in methods:
+                result = cached_anonymize(
+                    dataset, method=method, config=method_config(method, k)
+                )
+                s = result.stats
+                per_method[_RESULT_KEYS.get(method, method)] = {
+                    "discarded_fingerprints": s.discarded_fingerprints,
+                    "created_samples": s.created_samples,
+                    "created_fraction": s.created_fraction,
+                    "deleted_samples": s.deleted_samples,
+                    "deleted_fraction": s.deleted_fraction,
+                    "mean_position_error_m": s.mean_position_error_m,
+                    "mean_time_error_min": s.mean_time_error_min,
+                }
                 rows.append(
                     [
                         preset,
-                        method,
-                        row["discarded_fingerprints"],
-                        f"{row['created_samples']} ({row['created_fraction']:.1%})",
-                        f"{row['deleted_samples']} ({row['deleted_fraction']:.1%})",
-                        fmt(row["mean_position_error_m"], 4),
-                        fmt(row["mean_time_error_min"], 4),
+                        get_anonymizer(method).display,
+                        s.discarded_fingerprints,
+                        f"{s.created_samples} ({s.created_fraction:.1%})",
+                        f"{s.deleted_samples} ({s.deleted_fraction:.1%})",
+                        fmt(s.mean_position_error_m, 4),
+                        fmt(s.mean_time_error_min, 4),
                     ]
                 )
+            results[(k, preset)] = per_method
         report.add_table(
             [
                 "dataset",

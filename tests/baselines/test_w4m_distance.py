@@ -75,3 +75,60 @@ class TestLSTDistance:
         assert np.isinf(np.diag(mat)).all()
         assert mat[0, 1] == pytest.approx(mat[1, 0])
         assert mat[0, 1] < mat[0, 2]
+
+
+class TestVectorizedMatrix:
+    """The batched matrix build equals the scalar reference bitwise."""
+
+    @staticmethod
+    def _random_trajectories(seed, n=30):
+        rng = np.random.default_rng(seed)
+        trajs = []
+        for i in range(n):
+            m = int(rng.integers(1, 25))
+            t = np.unique(np.sort(rng.uniform(0, 4_000, m)))
+            if i % 5 == 0:
+                # Some disjoint time windows to exercise the penalty arm.
+                t = t + 8_000 + i * 400
+            trajs.append(
+                PointTrajectory(
+                    uid=f"u{i}",
+                    t=t,
+                    x=rng.uniform(0, 60_000, t.size),
+                    y=rng.uniform(0, 60_000, t.size),
+                )
+            )
+        return trajs
+
+    @staticmethod
+    def _scalar_reference(trajs, sync_points=48):
+        n = len(trajs)
+        ref = np.full((n, n), np.inf)
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = lst_distance(trajs[i], trajs[j], sync_points)
+                ref[i, j] = ref[j, i] = d
+        return ref
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_exactly_equals_scalar_reference(self, seed):
+        trajs = self._random_trajectories(seed)
+        assert np.array_equal(lst_distance_matrix(trajs), self._scalar_reference(trajs))
+
+    def test_pair_blocking_does_not_change_values(self):
+        trajs = self._random_trajectories(3)
+        ref = self._scalar_reference(trajs)
+        assert np.array_equal(lst_distance_matrix(trajs, pair_block=7), ref)
+
+    def test_custom_sync_points(self):
+        trajs = self._random_trajectories(4, n=12)
+        assert np.array_equal(
+            lst_distance_matrix(trajs, sync_points=9),
+            self._scalar_reference(trajs, sync_points=9),
+        )
+
+    def test_degenerate_sizes(self):
+        assert lst_distance_matrix([]).shape == (0, 0)
+        single = self._random_trajectories(5, n=1)
+        mat = lst_distance_matrix(single)
+        assert mat.shape == (1, 1) and np.isinf(mat[0, 0])

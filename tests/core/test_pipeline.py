@@ -74,7 +74,7 @@ class TestGloveStage:
         fresh = off.anonymize(small_civ, GloveConfig(k=2))
         assert off.stats["glove"].computed == 1
         assert _datasets_equal(cached.dataset, fresh.dataset)
-        assert cached.stats.n_merges == fresh.stats.n_merges
+        assert cached.raw.stats.n_merges == fresh.raw.stats.n_merges
 
     def test_disk_round_trip_byte_identical(self, disk_pipeline, small_civ):
         p = disk_pipeline
@@ -149,6 +149,89 @@ class TestComputeResultSignature:
         p.anonymize(small_civ, GloveConfig(k=2), ComputeConfig(backend="sharded", shards=2))
         assert p.stats["glove"].computed == 2
         assert p.stats["glove"].memo_hits == 1
+
+
+class TestMethodAxis:
+    """The generic anonymize stage over the anonymizer registry."""
+
+    def test_glove_method_hits_cached_glove_artifact(self, memo_pipeline, small_civ):
+        # The acceptance invariant: method="glove" through the generic
+        # stage is the same artifact, same key, as the cached_glove
+        # path — the second request must be a memo hit.
+        memo_pipeline.glove(small_civ, GloveConfig(k=2))
+        result = memo_pipeline.anonymize(small_civ, GloveConfig(k=2), method="glove")
+        assert memo_pipeline.stats["glove"].computed == 1
+        assert memo_pipeline.stats["glove"].memo_hits == 1
+        direct = glove(small_civ, GloveConfig(k=2))
+        assert _datasets_equal(result.dataset, direct.dataset)
+
+    def test_glove_suppression_shares_the_unsuppressed_artifact(
+        self, memo_pipeline, small_civ
+    ):
+        from repro.core.config import SuppressionConfig
+
+        suppressed_cfg = GloveConfig(
+            k=2,
+            suppression=SuppressionConfig(
+                spatial_threshold_m=15_000.0, temporal_threshold_min=360.0
+            ),
+        )
+        memo_pipeline.anonymize(small_civ, GloveConfig(k=2), method="glove")
+        via_stage = memo_pipeline.anonymize(small_civ, suppressed_cfg, method="glove")
+        # Suppression is a post-filter: one greedy-loop artifact serves
+        # both configs...
+        assert memo_pipeline.stats["glove"].computed == 1
+        assert memo_pipeline.stats["glove"].memo_hits == 1
+        # ...and the release is byte-identical to running glove() with
+        # the suppression config inline.
+        inline = glove(small_civ, suppressed_cfg)
+        assert _datasets_equal(via_stage.dataset, inline.dataset)
+        assert via_stage.raw.stats.suppression == inline.stats.suppression
+
+    def test_baseline_method_computed_once(self, memo_pipeline, small_civ):
+        from repro.baselines.w4m import W4MConfig
+
+        a = memo_pipeline.anonymize(small_civ, W4MConfig(k=2), method="w4m-lc")
+        b = memo_pipeline.anonymize(small_civ, W4MConfig(k=2), method="w4m-lc")
+        assert a is b
+        stats = memo_pipeline.stats["anonymize"]
+        assert stats.computed == 1
+        assert stats.memo_hits == 1
+
+    def test_method_config_enters_the_key(self, memo_pipeline, small_civ):
+        from repro.baselines.w4m import W4MConfig
+
+        memo_pipeline.anonymize(small_civ, W4MConfig(k=2, delta_m=2_000.0), method="w4m-lc")
+        memo_pipeline.anonymize(small_civ, W4MConfig(k=2, delta_m=3_000.0), method="w4m-lc")
+        assert memo_pipeline.stats["anonymize"].computed == 2
+
+    def test_baseline_round_trips_through_disk(self, disk_pipeline, tmp_path, small_civ):
+        from repro.baselines.nwa import NWAConfig
+
+        config = NWAConfig(k=2, period_min=120.0)
+        first = disk_pipeline.anonymize(small_civ, config, method="nwa")
+        again = Pipeline(ArtifactStore(root=tmp_path / "store")).anonymize(
+            small_civ, config, method="nwa"
+        )
+        assert _datasets_equal(first.dataset, again.dataset)
+        assert first.stats == again.stats
+        assert first.groups == again.groups
+
+    def test_unknown_method_rejected(self, memo_pipeline, small_civ):
+        with pytest.raises(ValueError, match="unknown anonymizer"):
+            memo_pipeline.anonymize(small_civ, method="gpu")
+
+    def test_cached_anonymize_routes_through_default(self, memo_pipeline, small_civ):
+        from repro.core.pipeline import cached_anonymize
+
+        old = set_default_pipeline(memo_pipeline)
+        try:
+            result = cached_anonymize(small_civ, method="generalization")
+        finally:
+            set_default_pipeline(old)
+        assert memo_pipeline.stats["anonymize"].computed == 1
+        assert result.method == "generalization"
+        assert len(result.dataset) == len(small_civ)
 
 
 class TestMatrixAndKgapStages:

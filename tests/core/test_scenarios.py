@@ -108,3 +108,43 @@ class TestStreamScenarios:
         params = sc.key_params()
         params["stream"]["window_min"] = 1.0
         assert get_scenario("stream-500").key_params()["stream"]["window_min"] == 720.0
+
+
+class TestMethodAxis:
+    def test_default_method_is_glove(self):
+        sc = get_scenario("smoke")
+        assert sc.method == "glove"
+        assert sc.key_params()["method"] == "glove"
+        assert sc.key_params()["method_options"] is None
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown anonymizer"):
+            Scenario(name="bad", preset="synth-civ", n_users=10, days=1, method="gpu")
+
+    def test_method_options_stored_immutably(self):
+        sc = get_scenario("w4m-attack")
+        assert sc.method == "w4m-lc"
+        assert isinstance(sc.method_options, tuple)
+        assert hash(sc) == hash(sc)
+        assert sc.key_params()["method_options"] == {
+            "delta_m": 2_000.0, "trash_fraction": 0.10,
+        }
+
+    def test_anonymizer_config_built_through_registry(self):
+        from repro.baselines.w4m import W4MConfig
+
+        config = get_scenario("w4m-attack").anonymizer_config()
+        assert isinstance(config, W4MConfig)
+        assert config.k == get_scenario("w4m-attack").k
+        assert config.delta_m == 2_000.0
+
+    def test_glove_scenario_config(self):
+        from repro.core.config import GloveConfig
+
+        config = get_scenario("smoke").anonymizer_config()
+        assert isinstance(config, GloveConfig)
+        assert config.k == 2
+
+    def test_baselines_smoke_scenario_registered(self):
+        sc = get_scenario("baselines-smoke")
+        assert sc.experiments == ("table2",)

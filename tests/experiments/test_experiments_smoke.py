@@ -155,6 +155,92 @@ class TestTable2:
             < rows["w4m"]["mean_position_error_m"]
         )
 
+    def test_extra_methods_join_by_name(self):
+        report = table2.run(
+            n_users=16, days=DAYS, seed=SEED, presets=("synth-civ",), ks=(2,),
+            methods=("w4m-lc", "nwa", "glove"),
+        )
+        rows = report.data["results"][(2, "synth-civ")]
+        assert set(rows) == {"w4m", "nwa", "glove"}
+        # NWA's synchronization fabricates samples at nearly every
+        # published instant — far beyond W4M's resampling.
+        assert rows["nwa"]["created_fraction"] > rows["glove"]["created_fraction"]
+
+
+class TestTable2Caching:
+    """The acceptance invariant: a repeated table2 suite invocation
+    computes each W4M-LC and GLOVE run exactly once (stage counters)."""
+
+    def test_w4m_runs_once_across_repeated_invocation(self):
+        from repro.core.artifacts import ArtifactStore
+        from repro.core.pipeline import Pipeline, set_default_pipeline
+
+        pipeline = Pipeline(ArtifactStore(root=None))
+        old = set_default_pipeline(pipeline)
+        try:
+            for _ in range(2):
+                table2.run(
+                    n_users=16, days=DAYS, seed=SEED, presets=("synth-civ",), ks=(2,)
+                )
+        finally:
+            set_default_pipeline(old)
+        anonymize = pipeline.stats["anonymize"]
+        assert anonymize.computed == 1  # one W4M-LC run for two invocations
+        assert anonymize.requests == 2
+        assert all(count == 1 for count in anonymize.computed_labels.values())
+        assert pipeline.stats["glove"].computed == 1
+        assert pipeline.stats["dataset"].computed == 1
+
+
+class TestScenarioMethodAxis:
+    def test_method_and_options_reach_the_cached_stage(self):
+        import io
+
+        from repro.core.artifacts import ArtifactStore
+        from repro.core.pipeline import Pipeline
+        from repro.experiments.runner import run_experiments
+
+        pipeline = Pipeline(ArtifactStore(root=None))
+        for delta in (2_000.0, 3_000.0):
+            run_experiments(
+                ["uniqueness"], n_users=12, days=1, seed=5, stream=io.StringIO(),
+                pipeline=pipeline, method="w4m-lc", method_options={"delta_m": delta},
+            )
+        # Distinct method_options must reach the method config (hence
+        # distinct artifact keys), not be silently dropped.
+        assert pipeline.stats["anonymize"].computed == 2
+        # The same holds for glove scenarios with options: a non-default
+        # config must reach the glove stage, not fall back to defaults.
+        run_experiments(
+            ["uniqueness"], n_users=12, days=1, seed=5, stream=io.StringIO(),
+            pipeline=pipeline, method="glove", method_options={"reshape": False},
+        )
+        labels = pipeline.stats["glove"].computed_labels
+        assert pipeline.stats["glove"].computed == sum(labels.values())
+        assert pipeline.stats["glove"].computed == 1  # the reshape=False run
+
+
+class TestAttackMatrix:
+    def test_glove_safe_baselines_measured(self):
+        from repro.experiments import attack_matrix
+
+        report = attack_matrix.run(n_users=N, days=DAYS, seed=SEED, k=2)
+        results = report.data["results"]
+        assert set(results) == {"glove", "w4m-lc", "nwa", "generalization"}
+        assert report.data["glove_safe"]
+        assert results["glove"]["min_nonempty_candidates"] >= 2
+        # Legacy uniform generalization leaves users identifiable (the
+        # Fig. 4 finding re-expressed as attack success).
+        assert not results["generalization"]["safe"]
+
+    def test_method_subset(self):
+        from repro.experiments import attack_matrix
+
+        report = attack_matrix.run(
+            n_users=16, days=DAYS, seed=SEED, k=2, methods=("glove",)
+        )
+        assert list(report.data["results"]) == ["glove"]
+
 
 class TestStreamEval:
     def test_window_sweep_structure(self):
@@ -201,6 +287,7 @@ class TestRunner:
             "uniqueness",
             "ablation-weights",
             "stream",
+            "attacks",
         }
 
     def test_parser_defaults(self):

@@ -1,0 +1,74 @@
+"""Baseline anonymizers under the shared k-anonymity harness.
+
+W4M-LC and NWA promise ``(k, delta)``-anonymity: after trashing, every
+published trajectory travels inside a delta-cylinder shared with at
+least ``k - 1`` others.  The group-size half of that promise is exactly
+the invariant :func:`tests.properties.test_k_anonymity.assert_k_anonymous`
+checks for GLOVE and the streaming tier, so the same harness audits the
+baselines' cluster bookkeeping (``stats.group_members``, surfaced as
+``AnonymizationResult.groups``): post-trashing clusters of size >= k,
+no subscriber claimed twice, and the clusters plus the trash partition
+the input population.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.nwa import NWAConfig, nwa
+from repro.baselines.w4m import W4MConfig, w4m_lc
+from repro.core.fingerprint import Fingerprint
+from tests.properties.test_k_anonymity import assert_k_anonymous, populations
+
+#: Cheap W4M settings for hypothesis examples: a coarse LST
+#: discretization and a small time-shift search keep each example fast
+#: without touching the clustering/trashing logic under test.
+_FAST_W4M = dict(sync_points=8, max_time_shift_min=120.0, time_shift_step_min=60.0)
+
+
+def _group_fingerprints(groups):
+    """Present uid-tuple groups to the harness as group fingerprints."""
+    row = np.array([[0.0, 100.0, 0.0, 100.0, 0.0, 1.0]])
+    return [
+        Fingerprint(f"cluster{i}", row, count=len(members), members=tuple(members))
+        for i, members in enumerate(groups)
+    ]
+
+
+def _assert_partition(dataset, result, k):
+    """The shared audit: group sizes, double-claims, trash accounting."""
+    covered = assert_k_anonymous(_group_fingerprints(result.stats.group_members), k)
+    assert covered <= set(dataset.uids)
+    assert len(covered) == dataset.n_users - result.stats.discarded_fingerprints
+    # The published dataset holds exactly the clustered subscribers.
+    assert set(result.dataset.uids) == covered
+
+
+class TestW4MInvariants:
+    @given(populations(max_users=10), st.integers(min_value=2, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_post_trashing_groups_at_least_k(self, dataset, k):
+        result = w4m_lc(dataset, W4MConfig(k=k, **_FAST_W4M))
+        _assert_partition(dataset, result, k)
+
+    @given(populations(max_users=10))
+    @settings(max_examples=15, deadline=None)
+    def test_chunking_preserves_the_invariant(self, dataset):
+        result = w4m_lc(dataset, W4MConfig(k=2, chunk_size=4, **_FAST_W4M))
+        _assert_partition(dataset, result, 2)
+
+
+class TestNWAInvariants:
+    @given(populations(max_users=10), st.integers(min_value=2, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_post_trashing_groups_at_least_k(self, dataset, k):
+        result = nwa(dataset, NWAConfig(k=k, period_min=240.0))
+        _assert_partition(dataset, result, k)
+
+    @given(populations(max_users=8))
+    @settings(max_examples=15, deadline=None)
+    def test_trashing_never_invents_subscribers(self, dataset):
+        result = nwa(dataset, NWAConfig(k=2, trash_fraction=0.4, period_min=240.0))
+        claimed = [uid for g in result.stats.group_members for uid in g]
+        assert len(claimed) == len(set(claimed))
+        assert set(claimed) <= set(dataset.uids)

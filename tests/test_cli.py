@@ -345,6 +345,111 @@ class TestStreamFlagValidation:
         assert "workers must be at least 1" in capsys.readouterr().err
 
 
+class TestMethodAxis:
+    """The --method axis of the anonymize and attack subcommands."""
+
+    def test_glove_method_byte_identical_to_default(self, raw_csv, tmp_path):
+        implicit = tmp_path / "implicit.csv"
+        explicit = tmp_path / "explicit.csv"
+        assert main(["anonymize", str(raw_csv), "-k", "2", "-o", str(implicit)]) == 0
+        assert main(
+            ["anonymize", str(raw_csv), "-k", "2", "--method", "glove",
+             "-o", str(explicit)]
+        ) == 0
+        assert implicit.read_bytes() == explicit.read_bytes()
+
+    def test_w4m_end_to_end(self, raw_csv, tmp_path, capsys):
+        out = tmp_path / "w4m.csv"
+        code = main(
+            ["anonymize", str(raw_csv), "-k", "2", "--method", "w4m-lc",
+             "--delta", "2000", "--trash", "0.1", "-o", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        text = capsys.readouterr().out
+        assert "W4M-LC" in text
+        assert "created" in text
+
+    def test_nwa_and_generalization_run(self, raw_csv, tmp_path):
+        for method, extra in (("nwa", ["--period", "120"]),
+                              ("generalization", ["--grid", "2500", "60"])):
+            out = tmp_path / f"{method}.csv"
+            assert main(
+                ["anonymize", str(raw_csv), "--method", method, *extra,
+                 "-o", str(out)]
+            ) == 0
+            assert out.exists()
+
+    def test_attack_with_method_anonymizes_then_attacks(self, raw_csv, capsys):
+        assert main(["attack", str(raw_csv), "--method", "glove", "-k", "2"]) == 0
+        text = capsys.readouterr().out
+        assert "GLOVE" in text and "SAFE" in text
+
+    def test_attack_rejects_published_file_plus_method(self, raw_csv, capsys):
+        code = main(["attack", str(raw_csv), str(raw_csv), "--method", "glove"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_attack_rejects_method_flags_with_published_file(self, raw_csv, capsys):
+        # Method options only make sense when the attack anonymizes;
+        # silently ignoring them against a published file would hide
+        # user error.
+        code = main(["attack", str(raw_csv), str(raw_csv), "--delta", "2000"])
+        assert code == 2
+        assert "--delta" in capsys.readouterr().err
+
+
+class TestMethodFlagValidation:
+    """Unknown --method and invalid per-method options exit 2."""
+
+    def test_unknown_method_rejected(self, raw_csv, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["anonymize", str(raw_csv), "--method", "gpu",
+                  "-o", str(tmp_path / "x.csv")])
+        assert exc.value.code == 2
+
+    @pytest.mark.parametrize("value", ["0", "-2000"])
+    def test_non_positive_delta_rejected(self, raw_csv, tmp_path, capsys, value):
+        with pytest.raises(SystemExit) as exc:
+            main(["anonymize", str(raw_csv), "--method", "w4m-lc",
+                  "--delta", value, "-o", str(tmp_path / "x.csv")])
+        assert exc.value.code == 2
+        assert "delta_m must be positive" in capsys.readouterr().err
+
+    def test_invalid_trash_fraction_rejected(self, raw_csv, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["anonymize", str(raw_csv), "--method", "nwa",
+                  "--trash", "1.5", "-o", str(tmp_path / "x.csv")])
+        assert exc.value.code == 2
+        assert "trash_fraction" in capsys.readouterr().err
+
+    def test_non_positive_grid_rejected(self, raw_csv, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["anonymize", str(raw_csv), "--method", "generalization",
+                  "--grid", "0", "60", "-o", str(tmp_path / "x.csv")])
+        assert exc.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_flag_of_other_method_rejected(self, raw_csv, tmp_path, capsys):
+        # --period belongs to nwa; --suppress belongs to glove.
+        with pytest.raises(SystemExit) as exc:
+            main(["anonymize", str(raw_csv), "--method", "w4m-lc",
+                  "--period", "30", "-o", str(tmp_path / "x.csv")])
+        assert exc.value.code == 2
+        assert "--period only applies" in capsys.readouterr().err
+        with pytest.raises(SystemExit) as exc:
+            main(["anonymize", str(raw_csv), "--method", "nwa",
+                  "--suppress", "15000", "360", "-o", str(tmp_path / "x.csv")])
+        assert exc.value.code == 2
+        assert "--suppress only applies" in capsys.readouterr().err
+
+    def test_attack_validates_method_options_too(self, raw_csv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["attack", str(raw_csv), "--method", "w4m-lc", "--delta", "-1"])
+        assert exc.value.code == 2
+        assert "delta_m must be positive" in capsys.readouterr().err
+
+
 class TestComputeFlagValidation:
     """Invalid substrate flags must exit 2 with a clear message."""
 
