@@ -15,7 +15,9 @@ larger on beefier machines:
 At session end the suite also emits ``BENCH_glove.json`` at the repo
 root: wall-clock of a seeded 500-fingerprint ``glove()`` run per
 compute backend against the pre-engine dense-matrix baseline
-(:mod:`benchmarks.seed_path`), a 10k+-fingerprint sharded-tier audit,
+(:mod:`benchmarks.seed_path`), a ``kernel`` microbenchmark of the
+per-call ``one_vs_all`` dispatch cost (numpy vs compiled tier, small
+and large target counts), a 10k+-fingerprint sharded-tier audit,
 a ``suite_cached`` record timing a repeated experiment-suite run cold
 vs warm through the artifact pipeline, a ``stream`` record with the
 streaming tier's throughput and per-window latency on the stream-500
@@ -193,6 +195,13 @@ def _run_glove_bench() -> dict:
         "numpy": ComputeConfig(backend="numpy"),
         "process": ComputeConfig(backend="process"),
     }
+    # The compiled tier rides the same identity harness: acceptance is
+    # bitwise equality with the seed path, same as the numpy reference.
+    from repro.core import kernels
+
+    record["kernel_tier"] = kernels.COMPILED_TIER
+    if kernels.COMPILED_AVAILABLE:
+        compute_by_backend["compiled"] = ComputeConfig(backend="compiled")
     for backend, compute in compute_by_backend.items():
         t0 = time.time()
         result = glove(dataset, config, compute)
@@ -226,6 +235,76 @@ def _run_glove_bench() -> dict:
         "k_anonymous": sharded.dataset.is_k_anonymous(config.k),
         "covers_all_users": sharded.dataset.n_users == dataset.n_users,
     }
+    return record
+
+
+def _run_kernel_bench() -> dict:
+    """Per-call dispatch cost of the stretch kernels, numpy vs compiled.
+
+    Times ``one_vs_all`` at a small and a large target count on the
+    glove-500 population — the dispatch-overhead claim behind Issue 6:
+    the greedy loop issues thousands of tiny calls, where the NumPy
+    broadcast kernel's per-call fixed cost dominates the arithmetic.
+    Also cross-checks that every timed call is bitwise equal across the
+    tiers, so the microbenchmark doubles as a parity probe.
+    """
+    import numpy as np
+
+    from repro.core import kernels
+    from repro.core.config import ComputeConfig, StretchConfig
+    from repro.core.engine import CompiledBackend, NumpyBackend
+    from repro.core.pairwise import PaddedFingerprints
+
+    dataset = GLOVE_SCENARIO.synthesize(_PIPELINE)
+    fps = list(dataset)
+    packed = PaddedFingerprints(fps)
+    compute, stretch = ComputeConfig(backend="numpy"), StretchConfig()
+    probe = fps[0]
+
+    backends = {"numpy": NumpyBackend(compute, stretch)}
+    if kernels.COMPILED_AVAILABLE:
+        backends["compiled"] = CompiledBackend(compute, stretch)
+
+    n = len(fps)
+    target_sets = {
+        "small": np.arange(1, min(5, n), dtype=np.int64),
+        "large": np.arange(1, n, dtype=np.int64),
+    }
+    calls_by_size = {"small": 400, "large": 20}
+    record = {
+        "n_fingerprints": n,
+        "m_max": int(packed.data.shape[1]),
+        "kernel_tier": kernels.COMPILED_TIER,
+        "target_counts": {size: int(t.size) for size, t in target_sets.items()},
+        "backends": {},
+    }
+    reference = {
+        size: backends["numpy"].one_vs_all(probe.data, probe.count, packed, targets)
+        for size, targets in target_sets.items()
+    }
+    for name, backend in backends.items():
+        row = {}
+        for size, targets in target_sets.items():
+            calls = calls_by_size[size]
+            out = backend.one_vs_all(probe.data, probe.count, packed, targets)  # warm-up
+            t0 = time.perf_counter()
+            for _ in range(calls):
+                out = backend.one_vs_all(probe.data, probe.count, packed, targets)
+            elapsed = time.perf_counter() - t0
+            per_call = elapsed / calls
+            row[size] = {
+                "per_call_us": round(per_call * 1e6, 1),
+                "per_pair_us": round(per_call / targets.size * 1e6, 2),
+                "calls": calls,
+                "identical_to_numpy": bool(np.array_equal(out, reference[size])),
+            }
+        record["backends"][name] = row
+    if "compiled" in record["backends"]:
+        record["dispatch_speedup_small"] = round(
+            record["backends"]["numpy"]["small"]["per_call_us"]
+            / record["backends"]["compiled"]["small"]["per_call_us"],
+            2,
+        )
     return record
 
 
@@ -436,6 +515,16 @@ def pytest_sessionfinish(session, exitstatus):
         "bench", _bench_record_key("glove", GLOVE_SCENARIO), _run_glove_bench
     )
     origins = {glove_origin}
+    from repro.core import kernels as _kernels
+
+    # Keyed on the resolved kernel tier so installing/removing numba (or
+    # losing the system compiler) forces a re-measure.
+    record["kernel"], origin = _STORE.fetch(
+        "bench",
+        _bench_record_key(f"kernel[{_kernels.COMPILED_TIER}]", GLOVE_SCENARIO),
+        _run_kernel_bench,
+    )
+    origins.add(origin)
     if SHARD_BENCH_USERS > 0:
         record["large_n"], origin = _STORE.fetch(
             "bench", _bench_record_key("large_n", SHARD_SCENARIO), _run_shard_bench
@@ -466,6 +555,12 @@ def pytest_sessionfinish(session, exitstatus):
             f"[BENCH_glove] n={record['n_fingerprints']} seed-path "
             f"{record['seed_path_s']}s, numpy backend x{numpy_speedup}"
         )
+        if record.get("kernel", {}).get("dispatch_speedup_small") is not None:
+            kern = record["kernel"]
+            line += (
+                f"; kernel dispatch x{kern['dispatch_speedup_small']} "
+                f"({kern['kernel_tier']} tier)"
+            )
         if "large_n" in record:
             big = record["large_n"]
             audit = "k-anonymous" if big["k_anonymous"] else "K-ANONYMITY VIOLATED"

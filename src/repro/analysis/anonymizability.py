@@ -23,7 +23,13 @@ from repro.analysis.twi import tail_weight_index
 from repro.baselines.generalization import GeneralizationLevel, generalize_dataset
 from repro.core.config import StretchConfig
 from repro.core.dataset import FingerprintDataset
-from repro.core.kgap import KGapResult, kgap, stretch_decomposition
+from repro.core.kgap import (
+    KGapResult,
+    StretchComponentCache,
+    kgap,
+    kgap_sweep,
+    stretch_decomposition,
+)
 from repro.core.pipeline import cached_kgap, cached_matrix
 
 
@@ -55,16 +61,16 @@ def kgap_curves(
     """k-gap CDFs for several anonymity levels (Fig. 3b).
 
     The pairwise stretch matrix is computed once — through the
-    pipeline's ``matrix`` stage — and shared across all ``k`` values,
-    as the definition of Eq. 11 allows.
+    pipeline's ``matrix`` stage — and the neighbour search once at the
+    largest level via :func:`repro.core.kgap.kgap_sweep`, sharing all
+    the quadratic work across the ``k`` values as the definition of
+    Eq. 11 allows.
     """
     if not ks:
         raise ValueError("ks must be non-empty")
     matrix = cached_matrix(dataset, config)
-    return {
-        k: EmpiricalCDF(kgap(dataset, k=k, config=config, matrix=matrix).gaps)
-        for k in sorted(set(ks))
-    }
+    results = kgap_sweep(dataset, ks, config=config, matrix=matrix)
+    return {k: EmpiricalCDF(result.gaps) for k, result in results.items()}
 
 
 def generalization_sweep(
@@ -91,17 +97,19 @@ def tail_weight_analysis(
     k: int = 2,
     config: StretchConfig = StretchConfig(),
     result: Optional[KGapResult] = None,
+    cache: Optional[StretchComponentCache] = None,
 ) -> Dict[str, np.ndarray]:
     """Per-user TWI of the matched sample-stretch distributions (Fig. 5a).
 
     Returns arrays keyed ``"delta"``, ``"spatial"``, ``"temporal"``:
     the TWI of each user's distribution of total, spatial-component and
     temporal-component sample stretch efforts toward his ``k-1``
-    nearest fingerprints.
+    nearest fingerprints.  A shared ``cache`` lets sibling analyses (or
+    a k-sweep) reuse the per-pair matched components.
     """
     if result is None:
         result = cached_kgap(dataset, k=k, config=config)
-    decomp = stretch_decomposition(dataset, result, config)
+    decomp = stretch_decomposition(dataset, result, config, cache=cache)
     return {
         "delta": np.array([tail_weight_index(d.delta) for d in decomp]),
         "spatial": np.array([tail_weight_index(d.spatial) for d in decomp]),
@@ -114,13 +122,15 @@ def temporal_ratio_cdf(
     k: int = 2,
     config: StretchConfig = StretchConfig(),
     result: Optional[KGapResult] = None,
+    cache: Optional[StretchComponentCache] = None,
 ) -> EmpiricalCDF:
     """CDF of the temporal share of the anonymization cost (Fig. 5b).
 
     Values above 0.5 mean the temporal stretch exceeds the spatial one;
-    the paper reports this for ~95% of fingerprints.
+    the paper reports this for ~95% of fingerprints.  A shared ``cache``
+    lets sibling analyses reuse the per-pair matched components.
     """
     if result is None:
         result = cached_kgap(dataset, k=k, config=config)
-    decomp = stretch_decomposition(dataset, result, config)
+    decomp = stretch_decomposition(dataset, result, config, cache=cache)
     return EmpiricalCDF(np.array([d.temporal_to_spatial_ratio for d in decomp]))

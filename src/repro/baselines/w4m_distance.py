@@ -16,6 +16,7 @@ comparator of the paper's Table 2.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
@@ -28,6 +29,30 @@ DISJOINT_PENALTY_M_PER_MIN = 1_000.0
 
 #: Timestamps per pair used to discretize the common window.
 DEFAULT_SYNC_POINTS = 48
+
+
+def _interp_positions(
+    times: np.ndarray, t: np.ndarray, x: np.ndarray, y: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``np.interp`` of both coordinates, hardened against slope overflow.
+
+    ``np.interp``'s interior slope ``(f[i+1] - f[i]) / (t[i+1] - t[i])``
+    overflows to ``+-inf`` when a segment's time step is subnormal,
+    leaking ``inf``/``NaN`` positions into the distance.  Such query
+    times sit (to double precision) *on* the degenerate segment, so the
+    repair snaps them to the nearest sample in time.
+    """
+    px = np.interp(times, t, x)
+    py = np.interp(times, t, y)
+    bad = np.flatnonzero(~(np.isfinite(px) & np.isfinite(py)))
+    if bad.size:
+        tb = times[bad]
+        hi = np.clip(np.searchsorted(t, tb), 1, t.shape[0] - 1)
+        lo = hi - 1
+        nearest = np.where(tb - t[lo] <= t[hi] - tb, lo, hi)
+        px[bad] = x[nearest]
+        py[bad] = y[nearest]
+    return px, py
 
 
 @dataclass(frozen=True)
@@ -71,8 +96,7 @@ class PointTrajectory:
         position (the object "waits" at its known location, W4M's
         uncertainty semantics).
         """
-        px = np.interp(times, self.t, self.x)
-        py = np.interp(times, self.t, self.y)
+        px, py = _interp_positions(times, self.t, self.x, self.y)
         return np.column_stack([px, py])
 
     @classmethod
@@ -181,8 +205,9 @@ def lst_distance_matrix(
                 rows = np.flatnonzero(ids == t)
                 queries = times[rows].ravel()
                 tr = trajs[int(t)]
-                px[rows] = np.interp(queries, tr.t, tr.x).reshape(rows.size, sync_points)
-                py[rows] = np.interp(queries, tr.t, tr.y).reshape(rows.size, sync_points)
+                qx, qy = _interp_positions(queries, tr.t, tr.x, tr.y)
+                px[rows] = qx.reshape(rows.size, sync_points)
+                py[rows] = qy.reshape(rows.size, sync_points)
         dist = np.hypot(ax - bx, ay - by)
         # Per-row 1-D means: an axis reduction may carry its pairwise-
         # summation blocking across row boundaries and drift ~1e-12

@@ -37,7 +37,13 @@ from repro.core.engine import (
 )
 from repro.core.fingerprint import Fingerprint
 from repro.core.glove import GloveResult, GloveStats, glove
-from repro.core.kgap import KGapResult, kgap, stretch_decomposition
+from repro.core.kgap import (
+    KGapResult,
+    StretchComponentCache,
+    kgap,
+    kgap_sweep,
+    stretch_decomposition,
+)
 from repro.core.merge import merge_fingerprints
 from repro.core.pairwise import PaddedFingerprints, one_vs_all, pairwise_matrix
 from repro.core.parallel import parallel_pairwise_matrix
@@ -104,7 +110,9 @@ __all__ = [
     "partition_indices",
     "resolve_shards",
     "kgap",
+    "kgap_sweep",
     "KGapResult",
+    "StretchComponentCache",
     "stretch_decomposition",
     "sample_stretch",
     "fingerprint_stretch",

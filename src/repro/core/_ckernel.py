@@ -1,0 +1,327 @@
+"""System-compiler binding of the stretch kernels (the ``cc`` tier).
+
+:mod:`repro.core.kernels` defines the scalar Eq. 10 kernels once and
+binds them to the fastest available tier: ``numba`` when the
+``[compiled]`` extra is installed, otherwise — via this module — a
+shared library built on demand with the system C compiler and called
+through :mod:`ctypes`.  The C text below is a line-for-line
+transliteration of the pure-Python kernels (same operation order, same
+tie rules, same pairwise summation), compiled with ``-ffp-contract=off``
+so no FMA contraction or reassociation can change a result bit.
+
+The build is content-addressed: the shared object is cached under the
+artifact root (``default_artifact_dir()/ckernel``) keyed by a digest of
+the C source and flags, so each source revision compiles exactly once
+per machine.  Every failure mode — no compiler, compile error, load
+error, ``REPRO_CC_KERNEL=0`` — degrades to ``LIB = None`` and the
+callers fall back to the pure tier.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.core.artifacts import default_artifact_dir
+
+C_SOURCE = r"""
+#include <math.h>
+#include <stdint.h>
+#include <stdlib.h>
+
+#define NCOLS 6
+#define XCOL 0
+#define DXCOL 1
+#define YCOL 2
+#define DYCOL 3
+#define TCOL 4
+#define DTCOL 5
+
+/* NumPy's pairwise summation: sequential below 8 elements, an
+ * 8-accumulator unrolled tree up to the 128-element block size,
+ * recursive halving above with the split rounded down to a multiple
+ * of 8.  Identical operation order => identical bits. */
+static double psum(const double *a, int64_t n)
+{
+    if (n <= 128) {
+        if (n < 8) {
+            double res = 0.0;
+            for (int64_t i = 0; i < n; i++)
+                res += a[i];
+            return res;
+        }
+        double r0 = a[0], r1 = a[1], r2 = a[2], r3 = a[3];
+        double r4 = a[4], r5 = a[5], r6 = a[6], r7 = a[7];
+        int64_t i = 8;
+        for (; i + 8 <= n; i += 8) {
+            r0 += a[i];
+            r1 += a[i + 1];
+            r2 += a[i + 2];
+            r3 += a[i + 3];
+            r4 += a[i + 4];
+            r5 += a[i + 5];
+            r6 += a[i + 6];
+            r7 += a[i + 7];
+        }
+        double res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7));
+        for (; i < n; i++)
+            res += a[i];
+        return res;
+    }
+    int64_t n2 = n / 2;
+    n2 -= n2 % 8;
+    return psum(a, n2) + psum(a + n2, n - n2);
+}
+
+/* One Eq. 10 effort.  Ternaries mirror NumPy's maximum/minimum tie
+ * rule (in1 OP in2 ? in1 : in2) so -0.0 never replaces the
+ * reference's +0.0.  The inner loop is branchless struct-of-arrays:
+ * every per-cell value is an independent elementwise function and the
+ * two reductions are exact minima, so the compiler's SIMD
+ * vectorization cannot change a bit (FMA contraction is disabled by
+ * the build flags).  sa/sb must hold pad_width zeros on entry and are
+ * re-zeroed before returning; tb needs 9*m_max scratch doubles for
+ * the hoisted per-target-row precomputes and the per-row effort
+ * buffer (the row minimum is reduced in a separate scalar pass —
+ * keeping the reduction out of the hot loop is what lets the
+ * compiler vectorize it under strict IEEE rules). */
+static double pair_effort(
+    const double *restrict a, int64_t ma, double n_a,
+    const double *restrict b, int64_t mb, double n_b,
+    double *restrict sa, double *restrict sb, double *restrict tb,
+    int64_t t_stride, int64_t pad_width,
+    double w_sigma, double w_tau, double phi_sigma, double phi_tau)
+{
+    double w_a = n_a / (n_a + n_b);
+    double w_b = n_b / (n_a + n_b);
+    /* The slices are disjoint (mb <= t_stride), so restrict holds. */
+    double *restrict t_bx = tb;
+    double *restrict t_bhx = tb + t_stride;
+    double *restrict t_by = tb + 2 * t_stride;
+    double *restrict t_bhy = tb + 3 * t_stride;
+    double *restrict t_bt = tb + 4 * t_stride;
+    double *restrict t_bht = tb + 5 * t_stride;
+    double *restrict t_wbe = tb + 6 * t_stride;
+    double *restrict t_wbt = tb + 7 * t_stride;
+    double *restrict dbuf = tb + 8 * t_stride;
+    for (int64_t i = 0; i < ma; i++)
+        sa[i] = INFINITY;
+    for (int64_t j = 0; j < mb; j++) {
+        const double *br = b + j * NCOLS;
+        sb[j] = INFINITY;
+        t_bx[j] = br[XCOL];
+        t_bhx[j] = br[XCOL] + br[DXCOL];
+        t_by[j] = br[YCOL];
+        t_bhy[j] = br[YCOL] + br[DYCOL];
+        t_bt[j] = br[TCOL];
+        t_bht[j] = br[TCOL] + br[DTCOL];
+        t_wbe[j] = w_b * (br[DXCOL] + br[DYCOL]);
+        t_wbt[j] = w_b * br[DTCOL];
+    }
+    for (int64_t i = 0; i < ma; i++) {
+        const double *ar = a + i * NCOLS;
+        double axi = ar[XCOL], ayi = ar[YCOL], ati = ar[TCOL];
+        double ahx = axi + ar[DXCOL];
+        double ahy = ayi + ar[DYCOL];
+        double aht = ati + ar[DTCOL];
+        double wa_ext = w_a * (ar[DXCOL] + ar[DYCOL]);
+        double wa_t = w_a * ar[DTCOL];
+        for (int64_t j = 0; j < mb; j++) {
+            double bxj = t_bx[j], bhx = t_bhx[j];
+            double byj = t_by[j], bhy = t_bhy[j];
+            double btj = t_bt[j], bht = t_bht[j];
+            double ux = (ahx > bhx ? ahx : bhx) - (axi < bxj ? axi : bxj);
+            double uy = (ahy > bhy ? ahy : bhy) - (ayi < byj ? ayi : byj);
+            double ut = (aht > bht ? aht : bht) - (ati < btj ? ati : btj);
+            double raw_s = (ux + uy) - (wa_ext + t_wbe[j]);
+            raw_s = raw_s > 0.0 ? raw_s : 0.0;
+            double raw_t = ut - (wa_t + t_wbt[j]);
+            raw_t = raw_t > 0.0 ? raw_t : 0.0;
+            double s_term = raw_s / phi_sigma;
+            s_term = s_term < 1.0 ? s_term : 1.0;
+            double t_term = raw_t / phi_tau;
+            t_term = t_term < 1.0 ? t_term : 1.0;
+            double d = w_sigma * s_term + w_tau * t_term;
+            dbuf[j] = d;
+            sb[j] = d < sb[j] ? d : sb[j];
+        }
+        double row_min = INFINITY;
+        for (int64_t j = 0; j < mb; j++)
+            row_min = dbuf[j] < row_min ? dbuf[j] : row_min;
+        sa[i] = row_min;
+    }
+    double mean_a = psum(sa, pad_width) / (double)ma;
+    double mean_b = psum(sb, pad_width) / (double)mb;
+    for (int64_t i = 0; i < ma; i++)
+        sa[i] = 0.0;
+    for (int64_t j = 0; j < mb; j++)
+        sb[j] = 0.0;
+    if (ma > mb)
+        return mean_a;
+    if (mb > ma)
+        return mean_b;
+    return (mean_a + mean_b) / 2.0;
+}
+
+int glove_one_vs_all(
+    const double *a_data, int64_t ma, double n_a,
+    const double *data, int64_t m_max,
+    const int64_t *lengths, const int64_t *counts,
+    const int64_t *targets, int64_t n_targets,
+    double w_sigma, double w_tau, double phi_sigma, double phi_tau,
+    double *out)
+{
+    int64_t pad_width = ma > m_max ? ma : m_max;
+    double *sa = calloc((size_t)pad_width, sizeof(double));
+    double *sb = calloc((size_t)pad_width, sizeof(double));
+    double *tb = malloc((size_t)(9 * m_max) * sizeof(double));
+    if (sa == NULL || sb == NULL || tb == NULL) {
+        free(sa);
+        free(sb);
+        free(tb);
+        return -1;
+    }
+    for (int64_t idx = 0; idx < n_targets; idx++) {
+        int64_t t = targets[idx];
+        out[idx] = pair_effort(
+            a_data, ma, n_a,
+            data + t * m_max * NCOLS, lengths[t], (double)counts[t],
+            sa, sb, tb, m_max, pad_width,
+            w_sigma, w_tau, phi_sigma, phi_tau);
+    }
+    free(sa);
+    free(sb);
+    free(tb);
+    return 0;
+}
+
+/* mat must arrive prefilled with +inf (the diagonal stays that way). */
+int glove_pairwise_matrix(
+    const double *data, int64_t n, int64_t m_max,
+    const int64_t *lengths, const int64_t *counts,
+    double w_sigma, double w_tau, double phi_sigma, double phi_tau,
+    double *mat)
+{
+    double *sa = calloc((size_t)m_max, sizeof(double));
+    double *sb = calloc((size_t)m_max, sizeof(double));
+    double *tb = malloc((size_t)(9 * m_max) * sizeof(double));
+    if (sa == NULL || sb == NULL || tb == NULL) {
+        free(sa);
+        free(sb);
+        free(tb);
+        return -1;
+    }
+    for (int64_t i = 0; i + 1 < n; i++) {
+        const double *a = data + i * m_max * NCOLS;
+        double n_a = (double)counts[i];
+        for (int64_t j = i + 1; j < n; j++) {
+            double v = pair_effort(
+                a, lengths[i], n_a,
+                data + j * m_max * NCOLS, lengths[j], (double)counts[j],
+                sa, sb, tb, m_max, m_max,
+                w_sigma, w_tau, phi_sigma, phi_tau);
+            mat[i * n + j] = v;
+            mat[j * n + i] = v;
+        }
+    }
+    free(sa);
+    free(sb);
+    free(tb);
+    return 0;
+}
+"""
+
+#: ``-ffp-contract=off`` forbids FMA contraction — with it off, SIMD
+#: add/sub/mul/div/min/max are bit-identical to their scalar forms, so
+#: ``-march=native`` vectorization cannot change results; the explicit
+#: IEEE flags guard against distributions that alias ``cc`` to
+#: something exotic.  ``-march=native`` is dropped on compilers that
+#: reject it (the artifact cache is per-machine, so tuning is safe).
+CFLAGS = ("-O3", "-fPIC", "-shared", "-ffp-contract=off", "-fno-fast-math")
+NATIVE_FLAG = "-march=native"
+
+
+def _cache_path() -> Path:
+    digest = hashlib.sha256(
+        (C_SOURCE + " ".join(CFLAGS) + NATIVE_FLAG).encode()
+    ).hexdigest()[:16]
+    return default_artifact_dir() / "ckernel" / f"stretch_{digest}.so"
+
+
+def _compile(cache: Path) -> bool:
+    compiler = shutil.which(os.environ.get("CC", "cc"))
+    if compiler is None:
+        return False
+    cache.parent.mkdir(parents=True, exist_ok=True)
+    # Build in a scratch dir, then rename into place: concurrent
+    # processes race benignly (last rename wins, same content).
+    with tempfile.TemporaryDirectory(dir=cache.parent) as td:
+        src = Path(td) / "stretch.c"
+        obj = Path(td) / "stretch.so"
+        src.write_text(C_SOURCE)
+        for flags in ((*CFLAGS, NATIVE_FLAG), CFLAGS):
+            try:
+                subprocess.run(
+                    [compiler, *flags, str(src), "-o", str(obj)],
+                    check=True,
+                    capture_output=True,
+                    timeout=120,
+                )
+            except (OSError, subprocess.SubprocessError):
+                continue
+            os.replace(obj, cache)
+            return True
+    return False
+
+
+def _bind(lib: ctypes.CDLL) -> ctypes.CDLL:
+    import numpy.ctypeslib as npc
+
+    f64 = npc.ndpointer(dtype="float64", flags="C_CONTIGUOUS")
+    i64 = npc.ndpointer(dtype="int64", flags="C_CONTIGUOUS")
+    c_i64 = ctypes.c_int64
+    c_f64 = ctypes.c_double
+    lib.glove_one_vs_all.restype = ctypes.c_int
+    lib.glove_one_vs_all.argtypes = [
+        f64, c_i64, c_f64,                 # a_data, ma, n_a
+        f64, c_i64,                        # data, m_max
+        i64, i64,                          # lengths, counts
+        i64, c_i64,                        # targets, n_targets
+        c_f64, c_f64, c_f64, c_f64,        # w_sigma, w_tau, phis
+        f64,                               # out
+    ]
+    lib.glove_pairwise_matrix.restype = ctypes.c_int
+    lib.glove_pairwise_matrix.argtypes = [
+        f64, c_i64, c_i64,                 # data, n, m_max
+        i64, i64,                          # lengths, counts
+        c_f64, c_f64, c_f64, c_f64,        # w_sigma, w_tau, phis
+        f64,                               # mat
+    ]
+    return lib
+
+
+def load() -> Optional[ctypes.CDLL]:
+    """Compile (once per source revision) and load the shared library.
+
+    Returns ``None`` — and the callers fall back to the pure tier —
+    when the tier is disabled via ``REPRO_CC_KERNEL=0`` or any build
+    step fails.
+    """
+    if os.environ.get("REPRO_CC_KERNEL", "1") == "0":
+        return None
+    try:
+        cache = _cache_path()
+        if not cache.exists() and not _compile(cache):
+            return None
+        return _bind(ctypes.CDLL(str(cache)))
+    except (OSError, ValueError):
+        return None
+
+
+LIB = load()

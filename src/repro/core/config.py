@@ -36,10 +36,13 @@ class ComputeConfig:
     ----------
     backend:
         Name of a registered compute backend: ``"numpy"`` (single
-        process, chunked broadcasting), ``"process"`` (multi-core pool),
-        ``"auto"`` (pick by workload size), or ``"sharded"`` (partition
-        the population, anonymize shards concurrently, repair the
-        boundaries).  Extensible through
+        process, chunked broadcasting), ``"compiled"`` (JIT/C scalar
+        kernels over the same padded layout; requires the ``[compiled]``
+        extra or a system C compiler), ``"process"`` (multi-core pool),
+        ``"auto"`` (pick by workload size, preferring the compiled tier
+        when available), or ``"sharded"`` (partition the population,
+        anonymize shards concurrently, repair the boundaries).  All
+        tiers are byte-identical (DESIGN.md D9).  Extensible through
         :func:`repro.core.engine.register_backend`.
     chunk:
         Fingerprints per broadcast chunk in the bulk kernels.

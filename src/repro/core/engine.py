@@ -9,8 +9,10 @@ algorithm:
   lifecycle (append/retire) shared by every backend;
 * :class:`StretchBackend` implementations execute the bulk Eq. 10
   kernels — ``numpy`` (chunked broadcasting), ``process`` (multi-core
-  pool, absorbed from the former ``repro.core.parallel`` API) and
-  ``auto`` (workload-size dispatch); new tiers (sharded, GPU) register
+  pool, absorbed from the former ``repro.core.parallel`` API),
+  ``compiled`` (numba-JIT scalar kernels, optional ``[compiled]``
+  extra) and ``auto`` (workload-size dispatch, preferring the compiled
+  tier inline when importable); new tiers (sharded, GPU) register
   through :func:`register_backend`;
 * :class:`StretchEngine` ties a store to a backend and adds the cheap
   bounding-box lower bounds on fingerprint stretch that let callers
@@ -30,9 +32,10 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.config import ComputeConfig, StretchConfig
 from repro.core.fingerprint import Fingerprint
-from repro.core.pairwise import PaddedFingerprints, one_vs_all
+from repro.core.pairwise import PaddedFingerprints, many_vs_all, many_vs_some, one_vs_all
 from repro.core.sample import DT, DX, DY, NCOLS, T, X, Y
 
 # ----------------------------------------------------------------------
@@ -188,6 +191,13 @@ class StretchBackend(abc.ABC):
 
     name: str = "?"
 
+    #: True when the backend's exact kernel is cheap enough that the
+    #: engine's level-1 bucket bounds cost more to compute than the
+    #: exact evaluations they would prune.  Callers walking candidates
+    #: may drop that refinement level — pruning tightness never changes
+    #: outputs, only which evaluations run (DESIGN.md D7/D9).
+    fast_exact: bool = False
+
     def __init__(self, compute: ComputeConfig, stretch: StretchConfig):
         self.compute = compute
         self.stretch = stretch
@@ -205,6 +215,54 @@ class StretchBackend(abc.ABC):
     @abc.abstractmethod
     def pairwise_matrix(self, packed) -> np.ndarray:
         """Full symmetric ``Delta`` matrix with ``+inf`` diagonal."""
+
+    def many_vs_all(
+        self,
+        probes: Sequence[np.ndarray],
+        probe_counts: Sequence[int],
+        packed,
+        targets: np.ndarray,
+    ) -> np.ndarray:
+        """Eq. 10 efforts from several probes to one shared target set.
+
+        Returns a ``(P, len(targets))`` matrix whose row ``p`` equals
+        :meth:`one_vs_all` of probe ``p`` (bitwise).  The default stacks
+        per-probe rows through the subclass's own :meth:`one_vs_all`,
+        so every backend stays value-transparent; tiers with a cheaper
+        multi-probe path (shared target gathers) override it.
+        """
+        targets = np.asarray(targets, dtype=np.int64)
+        if not len(probes):
+            return np.empty((0, targets.size), dtype=np.float64)
+        return np.stack(
+            [
+                self.one_vs_all(p, int(c), packed, targets)
+                for p, c in zip(probes, probe_counts)
+            ]
+        )
+
+    def many_vs_some(
+        self,
+        probes: Sequence[np.ndarray],
+        probe_counts: Sequence[int],
+        packed,
+        targets_list: Sequence[np.ndarray],
+    ) -> List[np.ndarray]:
+        """Ragged multi-probe dispatch: probe ``p`` vs its own subset.
+
+        Entry ``p`` of the result is bitwise equal to :meth:`one_vs_all`
+        of probe ``p`` against ``targets_list[p]``.  The batched merge
+        frontier in :mod:`repro.core.glove` uses this to coalesce all
+        refresh scans of one iteration into a single dispatch.
+        """
+        out = []
+        for p, c, t in zip(probes, probe_counts, targets_list):
+            t = np.asarray(t, dtype=np.int64)
+            if t.size == 0:
+                out.append(np.empty(0, dtype=np.float64))
+            else:
+                out.append(self.one_vs_all(p, int(c), packed, t))
+        return out
 
     def close(self) -> None:
         """Release pooled resources (idempotent)."""
@@ -230,6 +288,21 @@ class NumpyBackend(StretchBackend):
             self.stretch,
             indices=targets,
             chunk=self.compute.chunk,
+        )
+
+    def many_vs_all(self, probes, probe_counts, packed, targets):
+        targets = np.asarray(targets, dtype=np.int64)
+        if not len(probes):
+            return np.empty((0, targets.size), dtype=np.float64)
+        return many_vs_all(
+            probes, probe_counts, packed, self.stretch,
+            indices=targets, chunk=self.compute.chunk,
+        )
+
+    def many_vs_some(self, probes, probe_counts, packed, targets_list):
+        return many_vs_some(
+            probes, probe_counts, packed, targets_list,
+            self.stretch, chunk=self.compute.chunk,
         )
 
     def pairwise_matrix(self, packed):
@@ -392,14 +465,59 @@ class ProcessBackend(StretchBackend):
             self._pool = None
 
 
+class CompiledBackend(StretchBackend):
+    """Compiled kernel tier over the same padded tensor layout.
+
+    Wraps the accelerated :mod:`repro.core.kernels` binding — numba
+    JIT with the ``[compiled]`` packaging extra, otherwise a shared
+    library built with the system C compiler (the ``cc`` tier, see
+    :mod:`repro.core._ckernel`).  Byte-identical to the NumPy
+    reference by construction — the scalar kernel replicates the
+    broadcast kernel's operation order including NumPy's pairwise
+    summation (DESIGN.md D9) — so selecting it changes wall time only,
+    never a single output bit.
+    """
+
+    name = "compiled"
+    fast_exact = True
+
+    def __init__(self, compute: ComputeConfig, stretch: StretchConfig):
+        super().__init__(compute, stretch)
+        if not kernels.COMPILED_AVAILABLE:
+            raise RuntimeError(
+                "backend 'compiled' has no accelerated binding: numba is not "
+                "importable (install the [compiled] extra: pip install "
+                "'glove-repro[compiled]') and no system C compiler is "
+                "available; select the 'numpy' / 'auto' backend instead"
+            )
+
+    def _args(self):
+        cfg = self.stretch
+        return cfg.w_sigma, cfg.w_tau, cfg.phi_max_sigma_m, cfg.phi_max_tau_min
+
+    def one_vs_all(self, probe_data, probe_count, packed, targets):
+        targets = np.asarray(targets, dtype=np.int64)
+        return kernels.one_vs_all_arrays(
+            np.ascontiguousarray(probe_data), float(probe_count),
+            packed.data, packed.lengths, packed.counts, targets, *self._args(),
+        )
+
+    def pairwise_matrix(self, packed):
+        return kernels.pairwise_matrix_arrays(
+            packed.data, packed.lengths, packed.counts, *self._args()
+        )
+
+
 class AutoBackend(StretchBackend):
     """Workload-size dispatch between the registered compute tiers.
 
-    Small workloads stay on the in-process NumPy kernels; full matrix
-    builds over at least ``parallel_matrix_threshold`` fingerprints and
-    one-vs-all calls over at least ``parallel_targets_threshold``
-    targets go to the process pool (when more than one worker is
-    available).
+    Small workloads stay on the inline kernels — the compiled tier when
+    the ``[compiled]`` extra is importable, the NumPy reference
+    otherwise (both byte-identical, so the preference is invisible in
+    results).  Full matrix builds over at least
+    ``parallel_matrix_threshold`` fingerprints and one-vs-all calls
+    over at least ``parallel_targets_threshold`` targets go to the
+    process pool (when more than one worker is available).
     """
 
     name = "auto"
@@ -408,6 +526,15 @@ class AutoBackend(StretchBackend):
         super().__init__(compute, stretch)
         self.workers = _effective_workers(compute)
         self._numpy = NumpyBackend(compute, stretch)
+        # Inline tier: the compiled kernels when an accelerated binding
+        # exists (numba extra or system-cc build), the NumPy reference
+        # otherwise.  Byte-identity across tiers (enforced by the
+        # parity suite) keeps the switch value-transparent.
+        if kernels.COMPILED_AVAILABLE:
+            self._inline: StretchBackend = CompiledBackend(compute, stretch)
+            self.fast_exact = True
+        else:
+            self._inline = self._numpy
         self._process: Optional[ProcessBackend] = None
 
     def _pooled(self) -> ProcessBackend:
@@ -419,12 +546,18 @@ class AutoBackend(StretchBackend):
         targets = np.asarray(targets, dtype=np.int64)
         if self.workers > 1 and targets.size >= self.compute.parallel_targets_threshold:
             return self._pooled().one_vs_all(probe_data, probe_count, packed, targets)
-        return self._numpy.one_vs_all(probe_data, probe_count, packed, targets)
+        return self._inline.one_vs_all(probe_data, probe_count, packed, targets)
+
+    def many_vs_all(self, probes, probe_counts, packed, targets):
+        return self._inline.many_vs_all(probes, probe_counts, packed, targets)
+
+    def many_vs_some(self, probes, probe_counts, packed, targets_list):
+        return self._inline.many_vs_some(probes, probe_counts, packed, targets_list)
 
     def pairwise_matrix(self, packed):
         if self.workers > 1 and len(packed) >= self.compute.parallel_matrix_threshold:
             return self._pooled().pairwise_matrix(packed)
-        return self._numpy.pairwise_matrix(packed)
+        return self._inline.pairwise_matrix(packed)
 
     def close(self) -> None:
         if self._process is not None:
@@ -440,6 +573,7 @@ BackendFactory = Callable[[ComputeConfig, StretchConfig], StretchBackend]
 _BACKENDS: Dict[str, BackendFactory] = {
     "numpy": NumpyBackend,
     "process": ProcessBackend,
+    "compiled": CompiledBackend,
     "auto": AutoBackend,
 }
 
@@ -556,6 +690,11 @@ class StretchEngine:
         self.store = SlotStore(fingerprints)
         self.backend = create_backend(self.compute, stretch)
         self.pruning = self.compute.pruning
+        # With a compiled exact kernel the level-1 bucket refinement
+        # costs more than the (at most one batch of) evaluations it
+        # prunes, so walkers consult this flag and stop at level 0.
+        # Bound tightness never changes outputs, only eval counts.
+        self.lb1_pruning = self.pruning and not self.backend.fast_exact
         if self.pruning:
             self._init_bounds()
 
@@ -578,6 +717,36 @@ class StretchEngine:
         targets = np.asarray(targets, dtype=np.int64)
         return self.backend.one_vs_all(
             self.store.probe(slot), int(self.store.counts[slot]), self.store, targets
+        )
+
+    def rows(self, slots: Sequence[int], targets: np.ndarray) -> np.ndarray:
+        """Exact efforts from several live slots to one shared target set.
+
+        Returns a ``(len(slots), len(targets))`` matrix; row ``p`` is
+        bitwise equal to :meth:`row` of ``slots[p]``.
+        """
+        targets = np.asarray(targets, dtype=np.int64)
+        store = self.store
+        return self.backend.many_vs_all(
+            [store.probe(int(s)) for s in slots],
+            [int(store.counts[s]) for s in slots],
+            store, targets,
+        )
+
+    def rows_some(
+        self, slots: Sequence[int], targets_list: Sequence[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Exact efforts from several live slots, each to its own targets.
+
+        The ragged multi-probe dispatch behind the batched merge
+        frontier: entry ``p`` is bitwise equal to :meth:`row` of
+        ``slots[p]`` against ``targets_list[p]``.
+        """
+        store = self.store
+        return self.backend.many_vs_some(
+            [store.probe(int(s)) for s in slots],
+            [int(store.counts[s]) for s in slots],
+            store, targets_list,
         )
 
     def pairwise_matrix(self) -> np.ndarray:
@@ -653,6 +822,25 @@ class StretchEngine:
             cfg.w_tau * np.minimum(gt / cfg.phi_max_tau_min, 1.0)
         )
 
+    def hull_lower_bounds_many(
+        self, slots: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        """Level-0 bounds for several probe slots at once: ``(P, T)``.
+
+        Row ``p`` is bitwise equal to :meth:`hull_lower_bounds` of
+        ``slots[p]`` (pure elementwise arithmetic), computed in one
+        broadcast instead of ``P`` dispatches.
+        """
+        h = self._hull[np.asarray(slots, dtype=np.int64)][:, None, :]  # (P, 1, 6)
+        H = self._hull[targets][None, :, :]  # (1, T, 6)
+        gx = _interval_gap(h[..., 0], h[..., 1], H[..., 0], H[..., 1])
+        gy = _interval_gap(h[..., 2], h[..., 3], H[..., 2], H[..., 3])
+        gt = _interval_gap(h[..., 4], h[..., 5], H[..., 4], H[..., 5])
+        cfg = self.stretch
+        return cfg.w_sigma * np.minimum((gx + gy) / cfg.phi_max_sigma_m, 1.0) + (
+            cfg.w_tau * np.minimum(gt / cfg.phi_max_tau_min, 1.0)
+        )
+
     def bucket_lower_bounds(self, slot: int, targets: np.ndarray) -> np.ndarray:
         """Level-1 bound: samples vs per-time-bucket hulls, O(m·B)/pair.
 
@@ -712,17 +900,31 @@ class StretchEngine:
         return out
 
     def _lb_target_samples(self, slot: int, targets: np.ndarray) -> np.ndarray:
-        """Masked mean over target samples of the min bound to probe buckets."""
+        """Masked mean over target samples of the min bound to probe buckets.
+
+        Targets are grouped by length so the broadcast work is sliced to
+        each block's own maximum sample count; the final mean still sums
+        a zero-padded width-``m_max`` array, so every bound value is
+        bitwise independent of the block composition (same argument as
+        :func:`repro.core.pairwise._chunk_efforts`).
+        """
         occ = self._bucket_occ[slot]
         hulls = self._bucket_hull[slot][occ]  # (Bo, 6)
         n_b = hulls.shape[0]
         m_max = self.store.m_max
         out = np.empty(targets.size)
+        order = (
+            np.argsort(self.store.lengths[targets], kind="stable")
+            if targets.size > 1
+            else np.arange(targets.size)
+        )
         block = max(1, (1 << 21) // max(m_max * n_b, 1))
         for start in range(0, targets.size, block):
-            sel = targets[start : start + block]
-            d = self.store.data[sel]  # (C, m_max, 6)
-            mask = self.store.mask[sel]
+            pos = order[start : start + block]
+            sel = targets[pos]
+            width = int(self.store.lengths[sel].max())
+            d = self.store.data[sel, :width]  # (C, W, 6)
+            mask = self.store.mask[sel, :width]
             s_lo = np.stack([d[:, :, X], d[:, :, Y], d[:, :, T]], axis=-1)
             s_hi = np.stack(
                 [d[:, :, X] + d[:, :, DX], d[:, :, Y] + d[:, :, DY], d[:, :, T] + d[:, :, DT]],
@@ -730,10 +932,10 @@ class StretchEngine:
             )
             lb = self._sample_bucket_lb(
                 s_lo[:, :, None, :], s_hi[:, :, None, :], hulls[None, None, :, :], True
-            )  # (C, m_max, Bo)
-            per_sample = lb.min(axis=2)
-            per_sample = np.where(mask, per_sample, 0.0)
-            out[start : start + sel.size] = per_sample.sum(axis=1) / self.store.lengths[sel]
+            )  # (C, W, Bo)
+            per_sample = np.zeros((sel.size, m_max), dtype=np.float64)
+            per_sample[:, :width] = np.where(mask, lb.min(axis=2), 0.0)
+            out[pos] = per_sample.sum(axis=1) / self.store.lengths[sel]
         return out
 
     # -- resource management -------------------------------------------

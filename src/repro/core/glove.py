@@ -105,6 +105,11 @@ class GloveResult:
 #: Candidates per exact-kernel batch in the pruned best-first scans.
 _SCAN_BATCH = 32
 
+#: Probe slots per multi-probe block in the triangular initial build.
+#: Larger blocks coalesce more dispatches but see staler candidate
+#: bests (more non-prunable evaluations); 8 balances the two.
+_BUILD_BLOCK = 8
+
 
 class _NearestNeighbours:
     """Lazy per-slot nearest-neighbour cache over a stretch engine.
@@ -154,6 +159,52 @@ class _NearestNeighbours:
     def refresh(self, slot: int, candidates: np.ndarray) -> None:
         """Re-derive a slot's cached neighbour from scratch."""
         self.best_val[slot], self.best_idx[slot] = self.scan(slot, candidates)
+
+    def refresh_many(self, slots: np.ndarray, candidates: np.ndarray) -> None:
+        """Re-derive several slots' cached neighbours in one batched pass.
+
+        ``candidates`` is the shared pending set (ascending); each probe
+        slot is masked out of its own candidates.  All probes' exact
+        evaluations of one walk round coalesce into a single multi-probe
+        engine dispatch, but the per-pair values — and hence every
+        ``(value, neighbour)`` result — are bitwise identical to calling
+        :meth:`refresh` per slot (see :meth:`_walk_many`).
+        """
+        slots = np.asarray(slots, dtype=np.int64)
+        cands = np.asarray(candidates, dtype=np.int64)
+        valid = cands[None, :] != slots[:, None]
+        reverse = np.zeros((slots.size, cands.size), dtype=bool)
+        best, best_idx, _ = self._walk_many(slots, cands, valid, reverse)
+        self.best_val[slots] = best
+        self.best_idx[slots] = best_idx
+
+    def build(self, initial: np.ndarray) -> None:
+        """Triangular initial build in multi-probe blocks.
+
+        Each slot scans only the slots before it and propagates the
+        directed value back, so every unordered pair is evaluated at
+        most once — like the seed path's upper-triangle build.  Blocks
+        of ``_BUILD_BLOCK`` probes walk in lock-step with coalesced
+        exact dispatches; results are bitwise identical to the
+        sequential ``insert()``-per-slot build (see :meth:`_walk_many`):
+        walk results are assigned first and buffered reverse proposals
+        resolved afterwards, which reproduces the sequential
+        strict-improvement order exactly.
+        """
+        self.ensure_capacity()
+        initial = np.asarray(initial, dtype=np.int64)
+        for s in range(0, initial.size, _BUILD_BLOCK):
+            block = initial[s : s + _BUILD_BLOCK]
+            cands = initial[: s + block.size - 1]
+            # Probe q (global position s+q) may only see its prefix.
+            valid = np.arange(cands.size)[None, :] < (s + np.arange(block.size))[:, None]
+            best, best_idx, proposals = self._walk_many(block, cands, valid, valid)
+            self.best_val[block] = best
+            self.best_idx[block] = best_idx
+            for tgt, (val, probe) in proposals.items():
+                if val < self.best_val[tgt]:
+                    self.best_val[tgt] = val
+                    self.best_idx[tgt] = probe
 
     def insert(self, slot: int, candidates: np.ndarray, reverse: np.ndarray) -> None:
         """Find a fresh slot's neighbour and propagate it into others.
@@ -209,7 +260,7 @@ class _NearestNeighbours:
             sel = rest[:_SCAN_BATCH]
             need = (lb0[sel] <= best) | (reverse[sel] & (lb0[sel] < self.best_val[cands[sel]]))
             sub = sel[need]
-            if sub.size:
+            if sub.size and engine.lb1_pruning:
                 lb1 = engine.bucket_lower_bounds(slot, cands[sub])
                 need = (lb1 <= best) | (reverse[sub] & (lb1 < self.best_val[cands[sub]]))
                 sub = sub[need]
@@ -224,6 +275,116 @@ class _NearestNeighbours:
             pos += _SCAN_BATCH
         self.stats.n_pruned_evaluations += cands.size - evaluated
         return best, best_idx
+
+    def _walk_many(
+        self,
+        slots: np.ndarray,
+        cands: np.ndarray,
+        valid: np.ndarray,
+        reverse: np.ndarray,
+    ) -> tuple:
+        """Lock-step pruned walks of several probes over shared candidates.
+
+        The multi-probe counterpart of :meth:`_walk`: each probe walks
+        its valid candidates (``valid[p, c]``) in lower-bound order with
+        the same batch size and pruning conditions, but the exact
+        evaluations of all still-active probes in a round are coalesced
+        into one ragged engine dispatch.  Reverse propagations are
+        buffered as proposals and resolved by the caller (minimum value,
+        ties to the lowest probe slot) *after* assigning the walk
+        results, which reproduces the sequential apply order bit for
+        bit.  Correctness of the batching does not depend on probes
+        seeing each other's in-flight updates: candidate cached bests
+        read during the walk are upper bounds of their sequential
+        counterparts, so every pair the sequential walks would evaluate
+        for its result is also evaluated here, extra evaluations never
+        change a minimum or a resolved proposal, and per-pair values are
+        batch-composition-independent.
+
+        Returns ``(best_vals, best_idxs, proposals)`` with ``proposals``
+        mapping candidate slot -> ``(value, probe_slot)``.
+        """
+        P, C = slots.size, cands.size
+        best = np.full(P, np.inf)
+        best_idx = np.full(P, -1, dtype=np.int64)
+        proposals: dict = {}
+
+        def propose(p_slot: int, tgts: np.ndarray, vals: np.ndarray) -> None:
+            for t, v in zip(tgts.tolist(), vals.tolist()):
+                cur = proposals.get(t)
+                if cur is None or v < cur[0] or (v == cur[0] and p_slot < cur[1]):
+                    proposals[t] = (v, p_slot)
+
+        if P == 0 or C == 0:
+            return best, best_idx, proposals
+        engine = self.engine
+
+        if not engine.pruning:
+            t_lists = [cands[valid[p]] for p in range(P)]
+            rows = engine.rows_some(slots, t_lists)
+            for p in range(P):
+                vals, tgts = rows[p], t_lists[p]
+                self.stats.n_exact_evaluations += tgts.size
+                if vals.size:
+                    j = int(vals.argmin())
+                    best[p], best_idx[p] = float(vals[j]), int(tgts[j])
+                    rmask = reverse[p, valid[p]]
+                    propose(int(slots[p]), tgts[rmask], vals[rmask])
+            return best, best_idx, proposals
+
+        lb0 = engine.hull_lower_bounds_many(slots, cands)
+        n_valid = valid.sum(axis=1)
+        # Invalid candidates carry finite hull bounds too, so push them
+        # past every valid candidate: the first n_valid positions of
+        # each probe's order are then exactly its valid candidates.
+        lb0 = np.where(valid, lb0, np.inf)
+        order = np.argsort(lb0, axis=1, kind="stable")
+        pos = np.zeros(P, dtype=np.int64)
+        active = n_valid > 0
+        evaluated = np.zeros(P, dtype=np.int64)
+        while active.any():
+            round_subs: list = []
+            for p in np.flatnonzero(active):
+                if pos[p] >= n_valid[p]:
+                    active[p] = False
+                    continue
+                rest = order[p, pos[p] : n_valid[p]]
+                l_rest = lb0[p, rest]
+                if l_rest[0] > best[p] and not (
+                    reverse[p, rest] & (l_rest < self.best_val[cands[rest]])
+                ).any():
+                    active[p] = False
+                    continue
+                sel = rest[:_SCAN_BATCH]
+                need = (lb0[p, sel] <= best[p]) | (
+                    reverse[p, sel] & (lb0[p, sel] < self.best_val[cands[sel]])
+                )
+                sub = sel[need]
+                if sub.size and engine.lb1_pruning:
+                    lb1 = engine.bucket_lower_bounds(int(slots[p]), cands[sub])
+                    need = (lb1 <= best[p]) | (
+                        reverse[p, sub] & (lb1 < self.best_val[cands[sub]])
+                    )
+                    sub = sub[need]
+                pos[p] += _SCAN_BATCH
+                if sub.size:
+                    round_subs.append((int(p), sub))
+            if round_subs:
+                probe_pos = [p for p, _ in round_subs]
+                t_lists = [cands[sub] for _, sub in round_subs]
+                rows = engine.rows_some(slots[probe_pos], t_lists)
+                for (p, sub), tgts, vals in zip(round_subs, t_lists, rows):
+                    self.stats.n_exact_evaluations += sub.size
+                    evaluated[p] += sub.size
+                    vmin = float(vals.min())
+                    cmin = int(tgts[vals == vmin].min())
+                    if vmin < best[p] or (vmin == best[p] and cmin < best_idx[p]):
+                        best[p], best_idx[p] = vmin, cmin
+                    rmask = reverse[p, sub]
+                    if rmask.any():
+                        propose(int(slots[p]), tgts[rmask], vals[rmask])
+        self.stats.n_pruned_evaluations += int((n_valid - evaluated).sum())
+        return best, best_idx, proposals
 
 
 def glove(
@@ -348,13 +509,10 @@ def _greedy_merge(
     finished: List[int] = [s for s in range(n) if not pending[s]]
     nn = _NearestNeighbours(engine, stats)
 
-    # Triangular initial build: each slot scans only the slots before it
-    # and insert() propagates the directed value back (strict-improvement
-    # updates keep the lowest-index tie rule), so every unordered pair is
-    # evaluated at most once — like the seed path's upper-triangle build.
-    initial = np.flatnonzero(pending)
-    for pos, i in enumerate(initial):
-        nn.insert(int(i), initial[:pos], np.ones(pos, dtype=bool))
+    # Triangular initial build, dispatched in multi-probe blocks (every
+    # unordered pair evaluated at most once, bitwise identical to the
+    # sequential insert()-per-slot build — see _NearestNeighbours.build).
+    nn.build(np.flatnonzero(pending))
 
     def merge_pair(i: int, j: int) -> Fingerprint:
         return _merge_pair(store.fps[i], store.fps[j], config)
@@ -373,7 +531,8 @@ def _greedy_merge(
         nn.drop(j)
         # Slots whose cached neighbour just died need a full re-scan;
         # everyone else at most adopts the merge product (below).
-        invalidated = [int(r) for r in live if r != i and r != j and nn.best_idx[r] in (i, j)]
+        bi = nn.best_idx[live]
+        invalidated = live[((bi == i) | (bi == j)) & (live != i) & (live != j)]
 
         slot = engine.append(merged)
         pending = grow_array(pending, store.capacity, False)
@@ -385,13 +544,15 @@ def _greedy_merge(
             targets = np.flatnonzero(pending)
             targets = targets[targets != slot]
             reverse = np.ones(targets.size, dtype=bool)
-            if invalidated:
+            if invalidated.size:
                 reverse = ~np.isin(targets, invalidated)
             nn.insert(slot, targets, reverse)
 
-        for r in invalidated:
-            others = np.flatnonzero(pending)
-            nn.refresh(r, others[others != r])
+        if invalidated.size:
+            # One candidate scan per iteration (not per invalidated
+            # slot), and all refresh walks batched into multi-probe
+            # dispatches.
+            nn.refresh_many(invalidated, np.flatnonzero(pending))
 
     leftover = np.flatnonzero(pending)
     return finished, (int(leftover[0]) if leftover.size else None), nn

@@ -1,0 +1,313 @@
+"""Compiled stretch-kernel tier: JIT Eq. 10 over the padded layout.
+
+The paper's CUDA offload (Section 6.3) maps here to a ``numba``-JIT
+scalar kernel operating directly on the ``(N, m_max, 6)`` padded
+tensors of :class:`repro.core.pairwise.PaddedFingerprints` /
+:class:`repro.core.engine.SlotStore`.  The JIT tier removes the
+per-call dispatch and broadcast-temporaries overhead of the NumPy
+reference at small target counts (the GLOVE hot loop's regime).
+
+**Byte-identity policy (DESIGN.md D9).**  Every backend must return
+bit-for-bit the NumPy reference's results.  The kernels below therefore
+replicate the reference's exact operation order:
+
+* elementwise maxima/minima use NumPy's tie rule (``in1 OP in2 ? in1 :
+  in2``), and clamps are written as explicit compares so ``-0.0`` can
+  never appear where the reference produces ``+0.0``;
+* the per-direction means sum a zero-padded width-``max(ma, m_max)``
+  vector with a faithful re-implementation of NumPy's pairwise
+  summation: sequential below 8 elements, an 8-accumulator unrolled
+  tree up to 128, recursive halving above with splits rounded down to a
+  multiple of 8 (realized with an explicit stack — numba-friendly, no
+  self-recursion).
+
+The module binds three tiers to one kernel definition, best first:
+
+1. ``numba`` — the ``[compiled]`` packaging extra; JITs the pure
+   twins below unchanged.
+2. ``cc`` — a :mod:`ctypes` binding of the same kernels transliterated
+   to C (:mod:`repro.core._ckernel`), built on demand with the system
+   compiler; covers containers where the extra cannot be installed.
+3. ``pure`` — the undecorated Python twins; always importable, used by
+   the parity property tests and as the stand-in when neither
+   accelerated tier is available.
+
+``COMPILED_TIER`` names the bound tier (``"numba"``/``"cc"``/``None``)
+and ``COMPILED_AVAILABLE`` is true when an accelerated tier is bound —
+that is what :class:`repro.core.engine.CompiledBackend` keys on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sample import DT, DX, DY, T, X, Y
+
+try:  # pragma: no cover - exercised via the compiled-parity CI job
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the default container path
+    njit = None
+    NUMBA_AVAILABLE = False
+
+#: Stack depth for the iterative pairwise summation: each level at
+#: least halves ``n``, so 64 frames cover any addressable array.
+_PSUM_STACK = 64
+
+
+def _build_kernels(decorate):
+    """Build the kernel family, optionally JIT-decorated.
+
+    Called twice: once undecorated (the always-available pure-Python
+    twins) and once under ``numba.njit`` when the extra is installed.
+    Both families run the very same source, so parity between them is
+    parity between the compiled tier and this file's reference text.
+    """
+
+    @decorate
+    def psum_leaf(a, lo, n):
+        # NumPy's pairwise_sum base cases: sequential below 8 elements,
+        # 8 independent accumulators combined as a balanced tree up to
+        # the 128-element block size.
+        if n < 8:
+            res = 0.0
+            for i in range(n):
+                res += a[lo + i]
+            return res
+        r0 = a[lo]
+        r1 = a[lo + 1]
+        r2 = a[lo + 2]
+        r3 = a[lo + 3]
+        r4 = a[lo + 4]
+        r5 = a[lo + 5]
+        r6 = a[lo + 6]
+        r7 = a[lo + 7]
+        i = 8
+        while i + 8 <= n:
+            r0 += a[lo + i]
+            r1 += a[lo + i + 1]
+            r2 += a[lo + i + 2]
+            r3 += a[lo + i + 3]
+            r4 += a[lo + i + 4]
+            r5 += a[lo + i + 5]
+            r6 += a[lo + i + 6]
+            r7 += a[lo + i + 7]
+            i += 8
+        res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+        while i < n:
+            res += a[lo + i]
+            i += 1
+        return res
+
+    @decorate
+    def pairwise_sum(a, lo, n):
+        # NumPy's recursive halving (splits rounded down to a multiple
+        # of 8) evaluated with an explicit left-first post-order stack.
+        if n <= 128:
+            return psum_leaf(a, lo, n)
+        lo_st = np.empty(_PSUM_STACK, dtype=np.int64)
+        n_st = np.empty(_PSUM_STACK, dtype=np.int64)
+        state = np.empty(_PSUM_STACK, dtype=np.int8)
+        left = np.empty(_PSUM_STACK, dtype=np.float64)
+        top = 0
+        lo_st[0] = lo
+        n_st[0] = n
+        state[0] = 0
+        ret = 0.0
+        while top >= 0:
+            nn = n_st[top]
+            if nn <= 128:
+                ret = psum_leaf(a, lo_st[top], nn)
+                top -= 1
+                while top >= 0 and state[top] == 2:
+                    ret = left[top] + ret
+                    top -= 1
+                if top >= 0:
+                    # Parent was awaiting its left half; store it and
+                    # descend into the right half.
+                    left[top] = ret
+                    state[top] = 2
+                    n2 = n_st[top] // 2
+                    n2 -= n2 % 8
+                    lo_st[top + 1] = lo_st[top] + n2
+                    n_st[top + 1] = n_st[top] - n2
+                    state[top + 1] = 0
+                    top += 1
+            else:
+                n2 = nn // 2
+                n2 -= n2 % 8
+                state[top] = 1
+                lo_st[top + 1] = lo_st[top]
+                n_st[top + 1] = n2
+                state[top + 1] = 0
+                top += 1
+        return ret
+
+    @decorate
+    def pair_effort(
+        a_data, n_a, b_data, mb, n_b,
+        scratch_a, scratch_b, pad_width,
+        w_sigma, w_tau, phi_sigma, phi_tau,
+    ):
+        ma = a_data.shape[0]
+        w_a = n_a / (n_a + n_b)
+        w_b = n_b / (n_a + n_b)
+        for i in range(ma):
+            scratch_a[i] = np.inf
+        for j in range(mb):
+            scratch_b[j] = np.inf
+        for i in range(ma):
+            axi = a_data[i, X]
+            ayi = a_data[i, Y]
+            ati = a_data[i, T]
+            ahx = axi + a_data[i, DX]
+            ahy = ayi + a_data[i, DY]
+            aht = ati + a_data[i, DT]
+            wa_ext = w_a * (a_data[i, DX] + a_data[i, DY])
+            wa_t = w_a * a_data[i, DT]
+            for j in range(mb):
+                bxj = b_data[j, X]
+                byj = b_data[j, Y]
+                btj = b_data[j, T]
+                bhx = bxj + b_data[j, DX]
+                bhy = byj + b_data[j, DY]
+                bht = btj + b_data[j, DT]
+                ux = (ahx if ahx > bhx else bhx) - (axi if axi < bxj else bxj)
+                uy = (ahy if ahy > bhy else bhy) - (ayi if ayi < byj else byj)
+                ut = (aht if aht > bht else bht) - (ati if ati < btj else btj)
+                raw_s = (ux + uy) - (wa_ext + w_b * (b_data[j, DX] + b_data[j, DY]))
+                if not raw_s > 0.0:
+                    raw_s = 0.0
+                raw_t = ut - (wa_t + w_b * b_data[j, DT])
+                if not raw_t > 0.0:
+                    raw_t = 0.0
+                s_term = raw_s / phi_sigma
+                if not s_term < 1.0:
+                    s_term = 1.0
+                t_term = raw_t / phi_tau
+                if not t_term < 1.0:
+                    t_term = 1.0
+                d = w_sigma * s_term + w_tau * t_term
+                if d < scratch_a[i]:
+                    scratch_a[i] = d
+                if d < scratch_b[j]:
+                    scratch_b[j] = d
+        mean_a = pairwise_sum(scratch_a, 0, pad_width) / ma
+        mean_b = pairwise_sum(scratch_b, 0, pad_width) / mb
+        for i in range(ma):
+            scratch_a[i] = 0.0
+        for j in range(mb):
+            scratch_b[j] = 0.0
+        if ma > mb:
+            return mean_a
+        if mb > ma:
+            return mean_b
+        return (mean_a + mean_b) / 2.0
+
+    @decorate
+    def one_vs_all_arrays(
+        a_data, n_a, data, lengths, counts, targets,
+        w_sigma, w_tau, phi_sigma, phi_tau,
+    ):
+        ma = a_data.shape[0]
+        m_max = data.shape[1]
+        pad_width = ma if ma > m_max else m_max
+        scratch_a = np.zeros(pad_width)
+        scratch_b = np.zeros(pad_width)
+        out = np.empty(targets.shape[0])
+        for idx in range(targets.shape[0]):
+            t = targets[idx]
+            out[idx] = pair_effort(
+                a_data, n_a, data[t], lengths[t], float(counts[t]),
+                scratch_a, scratch_b, pad_width,
+                w_sigma, w_tau, phi_sigma, phi_tau,
+            )
+        return out
+
+    @decorate
+    def pairwise_matrix_arrays(
+        data, lengths, counts, w_sigma, w_tau, phi_sigma, phi_tau,
+    ):
+        n = data.shape[0]
+        m_max = data.shape[1]
+        scratch_a = np.zeros(m_max)
+        scratch_b = np.zeros(m_max)
+        mat = np.full((n, n), np.inf)
+        for i in range(n - 1):
+            a_data = data[i, : lengths[i]]
+            n_a = float(counts[i])
+            for j in range(i + 1, n):
+                v = pair_effort(
+                    a_data, n_a, data[j], lengths[j], float(counts[j]),
+                    scratch_a, scratch_b, m_max,
+                    w_sigma, w_tau, phi_sigma, phi_tau,
+                )
+                mat[i, j] = v
+                mat[j, i] = v
+        return mat
+
+    return pairwise_sum, one_vs_all_arrays, pairwise_matrix_arrays
+
+
+# Pure-Python twins: always importable, used by the parity property
+# tests (and as the stand-in bindings below when no accelerated tier
+# is available).
+pairwise_sum_py, one_vs_all_pure, pairwise_matrix_pure = _build_kernels(lambda f: f)
+
+
+def _bind_cc():
+    """ctypes wrappers over the system-compiled library, or ``None``."""
+    from repro.core import _ckernel
+
+    lib = _ckernel.LIB
+    if lib is None:
+        return None
+
+    def one_vs_all_cc(
+        a_data, n_a, data, lengths, counts, targets,
+        w_sigma, w_tau, phi_sigma, phi_tau,
+    ):
+        out = np.empty(targets.shape[0], dtype=np.float64)
+        rc = lib.glove_one_vs_all(
+            np.ascontiguousarray(a_data), a_data.shape[0], float(n_a),
+            data, data.shape[1], lengths, counts,
+            np.ascontiguousarray(targets), targets.shape[0],
+            w_sigma, w_tau, phi_sigma, phi_tau, out,
+        )
+        if rc != 0:
+            raise MemoryError("stretch kernel scratch allocation failed")
+        return out
+
+    def pairwise_matrix_cc(
+        data, lengths, counts, w_sigma, w_tau, phi_sigma, phi_tau,
+    ):
+        n = data.shape[0]
+        mat = np.full((n, n), np.inf, dtype=np.float64)
+        rc = lib.glove_pairwise_matrix(
+            data, n, data.shape[1], lengths, counts,
+            w_sigma, w_tau, phi_sigma, phi_tau, mat,
+        )
+        if rc != 0:
+            raise MemoryError("stretch kernel scratch allocation failed")
+        return mat
+
+    return one_vs_all_cc, pairwise_matrix_cc
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised via compiled-parity CI
+    COMPILED_TIER = "numba"
+    _, one_vs_all_arrays, pairwise_matrix_arrays = _build_kernels(njit(cache=True))
+else:
+    _cc = _bind_cc()
+    if _cc is not None:
+        COMPILED_TIER = "cc"
+        one_vs_all_arrays, pairwise_matrix_arrays = _cc
+    else:
+        COMPILED_TIER = None
+        one_vs_all_arrays = one_vs_all_pure
+        pairwise_matrix_arrays = pairwise_matrix_pure
+
+#: True when an accelerated binding (numba or cc) backs the ``compiled``
+#: backend; the pure twins alone do not qualify.
+COMPILED_AVAILABLE = COMPILED_TIER is not None

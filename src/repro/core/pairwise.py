@@ -55,6 +55,110 @@ class PaddedFingerprints:
         return self.data.shape[0]
 
 
+class _ProbeViews:
+    """Broadcast-ready views of one probe fingerprint, built once per call."""
+
+    __slots__ = ("ma", "n_a", "ax", "adx", "ay", "ady", "at", "adt", "a_ext_s")
+
+    def __init__(self, a_data: np.ndarray, n_a: int):
+        if a_data.shape[0] == 0:
+            raise ValueError("probe fingerprint has no samples")
+        self.ma = a_data.shape[0]
+        self.n_a = n_a
+        self.ax = a_data[:, X][None, :, None]
+        self.adx = a_data[:, DX][None, :, None]
+        self.ay = a_data[:, Y][None, :, None]
+        self.ady = a_data[:, DY][None, :, None]
+        self.at = a_data[:, T][None, :, None]
+        self.adt = a_data[:, DT][None, :, None]
+        self.a_ext_s = self.adx + self.ady
+
+
+def _chunk_efforts(
+    probe: _ProbeViews,
+    b: np.ndarray,
+    mask: np.ndarray,
+    len_b: np.ndarray,
+    n_b: np.ndarray,
+    pad_width: int,
+    config: StretchConfig,
+) -> np.ndarray:
+    """Eq. 10 efforts of one probe against one gathered target chunk.
+
+    ``b``/``mask`` may be sliced to the chunk's own maximum sample count:
+    every per-pair value is an elementwise function of valid cells only,
+    and both directional means are summed over a zero-padded
+    ``(C, pad_width)`` array whose width is fixed by the *store* (not the
+    chunk), so results are bitwise independent of chunk composition.
+    ``pad_width`` must be ``max(ma, m_max)`` of the packed store;
+    NumPy's pairwise summation groups operands by array length, so the
+    shared width keeps the kernel bitwise symmetric under a probe/target
+    role swap.
+    """
+    ma = probe.ma
+    w_a = (probe.n_a / (probe.n_a + n_b))[:, None, None]
+    w_b = (n_b / (probe.n_a + n_b))[:, None, None]
+
+    bx = b[:, :, X][:, None, :]
+    bdx = b[:, :, DX][:, None, :]
+    by = b[:, :, Y][:, None, :]
+    bdy = b[:, :, DY][:, None, :]
+    bt = b[:, :, T][:, None, :]
+    bdt = b[:, :, DT][:, None, :]
+
+    ux = np.maximum(probe.ax + probe.adx, bx + bdx) - np.minimum(probe.ax, bx)
+    uy = np.maximum(probe.ay + probe.ady, by + bdy) - np.minimum(probe.ay, by)
+    ut = np.maximum(probe.at + probe.adt, bt + bdt) - np.minimum(probe.at, bt)
+
+    # Clamped at zero against floating-point cancellation noise.
+    # The weighted own-extent terms are summed before subtracting so
+    # the expression is bitwise symmetric under a probe/target role
+    # swap (addition commutes exactly; chained subtraction doesn't).
+    raw_s = np.maximum((ux + uy) - (w_a * probe.a_ext_s + w_b * (bdx + bdy)), 0.0)
+    raw_t = np.maximum(ut - (w_a * probe.adt + w_b * bdt), 0.0)
+
+    delta = config.w_sigma * np.minimum(raw_s / config.phi_max_sigma_m, 1.0)
+    delta += config.w_tau * np.minimum(raw_t / config.phi_max_tau_min, 1.0)
+
+    # Mask out padding: invalid target samples must never be matched.
+    delta = np.where(mask[:, None, :], delta, np.inf)
+
+    # Case ma > mb: for each probe sample, nearest target sample.
+    per_a = delta.min(axis=2)  # (C, ma)
+    padded = np.zeros((per_a.shape[0], pad_width), dtype=per_a.dtype)
+    padded[:, : per_a.shape[1]] = per_a
+    mean_long_a = padded.sum(axis=1) / ma
+
+    # Case mb > ma: for each *valid* target sample, nearest probe sample.
+    per_b = delta.min(axis=1)  # (C, W)
+    per_b = np.where(mask, per_b, 0.0)
+    padded = np.zeros((per_b.shape[0], pad_width), dtype=per_b.dtype)
+    padded[:, : per_b.shape[1]] = per_b
+    mean_long_b = padded.sum(axis=1) / len_b
+
+    # Equal lengths: average both directions (symmetric tie rule,
+    # see repro.core.stretch.fingerprint_stretch).
+    return np.where(
+        ma > len_b,
+        mean_long_a,
+        np.where(len_b > ma, mean_long_b, (mean_long_a + mean_long_b) / 2.0),
+    )
+
+
+def _length_sorted(packed: PaddedFingerprints, indices: np.ndarray) -> np.ndarray:
+    """Positions of ``indices`` in ascending target-length order.
+
+    Grouping similar-length targets into the same chunk lets the bulk
+    kernel slice its broadcast tensors to each chunk's own maximum
+    length instead of the store-wide padding, without changing a single
+    output bit (per-pair values are chunk-independent, see
+    :func:`_chunk_efforts`).
+    """
+    if indices.shape[0] <= 1:
+        return np.arange(indices.shape[0])
+    return np.argsort(packed.lengths[indices], kind="stable")
+
+
 def one_vs_all(
     a_data: np.ndarray,
     n_a: int,
@@ -82,86 +186,123 @@ def one_vs_all(
     -------
     Float64 array of ``Delta_ab`` values, aligned with ``indices``.
     """
-    if a_data.shape[0] == 0:
-        raise ValueError("probe fingerprint has no samples")
+    probe = _ProbeViews(a_data, n_a)
     if indices is None:
         indices = np.arange(len(packed))
     indices = np.asarray(indices, dtype=np.int64)
     out = np.empty(indices.shape[0], dtype=np.float64)
+    pad_width = max(probe.ma, packed.data.shape[1])
 
-    ma = a_data.shape[0]
-    ax = a_data[:, X][None, :, None]
-    adx = a_data[:, DX][None, :, None]
-    ay = a_data[:, Y][None, :, None]
-    ady = a_data[:, DY][None, :, None]
-    at = a_data[:, T][None, :, None]
-    adt = a_data[:, DT][None, :, None]
-    a_ext_s = adx + ady
-
+    order = _length_sorted(packed, indices)
     for start in range(0, indices.shape[0], chunk):
-        sel = indices[start : start + chunk]
-        b = packed.data[sel]
-        mask = packed.mask[sel]
+        pos = order[start : start + chunk]
+        sel = indices[pos]
         len_b = packed.lengths[sel]
+        width = int(len_b.max())
+        b = packed.data[sel, :width]
+        mask = packed.mask[sel, :width]
         n_b = packed.counts[sel].astype(np.float64)
-
-        w_a = (n_a / (n_a + n_b))[:, None, None]
-        w_b = (n_b / (n_a + n_b))[:, None, None]
-
-        bx = b[:, :, X][:, None, :]
-        bdx = b[:, :, DX][:, None, :]
-        by = b[:, :, Y][:, None, :]
-        bdy = b[:, :, DY][:, None, :]
-        bt = b[:, :, T][:, None, :]
-        bdt = b[:, :, DT][:, None, :]
-
-        ux = np.maximum(ax + adx, bx + bdx) - np.minimum(ax, bx)
-        uy = np.maximum(ay + ady, by + bdy) - np.minimum(ay, by)
-        ut = np.maximum(at + adt, bt + bdt) - np.minimum(at, bt)
-
-        # Clamped at zero against floating-point cancellation noise.
-        # The weighted own-extent terms are summed before subtracting so
-        # the expression is bitwise symmetric under a probe/target role
-        # swap (addition commutes exactly; chained subtraction doesn't).
-        raw_s = np.maximum((ux + uy) - (w_a * a_ext_s + w_b * (bdx + bdy)), 0.0)
-        raw_t = np.maximum(ut - (w_a * adt + w_b * bdt), 0.0)
-
-        delta = config.w_sigma * np.minimum(raw_s / config.phi_max_sigma_m, 1.0)
-        delta += config.w_tau * np.minimum(raw_t / config.phi_max_tau_min, 1.0)
-
-        # Mask out padding: invalid target samples must never be matched.
-        delta[~mask[:, None, :].repeat(ma, axis=1)] = np.inf
-
-        # Case ma > mb: for each probe sample, nearest target sample.
-        # Both directional means sum a zero-padded (C, pad_width) array:
-        # NumPy's pairwise summation groups operands by array length, so
-        # identical shapes keep the kernel bitwise symmetric under a
-        # probe/target role swap.
-        pad_width = max(ma, delta.shape[2])
-        per_a = delta.min(axis=2)  # (C, ma)
-        if per_a.shape[1] < pad_width:
-            padded = np.zeros((per_a.shape[0], pad_width), dtype=per_a.dtype)
-            padded[:, : per_a.shape[1]] = per_a
-            per_a = padded
-        mean_long_a = per_a.sum(axis=1) / ma
-
-        # Case mb > ma: for each *valid* target sample, nearest probe sample.
-        per_b = delta.min(axis=1)  # (C, m_max)
-        per_b = np.where(mask, per_b, 0.0)
-        if per_b.shape[1] < pad_width:
-            padded = np.zeros((per_b.shape[0], pad_width), dtype=per_b.dtype)
-            padded[:, : per_b.shape[1]] = per_b
-            per_b = padded
-        mean_long_b = per_b.sum(axis=1) / len_b
-
-        # Equal lengths: average both directions (symmetric tie rule,
-        # see repro.core.stretch.fingerprint_stretch).
-        out[start : start + sel.shape[0]] = np.where(
-            ma > len_b,
-            mean_long_a,
-            np.where(len_b > ma, mean_long_b, (mean_long_a + mean_long_b) / 2.0),
-        )
+        out[pos] = _chunk_efforts(probe, b, mask, len_b, n_b, pad_width, config)
     return out
+
+
+def many_vs_all(
+    probes: Sequence[np.ndarray],
+    probe_counts: Sequence[int],
+    packed: PaddedFingerprints,
+    config: StretchConfig = StretchConfig(),
+    indices: Optional[np.ndarray] = None,
+    chunk: int = DEFAULT_CHUNK,
+) -> np.ndarray:
+    """Eq. 10 efforts from several probes to one shared target set.
+
+    The multi-probe face of :func:`one_vs_all`: target chunks are
+    gathered from the padded store once and reused across all probes,
+    so ``P`` probes pay one gather instead of ``P``.  Returns a
+    ``(P, len(indices))`` float64 matrix whose row ``p`` is bitwise
+    equal to ``one_vs_all(probes[p], ...)`` on the same targets.
+    """
+    if len(probes) != len(probe_counts):
+        raise ValueError("probes and probe_counts must have equal length")
+    if indices is None:
+        indices = np.arange(len(packed))
+    indices = np.asarray(indices, dtype=np.int64)
+    views = [_ProbeViews(p, int(n)) for p, n in zip(probes, probe_counts)]
+    out = np.empty((len(views), indices.shape[0]), dtype=np.float64)
+    m_max = packed.data.shape[1]
+
+    order = _length_sorted(packed, indices)
+    for start in range(0, indices.shape[0], chunk):
+        pos = order[start : start + chunk]
+        sel = indices[pos]
+        len_b = packed.lengths[sel]
+        width = int(len_b.max())
+        b = packed.data[sel, :width]
+        mask = packed.mask[sel, :width]
+        n_b = packed.counts[sel].astype(np.float64)
+        for row, probe in enumerate(views):
+            out[row, pos] = _chunk_efforts(
+                probe, b, mask, len_b, n_b, max(probe.ma, m_max), config
+            )
+    return out
+
+
+def many_vs_some(
+    probes: Sequence[np.ndarray],
+    probe_counts: Sequence[int],
+    packed: PaddedFingerprints,
+    targets_list: Sequence[np.ndarray],
+    config: StretchConfig = StretchConfig(),
+    chunk: int = DEFAULT_CHUNK,
+) -> List[np.ndarray]:
+    """Ragged multi-probe dispatch: probe ``p`` vs its own target subset.
+
+    The union of all subsets is gathered from the padded store once;
+    each probe then addresses its own targets inside that (much
+    smaller) snapshot.  Entry ``p`` of the result is bitwise equal to
+    ``one_vs_all(probes[p], ..., indices=targets_list[p])`` — per-pair
+    values are chunk- and batch-composition-independent (see
+    :func:`_chunk_efforts`).
+    """
+    if len(probes) != len(probe_counts) or len(probes) != len(targets_list):
+        raise ValueError("probes, probe_counts and targets_list must align")
+    targets_list = [np.asarray(t, dtype=np.int64) for t in targets_list]
+    nonempty = [t for t in targets_list if t.size]
+    if not nonempty:
+        return [np.empty(0, dtype=np.float64) for _ in targets_list]
+    union = np.unique(np.concatenate(nonempty))
+    w_u = int(packed.lengths[union].max())
+    b_u = packed.data[union, :w_u]
+    mask_u = packed.mask[union, :w_u]
+    len_u = packed.lengths[union]
+    n_u = packed.counts[union].astype(np.float64)
+    m_max = packed.data.shape[1]
+
+    outs = []
+    for p_data, p_count, targets in zip(probes, probe_counts, targets_list):
+        if targets.size == 0:
+            outs.append(np.empty(0, dtype=np.float64))
+            continue
+        probe = _ProbeViews(p_data, int(p_count))
+        pad_width = max(probe.ma, m_max)
+        pos_u = np.searchsorted(union, targets)
+        out = np.empty(targets.shape[0], dtype=np.float64)
+        order = (
+            np.argsort(len_u[pos_u], kind="stable")
+            if targets.shape[0] > 1
+            else np.arange(targets.shape[0])
+        )
+        for start in range(0, targets.shape[0], chunk):
+            pos = order[start : start + chunk]
+            sel = pos_u[pos]
+            len_b = len_u[sel]
+            width = int(len_b.max())
+            out[pos] = _chunk_efforts(
+                probe, b_u[sel, :width], mask_u[sel, :width],
+                len_b, n_u[sel], pad_width, config,
+            )
+        outs.append(out)
+    return outs
 
 
 def pairwise_matrix(

@@ -230,14 +230,17 @@ def sharded_glove(
     fps = list(dataset)
     k = config.k
     validate_population(fps, k)
-    # Inside shards the kernels run the plain in-process tier: the
-    # concurrency budget is spent at the shard level, not nested pools.
-    inner = replace(compute, backend="numpy", shards=None, workers=1)
+    # Inside shards the kernels run the in-process inline tier — the
+    # compiled kernels when an accelerated binding exists, the NumPy
+    # reference otherwise (byte-identical either way) — with a single
+    # worker: the concurrency budget is spent at the shard level, not
+    # nested pools.
+    inner = replace(compute, backend="auto", shards=None, workers=1)
 
     n_shards = resolve_shards(compute, len(fps))
     if n_shards == 1:
         # Single shard: delegate to the unsharded path itself (inner
-        # forces backend="numpy", so no driver re-dispatch) — the golden
+        # forces workers=1, so no pool re-dispatch) — the golden
         # byte-identity guarantee holds by construction.
         return glove(dataset, config, inner)
 

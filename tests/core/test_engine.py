@@ -231,6 +231,13 @@ class TestRegistry:
                 calls.append(len(targets))
                 return super().one_vs_all(probe_data, probe_count, packed, targets)
 
+            # The batched merge frontier coalesces refresh scans into
+            # ragged multi-probe dispatches, so a backend is exercised
+            # through this entry point as well (Issue 6).
+            def many_vs_some(self, probes, probe_counts, packed, targets_list):
+                calls.extend(len(t) for t in targets_list)
+                return super().many_vs_some(probes, probe_counts, packed, targets_list)
+
         register_backend("tracing", TracingBackend)
         try:
             result = glove(small_civ, GloveConfig(k=2), ComputeConfig(backend="tracing"))

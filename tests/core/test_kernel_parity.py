@@ -1,0 +1,253 @@
+"""Parity and fallback tests for the compiled stretch-kernel tier.
+
+The byte-identity policy (DESIGN.md D9) requires every kernel tier —
+numba JIT, the system-cc binding, and the pure-Python twins — to return
+bit-for-bit the NumPy reference's results.  The property tests below
+drive both the *active* accelerated binding (whatever tier this
+environment resolved) and the always-importable pure twins against
+``repro.core.pairwise`` on arbitrary padded tensors: ragged lengths
+(masked tails), count weights, and coordinate spreads that push the
+saturating terms to their 0/1 edges.
+
+The fallback tests run subprocesses with numba import-blocked and the
+cc tier disabled (``REPRO_CC_KERNEL=0``) to prove the ``auto`` and
+``compiled`` backends degrade exactly as documented when no accelerated
+binding exists.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import kernels
+from repro.core.config import StretchConfig
+from repro.core.fingerprint import Fingerprint
+from repro.core.pairwise import PaddedFingerprints, one_vs_all, pairwise_matrix
+from repro.core.sample import Sample
+
+# Wide value ranges on purpose: spatial spreads far beyond phi_sigma
+# (20 km) and temporal gaps beyond phi_tau (480 min) exercise the
+# saturated branch, tight clusters the near-zero clamp.
+coords = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+extents = st.floats(min_value=0.0, max_value=1e5, allow_nan=False)
+times = st.floats(min_value=0.0, max_value=1e5, allow_nan=False)
+durations = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+
+
+@st.composite
+def fingerprints(draw, uid, max_m=7):
+    m = draw(st.integers(min_value=1, max_value=max_m))
+    samples = [
+        Sample(
+            x=draw(coords),
+            y=draw(coords),
+            t=draw(times),
+            dx=draw(extents),
+            dy=draw(extents),
+            dt=draw(durations),
+        )
+        for _ in range(m)
+    ]
+    count = draw(st.integers(min_value=1, max_value=50))
+    members = [f"{uid}-{i}" for i in range(count)]
+    return Fingerprint(uid, samples, count=count, members=members)
+
+
+@st.composite
+def collections(draw, min_n=2, max_n=6):
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    return [draw(fingerprints(f"u{i}")) for i in range(n)]
+
+
+def _config_args(config):
+    return (
+        config.w_sigma,
+        config.w_tau,
+        config.phi_max_sigma_m,
+        config.phi_max_tau_min,
+    )
+
+
+BINDINGS = [("pure", kernels.one_vs_all_pure, kernels.pairwise_matrix_pure)]
+if kernels.COMPILED_AVAILABLE:
+    BINDINGS.append(
+        (kernels.COMPILED_TIER, kernels.one_vs_all_arrays, kernels.pairwise_matrix_arrays)
+    )
+
+
+@pytest.mark.parametrize("tier,ova,pm", BINDINGS, ids=[b[0] for b in BINDINGS])
+class TestKernelParity:
+    @given(probe=fingerprints("probe"), fps=collections(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_one_vs_all_bitwise(self, tier, ova, pm, probe, fps, data):
+        packed = PaddedFingerprints(fps)
+        config = StretchConfig()
+        subset = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(fps) - 1),
+                min_size=1,
+                max_size=len(fps),
+                unique=True,
+            )
+        )
+        targets = np.array(subset, dtype=np.int64)
+        reference = one_vs_all(probe.data, probe.count, packed, config, indices=targets)
+        got = ova(
+            np.ascontiguousarray(probe.data),
+            float(probe.count),
+            packed.data,
+            packed.lengths,
+            packed.counts,
+            targets,
+            *_config_args(config),
+        )
+        # Bitwise, not approx: the compiled tiers replicate the NumPy
+        # reference's operation order including pairwise summation.
+        np.testing.assert_array_equal(got, reference)
+
+    @given(fps=collections())
+    @settings(max_examples=40, deadline=None)
+    def test_pairwise_matrix_bitwise(self, tier, ova, pm, fps):
+        packed = PaddedFingerprints(fps)
+        config = StretchConfig()
+        reference = pairwise_matrix(fps, config)
+        got = pm(packed.data, packed.lengths, packed.counts, *_config_args(config))
+        np.testing.assert_array_equal(got, reference)
+
+    def test_saturation_edges(self, tier, ova, pm):
+        # One pair far beyond both saturation thresholds (delta == 1)
+        # and one identical pair (delta == 0): the clamp edges must be
+        # exact, not approximately so.
+        near = Fingerprint(
+            "a", [Sample(x=0.0, y=0.0, t=0.0)], count=3, members=["a0", "a1", "a2"]
+        )
+        far = Fingerprint("b", [Sample(x=1e8, y=1e8, t=1e7)], count=1)
+        twin = Fingerprint(
+            "c", [Sample(x=0.0, y=0.0, t=0.0)], count=2, members=["c0", "c1"]
+        )
+        packed = PaddedFingerprints([near, far, twin])
+        config = StretchConfig()
+        got = ova(
+            np.ascontiguousarray(near.data),
+            float(near.count),
+            packed.data,
+            packed.lengths,
+            packed.counts,
+            np.array([1, 2], dtype=np.int64),
+            *_config_args(config),
+        )
+        assert got[0] == 1.0
+        assert got[1] == 0.0
+
+
+_FALLBACK_PROLOGUE = """
+import sys
+
+class _BlockNumba:
+    def find_module(self, name, path=None):
+        if name == "numba" or name.startswith("numba."):
+            return self
+    def find_spec(self, name, path=None, target=None):
+        if name == "numba" or name.startswith("numba."):
+            raise ImportError("numba blocked for fallback test")
+    def load_module(self, name):
+        raise ImportError("numba blocked for fallback test")
+
+sys.meta_path.insert(0, _BlockNumba())
+"""
+
+
+def _run_fallback_probe(body, env_updates):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+    env.update(env_updates)
+    return subprocess.run(
+        [sys.executable, "-c", _FALLBACK_PROLOGUE + textwrap.dedent(body)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    )
+
+
+class TestFallback:
+    def test_no_accelerated_tier_falls_back_to_pure(self):
+        # numba import-blocked and the cc tier disabled: the module must
+        # still import, report no compiled tier, and alias the pure twins.
+        proc = _run_fallback_probe(
+            """
+            from repro.core import kernels
+            assert not kernels.NUMBA_AVAILABLE
+            assert kernels.COMPILED_TIER is None
+            assert not kernels.COMPILED_AVAILABLE
+            assert kernels.one_vs_all_arrays is kernels.one_vs_all_pure
+            assert kernels.pairwise_matrix_arrays is kernels.pairwise_matrix_pure
+            print("fallback-ok")
+            """,
+            {"REPRO_CC_KERNEL": "0"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "fallback-ok" in proc.stdout
+
+    def test_auto_backend_uses_numpy_without_compiled(self):
+        proc = _run_fallback_probe(
+            """
+            from repro.core.config import ComputeConfig, StretchConfig
+            from repro.core.engine import AutoBackend, NumpyBackend
+
+            backend = AutoBackend(ComputeConfig(backend="auto"), StretchConfig())
+            assert isinstance(backend._inline, NumpyBackend)
+            assert not backend.fast_exact
+            print("auto-ok")
+            """,
+            {"REPRO_CC_KERNEL": "0"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "auto-ok" in proc.stdout
+
+    def test_compiled_backend_raises_without_binding(self):
+        proc = _run_fallback_probe(
+            """
+            from repro.core.config import ComputeConfig, StretchConfig
+            from repro.core.engine import create_backend
+
+            try:
+                create_backend(ComputeConfig(backend="compiled"), StretchConfig())
+            except RuntimeError as exc:
+                assert "[compiled] extra" in str(exc), exc
+                print("raise-ok")
+            """,
+            {"REPRO_CC_KERNEL": "0"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "raise-ok" in proc.stdout
+
+    def test_glove_runs_without_accelerated_tier(self):
+        # End-to-end: the default path stays fully functional (and on the
+        # NumPy reference) with every accelerated tier unavailable.
+        proc = _run_fallback_probe(
+            """
+            from repro.core.config import ComputeConfig, GloveConfig
+            from repro.core.glove import glove
+            from repro.core.scenarios import get_scenario
+            from repro.core.pipeline import Pipeline
+            from repro.core.artifacts import ArtifactStore
+
+            sc = get_scenario("bench").scaled(n_users=24, days=1, seed=0)
+            dataset = sc.synthesize(Pipeline(ArtifactStore(root=None)))
+            result = glove(dataset, GloveConfig(k=2), ComputeConfig(backend="auto"))
+            assert result.dataset.is_k_anonymous(2)
+            print("glove-ok")
+            """,
+            {"REPRO_CC_KERNEL": "0"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "glove-ok" in proc.stdout

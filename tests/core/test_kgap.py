@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.core.kgap import kgap, stretch_decomposition
+from repro.core.kgap import (
+    StretchComponentCache,
+    kgap,
+    kgap_sweep,
+    stretch_decomposition,
+)
 from repro.core.pairwise import pairwise_matrix
 from repro.core.dataset import FingerprintDataset
 from tests.conftest import make_fp
@@ -64,6 +69,76 @@ class TestKGap:
         # The paper's Fig. 3a headline: CDF is zero at the origin.
         result = kgap(small_civ, k=2)
         assert result.fraction_anonymous() == 0.0
+
+
+class TestKGapSweep:
+    def test_sweep_gaps_match_per_level_calls(self, small_civ):
+        matrix = pairwise_matrix(list(small_civ))
+        sweep = kgap_sweep(small_civ, [2, 5, 10], matrix=matrix)
+        for k in (2, 5, 10):
+            single = kgap(small_civ, k=k, matrix=matrix)
+            # Byte-identity: the prefix of the sorted k_max-1 efforts is
+            # exactly the sorted k-1 efforts, so gaps match bitwise.
+            np.testing.assert_array_equal(sweep[k].gaps, single.gaps)
+            np.testing.assert_array_equal(
+                sweep[k].neighbor_efforts, single.neighbor_efforts
+            )
+            assert sweep[k].uids == single.uids
+            assert sweep[k].k == k
+
+    def test_sweep_builds_matrix_once(self, toy_dataset):
+        sweep = kgap_sweep(toy_dataset, [3, 2, 2])
+        assert sorted(sweep) == [2, 3]
+        single = kgap(toy_dataset, k=3)
+        np.testing.assert_array_equal(sweep[3].gaps, single.gaps)
+
+    def test_sweep_validation(self, toy_dataset):
+        with pytest.raises(ValueError):
+            kgap_sweep(toy_dataset, [])
+        with pytest.raises(ValueError):
+            kgap_sweep(toy_dataset, [1, 3])
+        with pytest.raises(ValueError):
+            kgap_sweep(toy_dataset, [2, 7])
+
+    def test_sweep_results_do_not_alias(self, toy_dataset):
+        sweep = kgap_sweep(toy_dataset, [2, 3])
+        sweep[2].neighbor_efforts[:] = -1.0
+        assert (sweep[3].neighbor_efforts >= 0.0).all()
+
+
+class TestComponentCache:
+    def test_cached_decomposition_matches_uncached(self, small_civ):
+        result = kgap(small_civ, k=3)
+        cache = StretchComponentCache(list(small_civ))
+        plain = stretch_decomposition(small_civ, result)
+        cached = stretch_decomposition(small_civ, result, cache=cache)
+        for p, c in zip(plain, cached):
+            assert p.uid == c.uid
+            np.testing.assert_array_equal(p.delta, c.delta)
+            np.testing.assert_array_equal(p.spatial, c.spatial)
+            np.testing.assert_array_equal(p.temporal, c.temporal)
+
+    def test_cache_reused_across_k_levels(self, small_civ):
+        matrix = pairwise_matrix(list(small_civ))
+        sweep = kgap_sweep(small_civ, [2, 4], matrix=matrix)
+        cache = StretchComponentCache(list(small_civ))
+        stretch_decomposition(small_civ, sweep[4], cache=cache)
+        built = cache.n_pairs
+        assert built > 0 and cache.hits == 0
+        # The k=2 neighbour sets are prefixes of the k=4 ones: the
+        # second decomposition must be answered entirely from the memo.
+        stretch_decomposition(small_civ, sweep[2], cache=cache)
+        assert cache.n_pairs == built
+        assert cache.hits == len(list(small_civ))
+
+    def test_repeat_decomposition_all_hits(self, toy_dataset):
+        result = kgap(toy_dataset, k=2)
+        cache = StretchComponentCache(list(toy_dataset))
+        stretch_decomposition(toy_dataset, result, cache=cache)
+        built, hits = cache.n_pairs, cache.hits
+        stretch_decomposition(toy_dataset, result, cache=cache)
+        assert cache.n_pairs == built
+        assert cache.hits == hits + built
 
 
 class TestDecomposition:
