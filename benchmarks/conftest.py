@@ -36,7 +36,13 @@ Scale/skip knobs:
   throughput record), ``REPRO_BENCH_STREAM_DAYS`` (default 2);
 * ``REPRO_BENCH_BASELINES_USERS`` (default 48; ``0`` skips the
   baselines comparison record), ``REPRO_BENCH_BASELINES_DAYS``
-  (default 2).
+  (default 2);
+* ``REPRO_BENCH_CONCURRENT_WORKERS`` (default 4; ``0`` skips the
+  ``cache_concurrent`` record), ``REPRO_BENCH_CONCURRENT_USERS``
+  (default 150) — the multi-process single-flight dedup record: M
+  forked workers request the same cold dataset through a shared
+  artifact store (disk and SQLite backends) and the record asserts
+  exactly one compute with byte-identical results.
 
 Every emission record is itself a content-addressed artifact
 (:mod:`repro.core.artifacts`), keyed by its scenario parameters plus a
@@ -54,12 +60,13 @@ from pathlib import Path
 import pytest
 
 from repro.core.artifacts import ArtifactStore, canonical_key, source_digest
+from repro.core.config import env_int
 from repro.core.pipeline import Pipeline
 from repro.core.scenarios import get_scenario
 
-BENCH_USERS = int(os.environ.get("REPRO_BENCH_USERS", "120"))
-BENCH_DAYS = int(os.environ.get("REPRO_BENCH_DAYS", "4"))
-BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+BENCH_USERS = env_int("REPRO_BENCH_USERS", 120)
+BENCH_DAYS = env_int("REPRO_BENCH_DAYS", 4)
+BENCH_SEED = env_int("REPRO_BENCH_SEED", 0)
 
 GLOVE_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_glove.json"
 _REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -70,28 +77,34 @@ BENCH_SCENARIO = get_scenario("bench").scaled(
     n_users=BENCH_USERS, days=BENCH_DAYS, seed=BENCH_SEED
 )
 GLOVE_SCENARIO = get_scenario("glove-500").scaled(
-    n_users=int(os.environ.get("REPRO_BENCH_GLOVE_USERS", "500")),
-    days=int(os.environ.get("REPRO_BENCH_GLOVE_DAYS", "2")),
+    n_users=env_int("REPRO_BENCH_GLOVE_USERS", 500),
+    days=env_int("REPRO_BENCH_GLOVE_DAYS", 2),
     seed=BENCH_SEED,
 )
-SHARD_BENCH_USERS = int(os.environ.get("REPRO_BENCH_SHARD_USERS", "10500"))
+SHARD_BENCH_USERS = env_int("REPRO_BENCH_SHARD_USERS", 10500)
 SHARD_SCENARIO = get_scenario("large-n").scaled(
     n_users=max(SHARD_BENCH_USERS, 1),
-    days=int(os.environ.get("REPRO_BENCH_SHARD_DAYS", "2")),
+    days=env_int("REPRO_BENCH_SHARD_DAYS", 2),
     seed=BENCH_SEED,
 )
-SUITE_BENCH_USERS = int(os.environ.get("REPRO_BENCH_SUITE_USERS", "60"))
+SUITE_BENCH_USERS = env_int("REPRO_BENCH_SUITE_USERS", 60)
 SUITE_SCENARIO = get_scenario("suite").scaled(n_users=max(SUITE_BENCH_USERS, 1))
-STREAM_BENCH_USERS = int(os.environ.get("REPRO_BENCH_STREAM_USERS", "500"))
+STREAM_BENCH_USERS = env_int("REPRO_BENCH_STREAM_USERS", 500)
 STREAM_SCENARIO = get_scenario("stream-500").scaled(
     n_users=max(STREAM_BENCH_USERS, 1),
-    days=int(os.environ.get("REPRO_BENCH_STREAM_DAYS", "2")),
+    days=env_int("REPRO_BENCH_STREAM_DAYS", 2),
     seed=BENCH_SEED,
 )
-BASELINES_BENCH_USERS = int(os.environ.get("REPRO_BENCH_BASELINES_USERS", "48"))
+BASELINES_BENCH_USERS = env_int("REPRO_BENCH_BASELINES_USERS", 48)
 BASELINES_SCENARIO = get_scenario("baselines-smoke").scaled(
     n_users=max(BASELINES_BENCH_USERS, 1),
-    days=int(os.environ.get("REPRO_BENCH_BASELINES_DAYS", "2")),
+    days=env_int("REPRO_BENCH_BASELINES_DAYS", 2),
+    seed=BENCH_SEED,
+)
+CONCURRENT_BENCH_WORKERS = env_int("REPRO_BENCH_CONCURRENT_WORKERS", 4)
+CONCURRENT_SCENARIO = get_scenario("bench").scaled(
+    n_users=max(env_int("REPRO_BENCH_CONCURRENT_USERS", 150), 1),
+    days=2,
     seed=BENCH_SEED,
 )
 
@@ -489,6 +502,78 @@ def _run_baselines_bench() -> dict:
     return record
 
 
+def _cache_concurrent_worker(backend, store_dir, scenario, barrier, out_q):
+    """One contender of the cache_concurrent record (forked process)."""
+    from repro.core.artifacts import ArtifactStore, dataset_digest
+
+    pipeline = Pipeline(ArtifactStore(root=store_dir, backend=backend))
+    barrier.wait()  # maximize contention: everyone requests at once
+    dataset = scenario.synthesize(pipeline)
+    out_q.put((pipeline.stats["dataset"].computed, dataset_digest(dataset)))
+
+
+def _run_cache_concurrent_bench() -> dict:
+    """Single-flight dedup under real multi-process contention.
+
+    M worker processes, each with its own store over one shared root,
+    simultaneously request the same cold scenario dataset.  The seed
+    store (per-process memo over an unlocked LRU) computed it M times;
+    with single-flight locking exactly one worker computes and the
+    rest are served the stored bytes — the property the acceptance
+    criteria pin for both the disk and the SQLite backend.
+    """
+    import multiprocessing as mp
+    import shutil
+    import tempfile
+
+    if "fork" not in mp.get_all_start_methods():
+        return {"skipped": "no fork start method on this host"}
+    ctx = mp.get_context("fork")
+    workers = CONCURRENT_BENCH_WORKERS
+    record = {
+        "n_users": CONCURRENT_SCENARIO.n_users,
+        "days": CONCURRENT_SCENARIO.days,
+        "seed": CONCURRENT_SCENARIO.seed,
+        "workers": workers,
+        # What the pre-single-flight store did on this workload: every
+        # worker missed and computed, so duplicate work scaled with M.
+        "seed_duplicate_computes": workers,
+        "backends": {},
+    }
+    for backend in ("disk", "sqlite"):
+        store_dir = tempfile.mkdtemp(prefix=f"repro-conc-{backend}-")
+        try:
+            barrier = ctx.Barrier(workers)
+            out_q = ctx.Queue()
+            procs = [
+                ctx.Process(
+                    target=_cache_concurrent_worker,
+                    args=(backend, store_dir, CONCURRENT_SCENARIO, barrier, out_q),
+                )
+                for _ in range(workers)
+            ]
+            t0 = time.time()
+            for p in procs:
+                p.start()
+            outs = [out_q.get(timeout=600) for _ in procs]
+            for p in procs:
+                p.join(timeout=60)
+            elapsed = time.time() - t0
+            computes = sum(c for c, _ in outs)
+            record["backends"][backend] = {
+                "wall_s": round(elapsed, 3),
+                "computes": computes,
+                "exactly_one_compute": computes == 1,
+                "byte_identical_results": len({d for _, d in outs}) == 1,
+                # 1.0 means no duplicated work; the seed behavior is
+                # `workers` (everyone recomputed the same artifact).
+                "duplicate_work_factor": computes,
+            }
+        finally:
+            shutil.rmtree(store_dir, ignore_errors=True)
+    return record
+
+
 #: Minimum tests in the session before the timed benchmark runs, so a
 #: deselected one-test run doesn't pay the multi-run glove() price.
 _GLOVE_BENCH_MIN_TESTS = 50
@@ -547,6 +632,15 @@ def pytest_sessionfinish(session, exitstatus):
             _run_baselines_bench,
         )
         origins.add(origin)
+    if CONCURRENT_BENCH_WORKERS > 0:
+        record["cache_concurrent"], origin = _STORE.fetch(
+            "bench",
+            _bench_record_key(
+                f"cache_concurrent[{CONCURRENT_BENCH_WORKERS}]", CONCURRENT_SCENARIO
+            ),
+            _run_cache_concurrent_bench,
+        )
+        origins.add(origin)
     GLOVE_BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
     reporter = session.config.pluginmanager.get_plugin("terminalreporter")
     if reporter is not None:
@@ -581,6 +675,16 @@ def pytest_sessionfinish(session, exitstatus):
             line += (
                 f"; baselines n={base['n_fingerprints']} "
                 f"x{len(base['methods'])} methods ({audit})"
+            )
+        if "cache_concurrent" in record and "backends" in record["cache_concurrent"]:
+            conc = record["cache_concurrent"]
+            deduped = all(
+                row["exactly_one_compute"] for row in conc["backends"].values()
+            )
+            audit = "1 compute" if deduped else "DUPLICATE COMPUTES"
+            line += (
+                f"; cache_concurrent {conc['workers']} workers "
+                f"x{len(conc['backends'])} backends ({audit})"
             )
         if "stream" in record:
             stream = record["stream"]

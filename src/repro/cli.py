@@ -29,9 +29,13 @@ concurrently and the shard boundaries repaired, see DESIGN.md D5.
 ``generate``, ``measure`` and ``anonymize`` request their expensive
 stages (synthesis, k-gap matrices, GLOVE runs) through the
 content-addressed artifact pipeline (:mod:`repro.core.pipeline`);
-repeating a command on unchanged inputs is served from the on-disk
-store (``--no-cache`` recomputes, byte-identically).  ``generate``
-also accepts registered scenario names (``glove generate smoke``).
+repeating a command on unchanged inputs is served from the persistent
+store (``--no-cache`` recomputes, byte-identically).  The store's
+backend is pluggable (``--artifact-backend disk|sqlite|redis``,
+DESIGN.md D10): concurrent ``glove`` invocations requesting the same
+cold artifact compute it exactly once under single-flight locking,
+whatever the backend.  ``generate`` also accepts registered scenario
+names (``glove generate smoke``).
 """
 
 from __future__ import annotations

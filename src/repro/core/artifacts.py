@@ -16,23 +16,36 @@ module provides the storage half of that discipline:
   depends on, folded into every key so editing the algorithms
   invalidates exactly the artifacts they produce (see DESIGN.md D6);
 * :class:`ArtifactStore` -- the two-layer store: a bounded in-process
-  memo (zero-copy hits within a run) over an on-disk LRU-bounded pickle
-  store (hits across runs and processes).
+  memo (zero-copy hits within a run) over a pluggable persistent
+  backend (hits across runs and processes, DESIGN.md D10).
 
-Environment knobs (all read at store construction):
+The persistent layer is an :class:`~repro.core.artifact_backends.
+ArtifactBackend` — local-disk LRU by default, SQLite or Redis by
+selection — and every cold ``fetch()`` runs under the backend's
+**single-flight** lock: N concurrent requests for the same missing
+key, across threads or processes, compute the value exactly once while
+the others block and are then served from the store.  A stale-lock
+timeout bounds the wait, so a crashed owner costs duplicate work, not
+a wedged pipeline.
 
-* ``REPRO_ARTIFACT_DIR`` -- on-disk root (default
+Environment knobs (all read at store construction; malformed values
+degrade to the documented defaults with a warning, never an error):
+
+* ``REPRO_ARTIFACT_DIR`` -- persistent root (default
   ``$XDG_CACHE_HOME/repro`` or ``~/.cache/repro``);
-* ``REPRO_CACHE=0`` -- disable the disk layer entirely;
-* ``REPRO_CACHE_MAX_MB`` -- LRU bound on the total on-disk size
+* ``REPRO_ARTIFACT_BACKEND`` -- persistence backend, ``disk``
+  (default), ``sqlite`` or ``redis``;
+* ``REPRO_CACHE=0`` -- disable the persistent layer entirely;
+* ``REPRO_CACHE_MAX_MB`` -- LRU bound on the total stored size
   (default 512);
 * ``REPRO_CACHE_MAX_ARTIFACT_MB`` -- artifacts serializing above this
-  are memo-only, never written to disk (default 64).
+  are memo-only, never persisted (default 64);
+* ``REPRO_CACHE_STALE_LOCK_S`` -- single-flight stale-lock timeout
+  (default 300).
 
-Disk artifacts are pickles segregated by interpreter version
-(``v1/cpython-3.11/<stage>/<key>.pkl``), written atomically; any read
-failure (corruption, version skew) degrades to a cache miss and the
-value is recomputed.
+Artifacts are pickles segregated by interpreter and numpy version;
+any read failure (corruption, version skew, an unreachable backend)
+degrades to a cache miss and the value is recomputed.
 """
 
 from __future__ import annotations
@@ -42,15 +55,31 @@ import json
 import os
 import pickle
 import sys
-import tempfile
 from collections import OrderedDict
 from dataclasses import is_dataclass, asdict
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-#: Store layout version: bump to orphan every existing on-disk artifact
-#: when the serialization format (not the content) changes.
-STORE_VERSION = "v1"
+from repro.core.artifact_backends import (
+    DEFAULT_STALE_LOCK_S,
+    STORE_VERSION,
+    ArtifactBackend,
+    DiskArtifactBackend,
+    available_artifact_backends,
+    create_artifact_backend,
+)
+from repro.core.config import env_float
+
+__all__ = [
+    "ArtifactStore",
+    "MISS",
+    "STORE_VERSION",
+    "available_artifact_backends",
+    "canonical_key",
+    "dataset_digest",
+    "default_artifact_dir",
+    "source_digest",
+]
 
 _MISS = object()
 
@@ -122,18 +151,21 @@ def source_digest(*modules: str) -> str:
     Folded into artifact keys so a cached value is only ever served
     while the code that produced it is unchanged (DESIGN.md D6).  A
     package name digests every ``*.py`` beneath it; extra plain file
-    paths may be passed directly.  Memoized per process (sources cannot
-    change under a running interpreter).
+    paths may be passed directly.  Files are labelled by their
+    *package-relative* path (not the basename): moving a module
+    between subpackages changes the digest even when its content does
+    not, so a refactor can never serve stale artifacts.  Memoized per
+    process (sources cannot change under a running interpreter).
     """
     cache_key = tuple(modules)
     cached = _SOURCE_DIGESTS.get(cache_key)
     if cached is not None:
         return cached
-    files: List[Path] = []
+    entries: Dict[Path, str] = {}
     for name in modules:
         as_path = Path(name)
         if as_path.suffix == ".py" and as_path.exists():
-            files.append(as_path)
+            entries.setdefault(as_path, as_path.name)
             continue
         import importlib.util
 
@@ -145,12 +177,15 @@ def source_digest(*modules: str) -> str:
             raise ValueError(f"cannot locate sources of {name!r}")
         origin = Path(spec.origin)
         if origin.name == "__init__.py":
-            files.extend(sorted(origin.parent.rglob("*.py")))
+            pkg_root = origin.parent
+            for path in sorted(pkg_root.rglob("*.py")):
+                rel = path.relative_to(pkg_root).as_posix()
+                entries.setdefault(path, f"{name}/{rel}")
         else:
-            files.append(origin)
+            entries.setdefault(origin, name)
     h = hashlib.sha256()
-    for path in sorted(set(files)):
-        h.update(path.name.encode("utf-8"))
+    for path, label in sorted(entries.items(), key=lambda kv: (kv[1], str(kv[0]))):
+        h.update(label.encode("utf-8"))
         h.update(b"\x00")
         h.update(path.read_bytes())
         h.update(b"\x01")
@@ -160,7 +195,7 @@ def source_digest(*modules: str) -> str:
 
 
 def default_artifact_dir() -> Path:
-    """Resolve the on-disk root from the environment."""
+    """Resolve the persistent root from the environment."""
     override = os.environ.get("REPRO_ARTIFACT_DIR")
     if override:
         return Path(override)
@@ -170,22 +205,32 @@ def default_artifact_dir() -> Path:
 
 
 class ArtifactStore:
-    """Two-layer content-addressed store: in-process memo over disk LRU.
+    """Two-layer content-addressed store: in-process memo over a backend.
 
     Parameters
     ----------
     root:
-        On-disk root directory; ``None`` disables the disk layer (the
-        store becomes memo-only).
+        Persistent root directory; ``None`` disables the persistent
+        layer (the store becomes memo-only).
     max_bytes:
-        LRU bound on the total on-disk artifact size; least-recently-
-        *used* files (reads refresh the clock) are evicted first.
+        LRU bound on the total persisted artifact size; least-
+        recently-*used* artifacts (reads refresh the clock) are
+        evicted first.
     max_artifact_bytes:
         Values serializing above this stay memo-only — e.g. the
         pairwise matrix of a 10k-fingerprint ``glove measure`` run is
         ~800 MB and must not wash the cache out.
     memo_entries:
         Bound on the in-process memo (plain LRU on entry count).
+    backend:
+        Name of the persistence backend (``disk``, ``sqlite`` or
+        ``redis``; see :mod:`repro.core.artifact_backends`).
+    stale_lock_timeout:
+        Upper bound, in seconds, that a cold ``fetch()`` waits on
+        another worker's single-flight lock before computing anyway.
+        Computations longer than this may be duplicated (safe, just
+        wasted work); it exists so a crashed owner never wedges the
+        pipeline.
     """
 
     def __init__(
@@ -194,59 +239,82 @@ class ArtifactStore:
         max_bytes: int = 512 * 1024 * 1024,
         max_artifact_bytes: int = 64 * 1024 * 1024,
         memo_entries: int = 64,
+        backend: str = "disk",
+        stale_lock_timeout: float = DEFAULT_STALE_LOCK_S,
     ):
         self.root = Path(root) if root is not None else None
         self.max_bytes = int(max_bytes)
         self.max_artifact_bytes = int(max_artifact_bytes)
         self.memo_entries = int(memo_entries)
+        self.stale_lock_timeout = float(stale_lock_timeout)
         self._memo: "OrderedDict[str, Any]" = OrderedDict()
-        # Running estimate of the disk layer's size: one directory scan
-        # on the first write, then incremental accounting, with a full
-        # rescan only when the estimate crosses the bound — keeps puts
-        # O(1) instead of O(store files) (concurrent writers may make
-        # the estimate drift; eviction re-measures before acting).
-        self._approx_bytes: Optional[int] = None
+        self._backend: Optional[ArtifactBackend] = (
+            create_artifact_backend(
+                backend,
+                root=self.root,
+                max_bytes=self.max_bytes,
+                stale_lock_timeout=self.stale_lock_timeout,
+            )
+            if self.root is not None
+            else None
+        )
 
     @classmethod
-    def from_env(cls, root: Optional[os.PathLike] = None, enabled: Optional[bool] = None) -> "ArtifactStore":
+    def from_env(
+        cls,
+        root: Optional[os.PathLike] = None,
+        enabled: Optional[bool] = None,
+        backend: Optional[str] = None,
+    ) -> "ArtifactStore":
         """Build a store honouring the ``REPRO_CACHE*`` environment.
 
-        ``root``/``enabled`` override the environment (CLI flags use
-        them); with the disk layer gated off the store is memo-only.
+        ``root``/``enabled``/``backend`` override the environment (CLI
+        flags use them); with the persistent layer gated off the store
+        is memo-only.  Env knobs degrade, never error (DESIGN.md D6):
+        malformed sizes fall back to the defaults with a warning, and
+        an unknown ``REPRO_ARTIFACT_BACKEND`` falls back to ``disk``.
         """
         if enabled is None:
             enabled = os.environ.get("REPRO_CACHE", "1") != "0"
-        max_mb = float(os.environ.get("REPRO_CACHE_MAX_MB", "512"))
-        max_artifact_mb = float(os.environ.get("REPRO_CACHE_MAX_ARTIFACT_MB", "64"))
+        max_mb = env_float("REPRO_CACHE_MAX_MB", 512.0)
+        max_artifact_mb = env_float("REPRO_CACHE_MAX_ARTIFACT_MB", 64.0)
+        stale_s = env_float("REPRO_CACHE_STALE_LOCK_S", DEFAULT_STALE_LOCK_S)
+        if backend is None:
+            backend = os.environ.get("REPRO_ARTIFACT_BACKEND", "disk")
+            if backend not in available_artifact_backends():
+                print(
+                    f"warning: ignoring unknown REPRO_ARTIFACT_BACKEND="
+                    f"{backend!r}; using 'disk' "
+                    f"(available: {', '.join(available_artifact_backends())})",
+                    file=sys.stderr,
+                )
+                backend = "disk"
         return cls(
             root=(Path(root) if root is not None else default_artifact_dir()) if enabled else None,
             max_bytes=int(max_mb * 1024 * 1024),
             max_artifact_bytes=int(max_artifact_mb * 1024 * 1024),
+            backend=backend,
+            stale_lock_timeout=stale_s,
         )
 
     # ------------------------------------------------------------------
     # Layout
     # ------------------------------------------------------------------
-    def _stage_dir(self, stage: str) -> Path:
-        # Segregate by interpreter *and* numpy version: numpy upgrades
-        # may change bit-level results (RNG streams, reduction order),
-        # and the cached bytes must always match what --no-cache would
-        # produce on the current stack.
-        import numpy
-
-        runtime = (
-            f"cpython-{sys.version_info.major}.{sys.version_info.minor}"
-            f"-numpy-{numpy.__version__}"
-        )
-        return self.root / STORE_VERSION / runtime / stage
+    @property
+    def backend(self) -> Optional[ArtifactBackend]:
+        """The persistent backend, or ``None`` for a memo-only store."""
+        return self._backend
 
     def _path(self, stage: str, key: str) -> Path:
-        return self._stage_dir(stage) / f"{key}.pkl"
+        """On-disk location of one artifact (``disk`` backend only)."""
+        if not isinstance(self._backend, DiskArtifactBackend):
+            raise TypeError("artifact paths exist only on the 'disk' backend")
+        return self._backend.path(stage, key)
 
     @property
     def disk_enabled(self) -> bool:
         """Whether the persistent layer is active."""
-        return self.root is not None
+        return self._backend is not None
 
     # ------------------------------------------------------------------
     # Access
@@ -257,28 +325,28 @@ class ArtifactStore:
         if memo_key in self._memo:
             self._memo.move_to_end(memo_key)
             return self._memo[memo_key]
-        if self.root is None:
+        if self._backend is None:
             return _MISS
-        path = self._path(stage, key)
         try:
-            with open(path, "rb") as f:
-                value = pickle.load(f)
+            payload = self._backend.get(stage, key)
+        except Exception:
+            payload = None
+        if payload is None:
+            return _MISS
+        try:
+            value = pickle.loads(payload)
         except Exception:
             # Any unreadable artifact — truncated stream, bit rot,
             # version skew in a pickled class — is a miss, never an
             # error (DESIGN.md D6); the value is simply recomputed.
             return _MISS
-        try:
-            os.utime(path)  # refresh the LRU clock
-        except OSError:
-            pass
         self._memoize(memo_key, value)
         return value
 
     def put(self, stage: str, key: str, value: Any) -> None:
-        """Store a value in the memo and (size permitting) on disk."""
+        """Store a value in the memo and (size permitting) the backend."""
         self._memoize(f"{stage}/{key}", value)
-        if self.root is None:
+        if self._backend is None:
             return
         try:
             payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
@@ -286,31 +354,22 @@ class ArtifactStore:
             return  # unpicklable values stay memo-only
         if len(payload) > self.max_artifact_bytes:
             return
-        path = self._path(stage, key)
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as f:
-                    f.write(payload)
-                os.replace(tmp, path)  # atomic under concurrent writers
-            finally:
-                if os.path.exists(tmp):
-                    os.unlink(tmp)
-            if self._approx_bytes is None:
-                self._approx_bytes = self.disk_bytes()
-            else:
-                self._approx_bytes += len(payload)
-            if self._approx_bytes > self.max_bytes:
-                self._evict()
-        except OSError:
-            return  # a read-only or full disk degrades to memo-only
+            self._backend.put(stage, key, payload)
+        except Exception:
+            return  # a failing backend degrades to memo-only
 
     def fetch(self, stage: str, key: str, compute: Callable[[], Any]) -> Tuple[Any, str]:
-        """Value for ``key``, computing on miss.
+        """Value for ``key``, computing on miss — under single flight.
 
         Returns ``(value, origin)`` with origin one of ``"memo"``,
-        ``"disk"`` or ``"computed"``.
+        ``"disk"`` or ``"computed"``.  On a cold key the compute runs
+        inside the backend's single-flight lock: concurrent callers
+        (threads or processes) serialize, the first computes and
+        stores, the rest re-check the store on admission and are
+        served the stored bytes (origin ``"disk"``).  If the stored
+        value cannot be persisted (oversized, unpicklable, write
+        failure), waiters compute their own copy — one at a time.
         """
         memo_key = f"{stage}/{key}"
         if memo_key in self._memo:
@@ -319,9 +378,19 @@ class ArtifactStore:
         value = self.get(stage, key)
         if value is not _MISS:
             return value, "disk"
-        value = compute()
-        self.put(stage, key, value)
-        return value, "computed"
+        if self._backend is None:
+            value = compute()
+            self.put(stage, key, value)
+            return value, "computed"
+        with self._backend.single_flight(stage, key):
+            # The previous flight owner may have stored it while we
+            # waited; re-check before paying for the computation.
+            value = self.get(stage, key)
+            if value is not _MISS:
+                return value, "disk"
+            value = compute()
+            self.put(stage, key, value)
+            return value, "computed"
 
     def contains(self, stage: str, key: str) -> bool:
         """Whether the key is resolvable without computing."""
@@ -336,40 +405,19 @@ class ArtifactStore:
         while len(self._memo) > self.memo_entries:
             self._memo.popitem(last=False)
 
-    def _artifact_files(self) -> List[Path]:
-        if self.root is None or not self.root.exists():
-            return []
-        return [p for p in self.root.rglob("*.pkl") if p.is_file()]
-
     def disk_bytes(self) -> int:
-        """Total bytes currently held by the disk layer."""
-        return sum(p.stat().st_size for p in self._artifact_files())
+        """Total bytes currently held by the persistent layer."""
+        if self._backend is None:
+            return 0
+        return self._backend.stats().total_bytes
 
-    def _evict(self) -> None:
-        """Drop least-recently-used artifacts until within ``max_bytes``."""
-        files = self._artifact_files()
-        sized = []
-        total = 0
-        for p in files:
-            try:
-                st = p.stat()
-            except OSError:
-                continue
-            sized.append((st.st_mtime, st.st_size, p))
-            total += st.st_size
-        if total > self.max_bytes:
-            for _, size, p in sorted(sized):
-                try:
-                    p.unlink()
-                except OSError:
-                    continue
-                total -= size
-                if total <= self.max_bytes:
-                    break
-        self._approx_bytes = total
+    def evict(self) -> None:
+        """Enforce the size bound now (normally automatic on put)."""
+        if self._backend is not None:
+            self._backend.evict()
 
     def clear_memo(self) -> None:
-        """Drop the in-process memo layer (disk artifacts survive)."""
+        """Drop the in-process memo layer (persisted artifacts survive)."""
         self._memo.clear()
 
 

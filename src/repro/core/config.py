@@ -11,13 +11,54 @@ of ~15 min.
 
 from __future__ import annotations
 
+import os
+import sys
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 #: Fingerprints per broadcast chunk in the bulk stretch kernels; bounds
 #: the peak memory of a kernel invocation.  Single source of truth —
 #: :mod:`repro.core.pairwise` and :class:`ComputeConfig` both read it.
 DEFAULT_CHUNK = 256
+
+
+def env_float(name: str, default: Union[int, float]) -> float:
+    """A float environment knob that degrades, never errors.
+
+    Tuning knobs read from the environment (cache bounds, benchmark
+    scales) must not crash a CLI on a typo: a malformed value falls
+    back to the documented default with a one-line warning (the
+    DESIGN.md D6 contract).  Flags that *select semantics* still
+    validate strictly — this helper is for knobs only.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return float(default)
+    try:
+        return float(raw)
+    except ValueError:
+        print(
+            f"warning: ignoring malformed {name}={raw!r}; "
+            f"using default {default:g}",
+            file=sys.stderr,
+        )
+        return float(default)
+
+
+def env_int(name: str, default: int) -> int:
+    """Integer twin of :func:`env_float`: degrade to default, warn once."""
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return int(default)
+    try:
+        return int(raw)
+    except ValueError:
+        print(
+            f"warning: ignoring malformed {name}={raw!r}; "
+            f"using default {default}",
+            file=sys.stderr,
+        )
+        return int(default)
 
 
 @dataclass(frozen=True)

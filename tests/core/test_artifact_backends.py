@@ -1,0 +1,185 @@
+"""Tests of the pluggable artifact backends (DESIGN.md D10).
+
+Backend-level behavior — registry, SQLite round-trips and eviction,
+thread-level single flight — lives here; the multi-*process* contracts
+(the N=8 single-flight acceptance test, the put/get/evict stress test,
+crashed-owner recovery) are in
+:mod:`tests.core.test_artifact_concurrency`.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.artifact_backends import (
+    STORE_VERSION,
+    BackendStats,
+    SQLiteArtifactBackend,
+    available_artifact_backends,
+    create_artifact_backend,
+    runtime_tag,
+)
+from repro.core.artifacts import MISS, ArtifactStore
+
+
+class TestRegistry:
+    def test_all_backends_registered(self):
+        assert available_artifact_backends() == ["disk", "redis", "sqlite"]
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown artifact backend"):
+            create_artifact_backend("etcd", root=tmp_path, max_bytes=1024)
+
+    def test_disk_and_sqlite_constructible(self, tmp_path):
+        for name in ("disk", "sqlite"):
+            backend = create_artifact_backend(name, root=tmp_path, max_bytes=1024)
+            assert backend.name == name
+
+    def test_redis_requires_the_extra(self, tmp_path):
+        try:
+            import redis  # noqa: F401
+
+            pytest.skip("redis client installed; the stub gate cannot fire")
+        except ImportError:
+            pass
+        with pytest.raises(RuntimeError, match="redis"):
+            create_artifact_backend("redis", root=tmp_path, max_bytes=1024)
+
+
+class TestSQLiteBackend:
+    def test_round_trip_and_stats(self, tmp_path):
+        backend = SQLiteArtifactBackend(root=tmp_path, max_bytes=1 << 20)
+        assert backend.get("s", "k") is None
+        backend.put("s", "k", b"payload-bytes")
+        assert backend.get("s", "k") == b"payload-bytes"
+        assert backend.stats() == BackendStats(artifacts=1, total_bytes=13)
+
+    def test_persists_across_instances(self, tmp_path):
+        SQLiteArtifactBackend(root=tmp_path, max_bytes=1 << 20).put("s", "k", b"v")
+        again = SQLiteArtifactBackend(root=tmp_path, max_bytes=1 << 20)
+        assert again.get("s", "k") == b"v"
+        assert (tmp_path / f"artifacts-{STORE_VERSION}.sqlite").exists()
+
+    def test_single_file_not_file_per_artifact(self, tmp_path):
+        backend = SQLiteArtifactBackend(root=tmp_path, max_bytes=1 << 20)
+        for i in range(20):
+            backend.put("s", f"k{i}", b"x" * 100)
+        assert list(tmp_path.rglob("*.pkl")) == []
+
+    def test_namespaced_by_runtime(self, tmp_path):
+        backend = SQLiteArtifactBackend(root=tmp_path, max_bytes=1 << 20)
+        backend.put("s", "k", b"v")
+        other = SQLiteArtifactBackend(root=tmp_path, max_bytes=1 << 20)
+        other._runtime = "cpython-0.0-numpy-0"  # a different stack
+        assert other.get("s", "k") is None
+
+    def test_lru_eviction_by_atime(self, tmp_path):
+        backend = SQLiteArtifactBackend(root=tmp_path, max_bytes=10_000)
+        payload = b"x" * 4000
+        backend.put("s", "a", payload)
+        backend.put("s", "b", payload)
+        # Age 'b' so it is the least recently used...
+        with backend._tx() as conn:
+            conn.execute(
+                "UPDATE artifacts SET atime=1 WHERE key='b'",
+            )
+        backend.get("s", "a")
+        # ...then push past the bound.
+        backend.put("s", "c", payload)
+        assert backend.get("s", "a") is not None
+        assert backend.get("s", "c") is not None
+        assert backend.get("s", "b") is None
+        assert backend.stats().total_bytes <= 10_000
+
+    def test_store_round_trip_through_sqlite(self, tmp_path):
+        import numpy as np
+
+        store = ArtifactStore(root=tmp_path, backend="sqlite")
+        value = {"arr": np.arange(5.0)}
+        store.put("stage", "k1", value)
+        store.clear_memo()
+        loaded = store.get("stage", "k1")
+        assert np.array_equal(loaded["arr"], value["arr"])
+
+    def test_store_path_only_meaningful_on_disk(self, tmp_path):
+        store = ArtifactStore(root=tmp_path, backend="sqlite")
+        with pytest.raises(TypeError):
+            store._path("s", "k")
+
+    def test_corrupt_database_degrades_to_miss(self, tmp_path):
+        store = ArtifactStore(root=tmp_path, backend="sqlite")
+        store.put("s", "k", [1, 2, 3])
+        store.clear_memo()
+        store.backend.db_path.write_bytes(b"this is not a sqlite file")
+        assert store.get("s", "k") is MISS
+        assert store.fetch("s", "k", lambda: "recomputed")[1] == "computed"
+
+
+@pytest.mark.parametrize("backend", ["disk", "sqlite"])
+class TestThreadSingleFlight:
+    def test_concurrent_cold_fetch_computes_once(self, tmp_path, backend):
+        n = 6
+        computes = []
+        barrier = threading.Barrier(n)
+        results = [None] * n
+
+        def worker(i):
+            # Each thread builds its own store over the shared root so
+            # the in-process memo cannot mask the backend-level lock.
+            store = ArtifactStore(root=tmp_path, backend=backend)
+            barrier.wait()
+
+            def compute():
+                computes.append(i)
+                time.sleep(0.05)  # widen the race window
+                return {"value": 42}
+
+            results[i] = store.fetch("stage", "cold-key", compute)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(computes) == 1
+        assert all(value == {"value": 42} for value, _ in results)
+        origins = sorted(origin for _, origin in results)
+        assert origins == ["computed"] + ["disk"] * (n - 1)
+
+    def test_timeout_caps_the_wait(self, tmp_path, backend):
+        # A wedged owner (lock held, never releasing) must not block a
+        # waiter beyond the stale timeout.
+        store = ArtifactStore(
+            root=tmp_path, backend=backend, stale_lock_timeout=0.4
+        )
+        blocker = ArtifactStore(
+            root=tmp_path, backend=backend, stale_lock_timeout=30.0
+        )
+        entered = threading.Event()
+        release = threading.Event()
+
+        def hold():
+            with blocker.backend.single_flight("stage", "key"):
+                entered.set()
+                release.wait(timeout=30)
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        try:
+            assert entered.wait(timeout=5)
+            t0 = time.monotonic()
+            value, origin = store.fetch("stage", "key", lambda: "computed anyway")
+            waited = time.monotonic() - t0
+            assert value == "computed anyway"
+            assert origin == "computed"
+            assert 0.3 <= waited < 5.0  # bounded: timeout, not a wedge
+        finally:
+            release.set()
+            holder.join(timeout=10)
+
+
+def test_runtime_tag_shape():
+    tag = runtime_tag()
+    assert tag.startswith("cpython-")
+    assert "-numpy-" in tag

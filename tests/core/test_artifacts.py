@@ -185,3 +185,118 @@ class TestArtifactStore:
         store.put("s", "k", value)
         assert store.get("s", "k") is value
         assert list(tmp_path.rglob("*.pkl")) == []
+
+    def test_reput_does_not_inflate_size_accounting(self, tmp_path):
+        # Regression: put() used to add len(payload) on every write
+        # without subtracting the replaced artifact, so re-putting one
+        # key drifted the estimate upward until it crossed max_bytes
+        # and evicted a store that was nowhere near full.
+        payload = os.urandom(2000)
+        store = ArtifactStore(root=tmp_path, max_bytes=100_000)
+        for _ in range(100):
+            store.put("s", "same-key", payload)
+        actual = store.disk_bytes()
+        assert store.backend._approx_bytes == actual
+        # 100 re-puts of a ~2 KB pickle must not approach the bound...
+        assert actual < 10_000
+        # ...and nothing may have been evicted.
+        store.clear_memo()
+        assert store.get("s", "same-key") is not MISS
+
+    def test_stale_tmp_files_swept_on_eviction(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        store.put("s", "k", b"payload")
+        stage_dir = store._path("s", "k").parent
+        stale = stage_dir / "orphanAAAA.tmp"
+        stale.write_bytes(b"half-written by a killed worker")
+        os.utime(stale, (1, 1))  # ancient: well past the sweep age
+        fresh = stage_dir / "orphanBBBB.tmp"
+        fresh.write_bytes(b"another writer, mid-flight right now")
+        store.evict()
+        assert not stale.exists()  # orphan swept
+        assert fresh.exists()  # in-flight writer untouched
+        store.clear_memo()
+        assert store.get("s", "k") is not MISS
+
+
+class TestFromEnvDegradation:
+    def test_malformed_size_knobs_fall_back_with_warning(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "lots")
+        monkeypatch.setenv("REPRO_CACHE_MAX_ARTIFACT_MB", "64MB")
+        store = ArtifactStore.from_env(root=tmp_path)  # must not raise
+        assert store.max_bytes == 512 * 1024 * 1024
+        assert store.max_artifact_bytes == 64 * 1024 * 1024
+        err = capsys.readouterr().err
+        assert "REPRO_CACHE_MAX_MB" in err
+        assert "REPRO_CACHE_MAX_ARTIFACT_MB" in err
+
+    def test_malformed_stale_lock_knob_falls_back(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_STALE_LOCK_S", "five minutes")
+        store = ArtifactStore.from_env(root=tmp_path)
+        assert store.stale_lock_timeout == 300.0
+        assert "REPRO_CACHE_STALE_LOCK_S" in capsys.readouterr().err
+
+    def test_unknown_backend_falls_back_to_disk(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_ARTIFACT_BACKEND", "etcd")
+        store = ArtifactStore.from_env(root=tmp_path)
+        assert store.backend.name == "disk"
+        assert "REPRO_ARTIFACT_BACKEND" in capsys.readouterr().err
+
+    def test_env_backend_honoured(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_ARTIFACT_BACKEND", "sqlite")
+        store = ArtifactStore.from_env(root=tmp_path)
+        assert store.backend.name == "sqlite"
+
+    def test_explicit_backend_overrides_env(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_ARTIFACT_BACKEND", "sqlite")
+        store = ArtifactStore.from_env(root=tmp_path, backend="disk")
+        assert store.backend.name == "disk"
+
+
+class TestSourceDigestRelativePaths:
+    def _make_package(self, root, body_a, body_b):
+        """A tiny package with two same-basename modules in different
+        subpackages — the shape the basename-only digest conflated."""
+        pkg = root / "digestpkg"
+        for sub in ("alpha", "beta"):
+            (pkg / sub).mkdir(parents=True)
+            (pkg / sub / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "alpha" / "mod.py").write_text(body_a)
+        (pkg / "beta" / "mod.py").write_text(body_b)
+        return pkg
+
+    def test_moving_a_module_changes_the_digest(self, tmp_path, monkeypatch):
+        # Regression: only path.name entered the hash, so moving a
+        # module between subpackages (same basename, same bytes) kept
+        # the digest stable and could serve stale artifacts.
+        import importlib
+        import sys
+
+        monkeypatch.syspath_prepend(str(tmp_path))
+        self._make_package(tmp_path, "A = 1\n", "B = 2\n")
+        importlib.invalidate_caches()
+        from repro.core import artifacts
+
+        monkeypatch.setattr(artifacts, "_SOURCE_DIGESTS", {})
+        before = source_digest("digestpkg")
+        # Swap the two files: identical byte *set*, different layout.
+        a = (tmp_path / "digestpkg" / "alpha" / "mod.py").read_text()
+        b = (tmp_path / "digestpkg" / "beta" / "mod.py").read_text()
+        (tmp_path / "digestpkg" / "alpha" / "mod.py").write_text(b)
+        (tmp_path / "digestpkg" / "beta" / "mod.py").write_text(a)
+        monkeypatch.setattr(artifacts, "_SOURCE_DIGESTS", {})
+        after = source_digest("digestpkg")
+        sys.modules.pop("digestpkg", None)
+        assert before != after

@@ -219,6 +219,28 @@ class TestPipelineFlags:
         ) == 0
         assert "2-gap" in capsys.readouterr().out
 
+    def test_anonymize_sqlite_backend_reuses_cache(self, raw_csv, tmp_path, capsys):
+        store = tmp_path / "store"
+        first = tmp_path / "pub1.csv"
+        second = tmp_path / "pub2.csv"
+        for out in (first, second):
+            assert main(
+                ["anonymize", str(raw_csv), "-k", "2",
+                 "--artifact-dir", str(store), "--artifact-backend", "sqlite",
+                 "-o", str(out)]
+            ) == 0
+        assert first.read_bytes() == second.read_bytes()
+        assert list(store.glob("artifacts-*.sqlite"))  # one database file
+        assert not list(store.rglob("*.pkl"))  # no per-artifact files
+
+    def test_unknown_artifact_backend_rejected(self, raw_csv, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["anonymize", str(raw_csv), "-k", "2",
+                 "--artifact-backend", "etcd", "-o", str(tmp_path / "out.csv")]
+            )
+        assert excinfo.value.code == 2  # argparse choices
+
 
 class TestStream:
     """The ``glove stream`` subcommand end-to-end."""
