@@ -17,7 +17,9 @@ root: wall-clock of a seeded 500-fingerprint ``glove()`` run per
 compute backend against the pre-engine dense-matrix baseline
 (:mod:`benchmarks.seed_path`), a ``kernel`` microbenchmark of the
 per-call ``one_vs_all`` dispatch cost (numpy vs compiled tier, small
-and large target counts), a 10k+-fingerprint sharded-tier audit,
+and large target counts) plus the batched multi-probe entries at batch
+sizes 1/8/64, a 10k+-fingerprint sharded-tier audit with dispatch
+counters and a ``kernel_threads`` byte-identity sweep,
 a ``suite_cached`` record timing a repeated experiment-suite run cold
 vs warm through the artifact pipeline, a ``stream`` record with the
 streaming tier's throughput and per-window latency on the stream-500
@@ -215,6 +217,14 @@ def _run_glove_bench() -> dict:
     record["kernel_tier"] = kernels.COMPILED_TIER
     if kernels.COMPILED_AVAILABLE:
         compute_by_backend["compiled"] = ComputeConfig(backend="compiled")
+        # Thread-splitter rows: identical bytes are part of the record
+        # (byte-identity at any kernel_threads, DESIGN.md D11).
+        compute_by_backend["compiled-t2"] = ComputeConfig(
+            backend="compiled", kernel_threads=2
+        )
+        compute_by_backend["compiled-t8"] = ComputeConfig(
+            backend="compiled", kernel_threads=8
+        )
     for backend, compute in compute_by_backend.items():
         t0 = time.time()
         result = glove(dataset, config, compute)
@@ -223,14 +233,23 @@ def _run_glove_bench() -> dict:
             a.members == b.members and np.array_equal(a.data, b.data)
             for a, b in zip(result.dataset, baseline.dataset)
         )
+        stats = result.stats
         record["backends"][backend] = {
             "wall_s": round(elapsed, 3),
             "parallel_targets_threshold": compute.parallel_targets_threshold,
             "speedup_vs_seed_path": round(seed_s / elapsed, 2) if elapsed > 0 else None,
-            "exact_evaluations": result.stats.n_exact_evaluations,
-            "pruned_evaluations": result.stats.n_pruned_evaluations,
+            "exact_evaluations": stats.n_exact_evaluations,
+            "pruned_evaluations": stats.n_pruned_evaluations,
+            "boundary_crossings": stats.n_boundary_crossings,
+            "probe_dispatches": stats.n_probe_dispatches,
+            "batched_probes": stats.n_batched_probes,
+            "probes_per_crossing": round(
+                stats.n_probe_dispatches / max(stats.n_boundary_crossings, 1), 1
+            ),
             "identical_to_seed_path": consistent,
         }
+        if compute.kernel_threads is not None:
+            record["backends"][backend]["kernel_threads"] = compute.kernel_threads
 
     # The sharded tier on the same scenario: output is k-anonymous but
     # not byte-identical at shards > 1 (grouping is shard-local), so the
@@ -245,6 +264,9 @@ def _run_glove_bench() -> dict:
         "speedup_vs_seed_path": round(seed_s / elapsed, 2) if elapsed > 0 else None,
         "exact_evaluations": sharded.stats.n_exact_evaluations,
         "pruned_evaluations": sharded.stats.n_pruned_evaluations,
+        "boundary_crossings": sharded.stats.n_boundary_crossings,
+        "probe_dispatches": sharded.stats.n_probe_dispatches,
+        "batched_probes": sharded.stats.n_batched_probes,
         "k_anonymous": sharded.dataset.is_k_anonymous(config.k),
         "covers_all_users": sharded.dataset.n_users == dataset.n_users,
     }
@@ -318,12 +340,56 @@ def _run_kernel_bench() -> dict:
             / record["backends"]["compiled"]["small"]["per_call_us"],
             2,
         )
+        # The batched multi-probe entries: one native call moves the
+        # whole probe batch, so the per-probe dispatch cost amortizes
+        # with batch size while the per-probe one_vs_all loop pays the
+        # full Python→native crossing every row.
+        compiled = backends["compiled"]
+        targets = target_sets["small"]
+        batched = {}
+        for batch_size in (1, 8, 64):
+            probes = [fps[i % n].data for i in range(batch_size)]
+            counts = [fps[i % n].count for i in range(batch_size)]
+            calls = max(4, 256 // batch_size)
+            out = compiled.many_vs_all(probes, counts, packed, targets)  # warm-up
+            t0 = time.perf_counter()
+            for _ in range(calls):
+                out = compiled.many_vs_all(probes, counts, packed, targets)
+            batched_elapsed = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            for _ in range(calls):
+                loop = np.stack(
+                    [
+                        compiled.one_vs_all(p, float(c), packed, targets)
+                        for p, c in zip(probes, counts)
+                    ]
+                )
+            loop_elapsed = time.perf_counter() - t0
+            per_probe = batched_elapsed / calls / batch_size
+            per_probe_loop = loop_elapsed / calls / batch_size
+            batched[str(batch_size)] = {
+                "per_probe_us": round(per_probe * 1e6, 2),
+                "per_probe_loop_us": round(per_probe_loop * 1e6, 2),
+                "batched_speedup": round(per_probe_loop / per_probe, 2)
+                if per_probe > 0
+                else None,
+                "crossings_per_call": 1,
+                "probes_per_crossing": batch_size,
+                "identical_to_loop": bool(np.array_equal(out, loop)),
+            }
+        record["batched_dispatch"] = batched
     return record
 
 
 def _run_shard_bench() -> dict:
     """Sharded GLOVE on a 10k+-fingerprint population, audited for
-    k-anonymity with the reusable test-harness checker."""
+    k-anonymity with the reusable test-harness checker.
+
+    Also sweeps the compiled tier's ``kernel_threads`` splitter over the
+    same workload: every thread count must produce byte-identical output
+    (the record stores the digests' agreement, not just wall time).
+    """
+    from repro.core.artifacts import dataset_digest
     from repro.core.config import ComputeConfig, GloveConfig
     from repro.core.glove import glove
 
@@ -347,21 +413,45 @@ def _run_shard_bench() -> dict:
     # Coverage is judged independently of the group-size audit so the
     # record attributes a regression to the right invariant.
     covered = {member for fp in result.dataset for member in fp.members}
-    return {
+    stats = result.stats
+    record = {
         "n_fingerprints": len(dataset),
+        "n_users": SHARD_SCENARIO.n_users,
         "days": SHARD_SCENARIO.days,
         "seed": SHARD_SCENARIO.seed,
         "k": config.k,
         "backend": "sharded",
-        "shards_used": result.stats.shards_used,
+        "shards_used": stats.shards_used,
         "shard_strategy": compute.shard_strategy,
-        "boundary_repaired": result.stats.boundary_repaired,
+        "boundary_repaired": stats.boundary_repaired,
         "wall_s": round(elapsed, 3),
-        "n_merges": result.stats.n_merges,
+        "n_merges": stats.n_merges,
         "n_output_groups": len(result.dataset),
+        "boundary_crossings": stats.n_boundary_crossings,
+        "probe_dispatches": stats.n_probe_dispatches,
+        "batched_probes": stats.n_batched_probes,
+        "probes_per_crossing": round(
+            stats.n_probe_dispatches / max(stats.n_boundary_crossings, 1), 1
+        ),
         "k_anonymous": k_anonymous,
         "covers_all_users": covered == set(dataset.uids),
     }
+    from repro.core import kernels
+
+    record["kernel_tier"] = kernels.COMPILED_TIER
+    if kernels.COMPILED_AVAILABLE:
+        digests = {1: dataset_digest(result.dataset)}
+        sweep = {"1": {"wall_s": record["wall_s"]}}
+        for nt in (2, 8):
+            t0 = time.time()
+            swept = glove(
+                dataset, config, ComputeConfig(backend="sharded", kernel_threads=nt)
+            )
+            sweep[str(nt)] = {"wall_s": round(time.time() - t0, 3)}
+            digests[nt] = dataset_digest(swept.dataset)
+        record["kernel_threads_sweep"] = sweep
+        record["identical_across_thread_counts"] = len(set(digests.values())) == 1
+    return record
 
 
 def _run_suite_bench() -> dict:
@@ -611,8 +701,12 @@ def pytest_sessionfinish(session, exitstatus):
     )
     origins.add(origin)
     if SHARD_BENCH_USERS > 0:
+        # Tier-keyed like the kernel row: the thread sweep and dispatch
+        # counters describe the resolved compiled tier.
         record["large_n"], origin = _STORE.fetch(
-            "bench", _bench_record_key("large_n", SHARD_SCENARIO), _run_shard_bench
+            "bench",
+            _bench_record_key(f"large_n[{_kernels.COMPILED_TIER}]", SHARD_SCENARIO),
+            _run_shard_bench,
         )
         origins.add(origin)
     if SUITE_BENCH_USERS > 0:

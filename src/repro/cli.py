@@ -201,6 +201,14 @@ def cmd_anonymize(args) -> int:
             f"{temporal.median:.0f} min; "
             f"suppressed {stats.suppression.discarded_fraction:.1%} of samples"
         )
+        if stats.n_boundary_crossings:
+            per_crossing = stats.n_probe_dispatches / stats.n_boundary_crossings
+            print(
+                f"dispatch: {stats.n_probe_dispatches} probe rows in "
+                f"{stats.n_boundary_crossings} kernel calls "
+                f"({per_crossing:.1f} probes/call, "
+                f"{stats.n_batched_probes} via batched entries)"
+            )
     else:
         s = result.stats
         print(

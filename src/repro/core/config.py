@@ -119,6 +119,15 @@ class ComputeConfig:
         ``process``/``auto`` backends: minimum number of targets in a
         one-vs-all call before it is sharded across the pool (below it,
         pool overhead exceeds kernel time and the call runs inline).
+    kernel_threads:
+        Worker threads splitting a batched multi-probe kernel call in
+        the ``compiled`` backend.  Probes are independent, so the split
+        is byte-identical by construction at any thread count (DESIGN.md
+        D11); the native kernels release the GIL, so threads scale on
+        multi-core hosts without process-pool pickling.  ``None`` reads
+        the ``REPRO_KERNEL_THREADS`` environment knob (default 1).
+        Composes with shard-level ``workers``: each shard process splits
+        its own probe batches.
     """
 
     backend: str = "auto"
@@ -131,12 +140,17 @@ class ComputeConfig:
     lb_max_buckets: int = 48
     parallel_matrix_threshold: int = 192
     parallel_targets_threshold: int = 4096
+    kernel_threads: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.chunk < 1:
             raise ValueError(f"chunk must be at least 1, got {self.chunk}")
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be at least 1 or None, got {self.workers}")
+        if self.kernel_threads is not None and self.kernel_threads < 1:
+            raise ValueError(
+                f"kernel_threads must be at least 1 or None, got {self.kernel_threads}"
+            )
         if self.shards is not None and self.shards < 1:
             raise ValueError(f"shards must be at least 1 or None, got {self.shards}")
         if self.shard_strategy not in ("time", "hash"):
@@ -189,6 +203,14 @@ def add_compute_arguments(parser, pruning: bool = False) -> None:
         help="sharded backend partitioning rule (default: time = "
         "activity-midpoint locality; hash = deterministic uid hash)",
     )
+    parser.add_argument(
+        "--kernel-threads",
+        type=int,
+        default=None,
+        help="worker threads per batched compiled-kernel call (default: "
+        "REPRO_KERNEL_THREADS or 1; results are byte-identical at any "
+        "thread count)",
+    )
     if pruning:
         parser.add_argument(
             "--no-prune",
@@ -214,6 +236,8 @@ def compute_config_from_args(args) -> "ComputeConfig":
         kwargs["shards"] = args.shards
     if getattr(args, "shard_strategy", None) is not None:
         kwargs["shard_strategy"] = args.shard_strategy
+    if getattr(args, "kernel_threads", None) is not None:
+        kwargs["kernel_threads"] = args.kernel_threads
     if getattr(args, "no_prune", False):
         kwargs["pruning"] = False
     try:

@@ -27,15 +27,21 @@ from __future__ import annotations
 
 import abc
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, List, Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core import kernels
-from repro.core.config import ComputeConfig, StretchConfig
+from repro.core.config import ComputeConfig, StretchConfig, env_int
 from repro.core.fingerprint import Fingerprint
-from repro.core.pairwise import PaddedFingerprints, many_vs_all, many_vs_some, one_vs_all
+from repro.core.pairwise import (
+    PaddedFingerprints,
+    ProbeBatch,
+    many_vs_all,
+    many_vs_some,
+    one_vs_all,
+)
 from repro.core.sample import DT, DX, DY, NCOLS, T, X, Y
 
 # ----------------------------------------------------------------------
@@ -68,6 +74,19 @@ def _effective_workers(compute: ComputeConfig) -> int:
     if compute.workers is not None:
         return compute.workers
     return min(os.cpu_count() or 1, 8)
+
+
+def _effective_kernel_threads(compute: ComputeConfig) -> int:
+    """Resolved intra-batch thread count of the compiled tier.
+
+    The explicit config field wins; otherwise the
+    ``REPRO_KERNEL_THREADS`` environment knob applies (default 1).  The
+    env knob degrades to 1 on out-of-range values — only the config
+    field / CLI flag validates strictly (DESIGN.md D6).
+    """
+    if compute.kernel_threads is not None:
+        return compute.kernel_threads
+    return max(1, env_int("REPRO_KERNEL_THREADS", 1))
 
 
 def grow_array(arr: np.ndarray, capacity: int, fill=0) -> np.ndarray:
@@ -201,6 +220,28 @@ class StretchBackend(abc.ABC):
     def __init__(self, compute: ComputeConfig, stretch: StretchConfig):
         self.compute = compute
         self.stretch = stretch
+        #: Python→kernel transitions: one per kernel invocation (a
+        #: batched native call moving P probes still counts one).
+        self.n_boundary_crossings = 0
+        #: Probe rows dispatched, across all entry points.
+        self.n_probe_dispatches = 0
+        #: Probe rows that went through a *batched* multi-probe kernel
+        #: entry (native ``many_vs_all``/``many_vs_some``); zero on
+        #: tiers that fall back to per-probe loops.
+        self.n_batched_probes = 0
+
+    def dispatch_counters(self) -> Tuple[int, int, int]:
+        """``(boundary_crossings, probe_dispatches, batched_probes)``.
+
+        Composite backends override this to aggregate their children so
+        a silent per-probe fallback is visible in run stats instead of
+        only in wall time.
+        """
+        return (
+            self.n_boundary_crossings,
+            self.n_probe_dispatches,
+            self.n_batched_probes,
+        )
 
     @abc.abstractmethod
     def one_vs_all(
@@ -281,6 +322,8 @@ class NumpyBackend(StretchBackend):
     name = "numpy"
 
     def one_vs_all(self, probe_data, probe_count, packed, targets):
+        self.n_boundary_crossings += 1
+        self.n_probe_dispatches += 1
         return one_vs_all(
             probe_data,
             probe_count,
@@ -294,12 +337,18 @@ class NumpyBackend(StretchBackend):
         targets = np.asarray(targets, dtype=np.int64)
         if not len(probes):
             return np.empty((0, targets.size), dtype=np.float64)
+        # The broadcast kernel shares target gathers across probes but
+        # still enters the chunked kernel once per probe row.
+        self.n_boundary_crossings += len(probes)
+        self.n_probe_dispatches += len(probes)
         return many_vs_all(
             probes, probe_counts, packed, self.stretch,
             indices=targets, chunk=self.compute.chunk,
         )
 
     def many_vs_some(self, probes, probe_counts, packed, targets_list):
+        self.n_boundary_crossings += len(probes)
+        self.n_probe_dispatches += len(probes)
         return many_vs_some(
             probes, probe_counts, packed, targets_list,
             self.stretch, chunk=self.compute.chunk,
@@ -405,13 +454,16 @@ class ProcessBackend(StretchBackend):
 
     def one_vs_all(self, probe_data, probe_count, packed, targets):
         targets = np.asarray(targets, dtype=np.int64)
+        self.n_probe_dispatches += 1
         if self.workers <= 1 or targets.size < self.compute.parallel_targets_threshold:
+            self.n_boundary_crossings += 1
             return one_vs_all(
                 probe_data, probe_count, packed, self.stretch,
                 indices=targets, chunk=self.compute.chunk,
             )
         shards = np.array_split(targets, self.workers)
         shards = [s for s in shards if s.size]
+        self.n_boundary_crossings += len(shards)
         tasks = [
             (
                 probe_data,
@@ -490,22 +542,124 @@ class CompiledBackend(StretchBackend):
                 "'glove-repro[compiled]') and no system C compiler is "
                 "available; select the 'numpy' / 'auto' backend instead"
             )
+        self.kernel_threads = _effective_kernel_threads(compute)
+        self._threads: Optional[ThreadPoolExecutor] = None
 
     def _args(self):
         cfg = self.stretch
         return cfg.w_sigma, cfg.w_tau, cfg.phi_max_sigma_m, cfg.phi_max_tau_min
 
+    def _thread_pool(self) -> ThreadPoolExecutor:
+        if self._threads is None:
+            self._threads = ThreadPoolExecutor(max_workers=self.kernel_threads)
+        return self._threads
+
+    def _probe_slices(self, n_probes: int) -> List[Tuple[int, int]]:
+        """Contiguous ``[start, end)`` sub-batches for the thread splitter.
+
+        Probes are mutually independent in the batched kernels (each
+        (probe, target) pair re-zeroes its scratch; see DESIGN.md D11),
+        so splitting a batch into contiguous slices — whatever the
+        count — reproduces the unsplit call bit for bit.  The split
+        only decides which GIL-released native call computes each row.
+        """
+        nt = min(self.kernel_threads, n_probes)
+        if nt <= 1:
+            return [(0, n_probes)]
+        step = -(-n_probes // nt)
+        return [(s, min(s + step, n_probes)) for s in range(0, n_probes, step)]
+
     def one_vs_all(self, probe_data, probe_count, packed, targets):
         targets = np.asarray(targets, dtype=np.int64)
+        self.n_boundary_crossings += 1
+        self.n_probe_dispatches += 1
         return kernels.one_vs_all_arrays(
             np.ascontiguousarray(probe_data), float(probe_count),
             packed.data, packed.lengths, packed.counts, targets, *self._args(),
         )
 
+    def many_vs_all(self, probes, probe_counts, packed, targets):
+        targets = np.asarray(targets, dtype=np.int64)
+        P = len(probes)
+        if P == 0:
+            return np.empty((0, targets.size), dtype=np.float64)
+        batch = ProbeBatch(probes, probe_counts)
+        slices = self._probe_slices(P)
+        self.n_boundary_crossings += len(slices)
+        self.n_probe_dispatches += P
+        self.n_batched_probes += P
+        args = self._args()
+
+        def run(s: int, e: int) -> np.ndarray:
+            return kernels.many_vs_all_arrays(
+                batch.data[s:e], batch.lengths[s:e], batch.counts[s:e],
+                packed.data, packed.lengths, packed.counts, targets, *args,
+            )
+
+        if len(slices) == 1:
+            return run(0, P)
+        out = np.empty((P, targets.size), dtype=np.float64)
+        futures = [(s, self._thread_pool().submit(run, s, e)) for s, e in slices]
+        for s, fut in futures:
+            rows = fut.result()
+            out[s : s + rows.shape[0]] = rows
+        return out
+
+    def many_vs_some(self, probes, probe_counts, packed, targets_list):
+        P = len(probes)
+        if P == 0:
+            return []
+        t_arrays = [np.asarray(t, dtype=np.int64) for t in targets_list]
+        offsets = np.zeros(P + 1, dtype=np.int64)
+        np.cumsum([t.size for t in t_arrays], out=offsets[1:])
+        total = int(offsets[-1])
+        flat_out = np.empty(total, dtype=np.float64)
+        if total:
+            flat_targets = np.concatenate(t_arrays)
+            batch = ProbeBatch(probes, probe_counts)
+            # Slices with no targets dispatch nothing (the frontier may
+            # batch probes whose candidate lists all emptied).
+            slices = [
+                (s, e) for s, e in self._probe_slices(P) if offsets[e] > offsets[s]
+            ]
+            self.n_boundary_crossings += len(slices)
+            args = self._args()
+
+            def run(s: int, e: int) -> np.ndarray:
+                # Rebase the CSR offsets so each sub-batch addresses its
+                # own flat slice starting at zero.
+                return kernels.many_vs_some_arrays(
+                    batch.data[s:e], batch.lengths[s:e], batch.counts[s:e],
+                    packed.data, packed.lengths, packed.counts,
+                    flat_targets[offsets[s] : offsets[e]],
+                    np.ascontiguousarray(offsets[s : e + 1] - offsets[s]),
+                    *args,
+                )
+
+            if len(slices) == 1:
+                s, e = slices[0]
+                flat_out[offsets[s] : offsets[e]] = run(s, e)
+            else:
+                futures = [
+                    (s, e, self._thread_pool().submit(run, s, e)) for s, e in slices
+                ]
+                for s, e, fut in futures:
+                    flat_out[offsets[s] : offsets[e]] = fut.result()
+        self.n_probe_dispatches += P
+        self.n_batched_probes += P
+        return [flat_out[offsets[p] : offsets[p + 1]] for p in range(P)]
+
     def pairwise_matrix(self, packed):
+        self.n_boundary_crossings += 1
+        self.n_probe_dispatches += len(packed)
         return kernels.pairwise_matrix_arrays(
             packed.data, packed.lengths, packed.counts, *self._args()
         )
+
+    def close(self) -> None:
+        if self._threads is not None:
+            self._threads.shutdown()
+            self._threads = None
 
 
 class AutoBackend(StretchBackend):
@@ -559,7 +713,33 @@ class AutoBackend(StretchBackend):
             return self._pooled().pairwise_matrix(packed)
         return self._inline.pairwise_matrix(packed)
 
+    def dispatch_counters(self) -> Tuple[int, int, int]:
+        """Aggregate over the delegate tiers.
+
+        Multi-probe calls route to the inline tier unconditionally;
+        before these counters that was a *silent* per-probe fallback
+        whenever no compiled binding existed — now a batched frontier
+        that degraded to P crossings per pass is visible in
+        :class:`repro.core.glove.GloveStats` and the kernel benchmark
+        row rather than only in wall time.
+        """
+        children = [self._numpy]
+        if self._inline is not self._numpy:
+            children.append(self._inline)
+        if self._process is not None:
+            children.append(self._process)
+        crossings = self.n_boundary_crossings
+        probes = self.n_probe_dispatches
+        batched = self.n_batched_probes
+        for child in children:
+            crossings += child.n_boundary_crossings
+            probes += child.n_probe_dispatches
+            batched += child.n_batched_probes
+        return (crossings, probes, batched)
+
     def close(self) -> None:
+        if self._inline is not self._numpy:
+            self._inline.close()
         if self._process is not None:
             self._process.close()
             self._process = None
@@ -769,7 +949,10 @@ class StretchEngine:
         n_buckets = int(np.clip(n_buckets, 1, self.compute.lb_max_buckets))
         self._bucket_edges = np.linspace(t_lo, t_hi, n_buckets + 1)
         cap = store.capacity
-        self._hull = np.zeros((cap, 6), dtype=np.float64)
+        # Component-major (struct-of-arrays) layout: row c holds one
+        # hull component for every slot, so the level-0 bound sweep
+        # gathers six contiguous vectors instead of strided columns.
+        self._hull = np.zeros((6, cap), dtype=np.float64)
         self._bucket_hull = np.zeros((cap, n_buckets, 6), dtype=np.float64)
         self._bucket_occ = np.zeros((cap, n_buckets), dtype=bool)
         for slot in range(n):
@@ -777,7 +960,13 @@ class StretchEngine:
 
     def _ensure_bound_capacity(self) -> None:
         cap = self.store.capacity
-        for name in ("_hull", "_bucket_hull", "_bucket_occ"):
+        # The SoA hull grows along columns (slots are axis 1); the
+        # shared grow_array helper only grows rows.
+        if self._hull.shape[1] < cap:
+            hull = np.zeros((6, cap), dtype=np.float64)
+            hull[:, : self._hull.shape[1]] = self._hull
+            self._hull = hull
+        for name in ("_bucket_hull", "_bucket_occ"):
             setattr(self, name, grow_array(getattr(self, name), cap))
 
     def _summarize(self, slot: int) -> None:
@@ -786,7 +975,7 @@ class StretchEngine:
         x_lo, x_hi = d[:, X], d[:, X] + d[:, DX]
         y_lo, y_hi = d[:, Y], d[:, Y] + d[:, DY]
         t_lo, t_hi = d[:, T], d[:, T] + d[:, DT]
-        self._hull[slot] = (
+        self._hull[:, slot] = (
             x_lo.min(), x_hi.max(), y_lo.min(), y_hi.max(), t_lo.min(), t_hi.max()
         )
         edges = self._bucket_edges
@@ -812,11 +1001,11 @@ class StretchEngine:
     # -- lower bounds ---------------------------------------------------
     def hull_lower_bounds(self, slot: int, targets: np.ndarray) -> np.ndarray:
         """Level-0 bound: gap between global bounding boxes, O(1)/pair."""
-        h = self._hull[slot]
-        H = self._hull[targets]
-        gx = _interval_gap(h[0], h[1], H[:, 0], H[:, 1])
-        gy = _interval_gap(h[2], h[3], H[:, 2], H[:, 3])
-        gt = _interval_gap(h[4], h[5], H[:, 4], H[:, 5])
+        h = self._hull[:, slot]
+        H = self._hull[:, targets]
+        gx = _interval_gap(h[0], h[1], H[0], H[1])
+        gy = _interval_gap(h[2], h[3], H[2], H[3])
+        gt = _interval_gap(h[4], h[5], H[4], H[5])
         cfg = self.stretch
         return cfg.w_sigma * np.minimum((gx + gy) / cfg.phi_max_sigma_m, 1.0) + (
             cfg.w_tau * np.minimum(gt / cfg.phi_max_tau_min, 1.0)
@@ -831,11 +1020,11 @@ class StretchEngine:
         ``slots[p]`` (pure elementwise arithmetic), computed in one
         broadcast instead of ``P`` dispatches.
         """
-        h = self._hull[np.asarray(slots, dtype=np.int64)][:, None, :]  # (P, 1, 6)
-        H = self._hull[targets][None, :, :]  # (1, T, 6)
-        gx = _interval_gap(h[..., 0], h[..., 1], H[..., 0], H[..., 1])
-        gy = _interval_gap(h[..., 2], h[..., 3], H[..., 2], H[..., 3])
-        gt = _interval_gap(h[..., 4], h[..., 5], H[..., 4], H[..., 5])
+        h = self._hull[:, np.asarray(slots, dtype=np.int64)][:, :, None]  # (6, P, 1)
+        H = self._hull[:, targets][:, None, :]  # (6, 1, T)
+        gx = _interval_gap(h[0], h[1], H[0], H[1])
+        gy = _interval_gap(h[2], h[3], H[2], H[3])
+        gt = _interval_gap(h[4], h[5], H[4], H[5])
         cfg = self.stretch
         return cfg.w_sigma * np.minimum((gx + gy) / cfg.phi_max_sigma_m, 1.0) + (
             cfg.w_tau * np.minimum(gt / cfg.phi_max_tau_min, 1.0)

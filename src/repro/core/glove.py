@@ -78,6 +78,19 @@ class GloveStats:
     n_pruned_evaluations:
         Candidate pairs skipped because a lower bound proved they could
         not beat the current best (0 when pruning is disabled).
+    n_boundary_crossings:
+        Python→kernel transitions the run's backend performed (a
+        batched native call moving a whole probe batch counts one).
+        The dispatch-efficiency denominator: a batched frontier that
+        silently degrades to per-probe dispatch shows up here rather
+        than only in wall time.
+    n_probe_dispatches:
+        Probe rows dispatched through the backend, across all entry
+        points.  ``n_probe_dispatches / n_boundary_crossings`` is the
+        mean probes-per-crossing of the run.
+    n_batched_probes:
+        Probe rows that went through a batched multi-probe kernel
+        entry; 0 when every dispatch was a per-probe call.
     suppression:
         Sample-suppression statistics (zero counts when disabled).
     """
@@ -90,6 +103,9 @@ class GloveStats:
     boundary_repaired: int = 0
     n_exact_evaluations: int = 0
     n_pruned_evaluations: int = 0
+    n_boundary_crossings: int = 0
+    n_probe_dispatches: int = 0
+    n_batched_probes: int = 0
     suppression: Optional[SuppressionStats] = None
 
 
@@ -426,6 +442,11 @@ def glove(
     stats = GloveStats(n_input_fingerprints=len(fps))
     with StretchEngine(fps, stretch=config.stretch, compute=compute) as engine:
         out = _anonymize(engine, fps, config, stats, name=f"{dataset.name}-glove-k{k}")
+        (
+            stats.n_boundary_crossings,
+            stats.n_probe_dispatches,
+            stats.n_batched_probes,
+        ) = engine.backend.dispatch_counters()
     return finalize_result(out, stats, config)
 
 

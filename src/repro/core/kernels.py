@@ -247,13 +247,86 @@ def _build_kernels(decorate):
                 mat[j, i] = v
         return mat
 
-    return pairwise_sum, one_vs_all_arrays, pairwise_matrix_arrays
+    @decorate
+    def many_vs_all_arrays(
+        p_data, p_lengths, p_counts, data, lengths, counts, targets,
+        w_sigma, w_tau, phi_sigma, phi_tau,
+    ):
+        # Multi-probe face of one_vs_all_arrays over a packed probe
+        # batch (ProbeBatch layout): row p is bitwise one_vs_all of
+        # probe p.  The scratch vectors are sized to the widest probe's
+        # pad width and re-zeroed by pair_effort, so per-pair values
+        # are independent of the batch composition.
+        P = p_data.shape[0]
+        m_max = data.shape[1]
+        p_m_max = p_data.shape[1]
+        pad_max = p_m_max if p_m_max > m_max else m_max
+        scratch_a = np.zeros(pad_max)
+        scratch_b = np.zeros(pad_max)
+        out = np.empty((P, targets.shape[0]))
+        for p in range(P):
+            ma = p_lengths[p]
+            a_data = p_data[p, :ma]
+            n_a = float(p_counts[p])
+            pad_width = ma if ma > m_max else m_max
+            for idx in range(targets.shape[0]):
+                t = targets[idx]
+                out[p, idx] = pair_effort(
+                    a_data, n_a, data[t], lengths[t], float(counts[t]),
+                    scratch_a, scratch_b, pad_width,
+                    w_sigma, w_tau, phi_sigma, phi_tau,
+                )
+        return out
+
+    @decorate
+    def many_vs_some_arrays(
+        p_data, p_lengths, p_counts, data, lengths, counts,
+        flat_targets, offsets,
+        w_sigma, w_tau, phi_sigma, phi_tau,
+    ):
+        # Ragged twin: probe p evaluates flat_targets[offsets[p] :
+        # offsets[p + 1]] (CSR layout), one flat result row.  Same
+        # scratch discipline as many_vs_all_arrays.
+        P = p_data.shape[0]
+        m_max = data.shape[1]
+        p_m_max = p_data.shape[1]
+        pad_max = p_m_max if p_m_max > m_max else m_max
+        scratch_a = np.zeros(pad_max)
+        scratch_b = np.zeros(pad_max)
+        out = np.empty(flat_targets.shape[0])
+        for p in range(P):
+            ma = p_lengths[p]
+            a_data = p_data[p, :ma]
+            n_a = float(p_counts[p])
+            pad_width = ma if ma > m_max else m_max
+            for idx in range(offsets[p], offsets[p + 1]):
+                t = flat_targets[idx]
+                out[idx] = pair_effort(
+                    a_data, n_a, data[t], lengths[t], float(counts[t]),
+                    scratch_a, scratch_b, pad_width,
+                    w_sigma, w_tau, phi_sigma, phi_tau,
+                )
+        return out
+
+    return (
+        pairwise_sum,
+        one_vs_all_arrays,
+        pairwise_matrix_arrays,
+        many_vs_all_arrays,
+        many_vs_some_arrays,
+    )
 
 
 # Pure-Python twins: always importable, used by the parity property
 # tests (and as the stand-in bindings below when no accelerated tier
 # is available).
-pairwise_sum_py, one_vs_all_pure, pairwise_matrix_pure = _build_kernels(lambda f: f)
+(
+    pairwise_sum_py,
+    one_vs_all_pure,
+    pairwise_matrix_pure,
+    many_vs_all_pure,
+    many_vs_some_pure,
+) = _build_kernels(lambda f: f)
 
 
 def _bind_cc():
@@ -292,21 +365,72 @@ def _bind_cc():
             raise MemoryError("stretch kernel scratch allocation failed")
         return mat
 
-    return one_vs_all_cc, pairwise_matrix_cc
+    def many_vs_all_cc(
+        p_data, p_lengths, p_counts, data, lengths, counts, targets,
+        w_sigma, w_tau, phi_sigma, phi_tau,
+    ):
+        out = np.empty((p_data.shape[0], targets.shape[0]), dtype=np.float64)
+        if out.size == 0:
+            return out
+        rc = lib.glove_many_vs_all(
+            p_data, p_data.shape[1], p_lengths, p_counts, p_data.shape[0],
+            data, data.shape[1], lengths, counts,
+            np.ascontiguousarray(targets), targets.shape[0],
+            w_sigma, w_tau, phi_sigma, phi_tau, out,
+        )
+        if rc != 0:
+            raise MemoryError("stretch kernel scratch allocation failed")
+        return out
+
+    def many_vs_some_cc(
+        p_data, p_lengths, p_counts, data, lengths, counts,
+        flat_targets, offsets,
+        w_sigma, w_tau, phi_sigma, phi_tau,
+    ):
+        out = np.empty(flat_targets.shape[0], dtype=np.float64)
+        if out.size == 0:
+            return out
+        rc = lib.glove_many_vs_some(
+            p_data, p_data.shape[1], p_lengths, p_counts, p_data.shape[0],
+            data, data.shape[1], lengths, counts,
+            np.ascontiguousarray(flat_targets), np.ascontiguousarray(offsets),
+            w_sigma, w_tau, phi_sigma, phi_tau, out,
+        )
+        if rc != 0:
+            raise MemoryError("stretch kernel scratch allocation failed")
+        return out
+
+    return one_vs_all_cc, pairwise_matrix_cc, many_vs_all_cc, many_vs_some_cc
 
 
 if NUMBA_AVAILABLE:  # pragma: no cover - exercised via compiled-parity CI
     COMPILED_TIER = "numba"
-    _, one_vs_all_arrays, pairwise_matrix_arrays = _build_kernels(njit(cache=True))
+    # nogil: the kernels touch no Python objects, so JIT-compiled calls
+    # release the GIL — the property the engine's intra-batch thread
+    # splitter relies on (same as ctypes calls on the cc tier).
+    (
+        _,
+        one_vs_all_arrays,
+        pairwise_matrix_arrays,
+        many_vs_all_arrays,
+        many_vs_some_arrays,
+    ) = _build_kernels(njit(cache=True, nogil=True))
 else:
     _cc = _bind_cc()
     if _cc is not None:
         COMPILED_TIER = "cc"
-        one_vs_all_arrays, pairwise_matrix_arrays = _cc
+        (
+            one_vs_all_arrays,
+            pairwise_matrix_arrays,
+            many_vs_all_arrays,
+            many_vs_some_arrays,
+        ) = _cc
     else:
         COMPILED_TIER = None
         one_vs_all_arrays = one_vs_all_pure
         pairwise_matrix_arrays = pairwise_matrix_pure
+        many_vs_all_arrays = many_vs_all_pure
+        many_vs_some_arrays = many_vs_some_pure
 
 #: True when an accelerated binding (numba or cc) backs the ``compiled``
 #: backend; the pure twins alone do not qualify.

@@ -55,6 +55,42 @@ class PaddedFingerprints:
         return self.data.shape[0]
 
 
+class ProbeBatch:
+    """A probe batch packed into a contiguous padded tensor.
+
+    The multi-probe counterpart of :class:`PaddedFingerprints` for the
+    *probe* side of a batched dispatch: ``P`` variable-length probes
+    become one C-contiguous ``(P, p_m_max, 6)`` float64 tensor plus
+    ``lengths``/``counts`` vectors, the exact struct-of-arrays layout
+    the batched native kernels (:mod:`repro.core.kernels`
+    ``many_vs_all_arrays``/``many_vs_some_arrays``) take — one
+    Python→native boundary crossing moves the whole batch.  Row slices
+    (``data[a:b]``, ``lengths[a:b]``, …) stay contiguous, which is what
+    lets the engine's thread splitter hand disjoint sub-batches to
+    GIL-released kernel calls without copies.
+    """
+
+    __slots__ = ("data", "lengths", "counts")
+
+    def __init__(self, probes: Sequence[np.ndarray], probe_counts: Sequence[int]):
+        if len(probes) != len(probe_counts):
+            raise ValueError("probes and probe_counts must have equal length")
+        if any(p.shape[0] == 0 for p in probes):
+            raise ValueError("probe fingerprint has no samples")
+        P = len(probes)
+        p_m_max = max((p.shape[0] for p in probes), default=1)
+        self.data = np.zeros((P, p_m_max, NCOLS), dtype=np.float64)
+        self.lengths = np.empty(P, dtype=np.int64)
+        self.counts = np.empty(P, dtype=np.int64)
+        for i, (p, c) in enumerate(zip(probes, probe_counts)):
+            self.data[i, : p.shape[0]] = p
+            self.lengths[i] = p.shape[0]
+            self.counts[i] = c
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+
 class _ProbeViews:
     """Broadcast-ready views of one probe fingerprint, built once per call."""
 

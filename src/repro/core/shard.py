@@ -150,7 +150,15 @@ def _shard_task(args) -> Tuple[List[Fingerprint], Optional[Fingerprint], tuple]:
         finished, leftover, _ = _greedy_merge(engine, fps, config, stats)
         finished_fps = [engine.store.fps[s] for s in finished]
         leftover_fp = engine.store.fps[leftover] if leftover is not None else None
-    counters = (stats.n_merges, stats.n_exact_evaluations, stats.n_pruned_evaluations)
+        crossings, dispatches, batched = engine.backend.dispatch_counters()
+    counters = (
+        stats.n_merges,
+        stats.n_exact_evaluations,
+        stats.n_pruned_evaluations,
+        crossings,
+        dispatches,
+        batched,
+    )
     return finished_fps, leftover_fp, counters
 
 
@@ -182,15 +190,21 @@ def _boundary_repair(
             if leftover is not None:
                 _fold_leftover(engine, nn, fin, leftover, config, sub)
             finished.extend(engine.store.fps[s] for s in fin)
+            crossings, dispatches, batched = engine.backend.dispatch_counters()
         stats.n_merges += sub.n_merges
         stats.n_exact_evaluations += sub.n_exact_evaluations
         stats.n_pruned_evaluations += sub.n_pruned_evaluations
+        stats.n_boundary_crossings += crossings
+        stats.n_probe_dispatches += dispatches
+        stats.n_batched_probes += batched
         stats.leftover_merged = stats.leftover_merged or sub.leftover_merged
         return
     packed = PaddedFingerprints(finished)
     for fp in leftovers:
         efforts = one_vs_all(fp.data, fp.count, packed, config.stretch, chunk=compute.chunk)
         stats.n_exact_evaluations += efforts.shape[0]
+        stats.n_boundary_crossings += 1
+        stats.n_probe_dispatches += 1
         target = int(efforts.argmin())
         merged = _merge_pair(fp, finished[target], config)
         finished[target] = merged
@@ -265,6 +279,9 @@ def sharded_glove(
         stats.n_merges += counters[0]
         stats.n_exact_evaluations += counters[1]
         stats.n_pruned_evaluations += counters[2]
+        stats.n_boundary_crossings += counters[3]
+        stats.n_probe_dispatches += counters[4]
+        stats.n_batched_probes += counters[5]
 
     _boundary_repair(finished, leftovers, config, inner, stats)
 

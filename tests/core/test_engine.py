@@ -343,3 +343,74 @@ class TestEngineLifecycle:
         mat = engine.pairwise_matrix()
         row = engine.row(3, np.array([0, 1, 2, 4, 5, 6, 7]))
         np.testing.assert_array_equal(row, mat[3, [0, 1, 2, 4, 5, 6, 7]])
+
+
+class TestDispatchCounters:
+    """Per-run native-vs-inline dispatch accounting (DESIGN.md D11).
+
+    The counters make a silent per-probe fallback observable: a batched
+    frontier that degrades to P crossings per pass shows up in the
+    backend's ``dispatch_counters()`` and in ``GloveStats`` instead of
+    only in wall time.
+    """
+
+    def _probes(self, small_civ, n=4):
+        fps = list(small_civ)[:8]
+        packed = PaddedFingerprints(fps)
+        probes = [fp.data for fp in fps[:n]]
+        counts = [fp.count for fp in fps[:n]]
+        targets = np.arange(len(fps), dtype=np.int64)
+        return packed, probes, counts, targets
+
+    def test_numpy_many_vs_all_counts_per_probe(self, small_civ):
+        packed, probes, counts, targets = self._probes(small_civ)
+        backend = NumpyBackend(ComputeConfig(backend="numpy"), StretchConfig())
+        backend.many_vs_all(probes, counts, packed, targets)
+        assert backend.dispatch_counters() == (4, 4, 0)
+        backend.one_vs_all(probes[0], counts[0], packed, targets)
+        assert backend.dispatch_counters() == (5, 5, 0)
+
+    def test_compiled_many_vs_all_counts_one_crossing(self, small_civ):
+        from repro.core import kernels
+
+        if not kernels.COMPILED_AVAILABLE:
+            pytest.skip("no accelerated kernel binding")
+        from repro.core.engine import CompiledBackend
+
+        packed, probes, counts, targets = self._probes(small_civ)
+        backend = CompiledBackend(ComputeConfig(backend="compiled"), StretchConfig())
+        with backend:
+            backend.many_vs_all(probes, counts, packed, targets)
+            assert backend.dispatch_counters() == (1, 4, 4)
+            backend.many_vs_some(probes, counts, packed, [targets] * 4)
+            assert backend.dispatch_counters() == (2, 8, 8)
+
+    def test_auto_backend_aggregates_children(self, small_civ):
+        from repro.core.engine import AutoBackend
+
+        packed, probes, counts, targets = self._probes(small_civ)
+        backend = AutoBackend(ComputeConfig(backend="auto", workers=1), StretchConfig())
+        with backend:
+            backend.many_vs_all(probes, counts, packed, targets)
+            crossings, dispatches, batched = backend.dispatch_counters()
+        assert dispatches == 4
+        # Aggregation covers whichever inline tier the environment has:
+        # batched native (1 crossing) or the per-probe NumPy fallback.
+        assert crossings in (1, 4)
+
+    def test_glove_stats_harvest_counters(self, small_civ):
+        result = glove(small_civ, GloveConfig(k=2), ComputeConfig(backend="numpy"))
+        stats = result.stats
+        assert stats.n_boundary_crossings > 0
+        assert stats.n_probe_dispatches >= stats.n_batched_probes
+        # The numpy tier has no batched native entries.
+        assert stats.n_batched_probes == 0
+
+    def test_sharded_stats_harvest_counters(self, small_civ):
+        result = glove(
+            small_civ,
+            GloveConfig(k=2),
+            ComputeConfig(backend="sharded", shards=2, workers=1),
+        )
+        assert result.stats.n_boundary_crossings > 0
+        assert result.stats.n_probe_dispatches > 0

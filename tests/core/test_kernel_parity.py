@@ -28,7 +28,7 @@ from hypothesis import strategies as st
 from repro.core import kernels
 from repro.core.config import StretchConfig
 from repro.core.fingerprint import Fingerprint
-from repro.core.pairwise import PaddedFingerprints, one_vs_all, pairwise_matrix
+from repro.core.pairwise import PaddedFingerprints, ProbeBatch, one_vs_all, pairwise_matrix
 from repro.core.sample import Sample
 
 # Wide value ranges on purpose: spatial spreads far beyond phi_sigma
@@ -144,6 +144,145 @@ class TestKernelParity:
         )
         assert got[0] == 1.0
         assert got[1] == 0.0
+
+
+BATCHED_BINDINGS = [("pure", kernels.many_vs_all_pure, kernels.many_vs_some_pure)]
+if kernels.COMPILED_AVAILABLE:
+    BATCHED_BINDINGS.append(
+        (kernels.COMPILED_TIER, kernels.many_vs_all_arrays, kernels.many_vs_some_arrays)
+    )
+
+
+def _pack_probes(probes):
+    return ProbeBatch([fp.data for fp in probes], [fp.count for fp in probes])
+
+
+@pytest.mark.parametrize(
+    "tier,mva,mvs", BATCHED_BINDINGS, ids=[b[0] for b in BATCHED_BINDINGS]
+)
+class TestBatchedParity:
+    """The batched multi-probe entries against the per-probe loop.
+
+    Row ``p`` of ``many_vs_all``/slice ``p`` of ``many_vs_some`` must be
+    bitwise equal to a standalone ``one_vs_all`` dispatch of probe ``p``
+    — the property that makes the engine's thread splitter byte-identical
+    by construction (DESIGN.md D11).  The NumPy reference is the anchor;
+    the inline per-probe loop of the same tier guards against batch
+    scratch reuse leaking state between probes.
+    """
+
+    @given(probes=collections(min_n=1, max_n=5), fps=collections(), data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_many_vs_all_bitwise(self, tier, mva, mvs, probes, fps, data):
+        packed = PaddedFingerprints(fps)
+        config = StretchConfig()
+        subset = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(fps) - 1),
+                min_size=1,
+                max_size=len(fps),
+                unique=True,
+            )
+        )
+        targets = np.array(subset, dtype=np.int64)
+        batch = _pack_probes(probes)
+        got = mva(
+            batch.data, batch.lengths, batch.counts,
+            packed.data, packed.lengths, packed.counts,
+            targets, *_config_args(config),
+        )
+        assert got.shape == (len(probes), targets.size)
+        for p, probe in enumerate(probes):
+            reference = one_vs_all(
+                probe.data, probe.count, packed, config, indices=targets
+            )
+            np.testing.assert_array_equal(got[p], reference)
+
+    @given(probes=collections(min_n=1, max_n=5), fps=collections(), data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_many_vs_some_bitwise_ragged(self, tier, mva, mvs, probes, fps, data):
+        packed = PaddedFingerprints(fps)
+        config = StretchConfig()
+        # Per-probe target lists, empties allowed: the merge frontier
+        # batches probes whose candidate lists may have emptied.
+        t_lists = [
+            np.array(
+                data.draw(
+                    st.lists(
+                        st.integers(min_value=0, max_value=len(fps) - 1),
+                        min_size=0,
+                        max_size=len(fps),
+                        unique=True,
+                    )
+                ),
+                dtype=np.int64,
+            )
+            for _ in probes
+        ]
+        offsets = np.zeros(len(probes) + 1, dtype=np.int64)
+        np.cumsum([t.size for t in t_lists], out=offsets[1:])
+        flat = (
+            np.concatenate(t_lists)
+            if offsets[-1]
+            else np.empty(0, dtype=np.int64)
+        )
+        batch = _pack_probes(probes)
+        got = mvs(
+            batch.data, batch.lengths, batch.counts,
+            packed.data, packed.lengths, packed.counts,
+            flat, offsets, *_config_args(config),
+        )
+        assert got.shape == (int(offsets[-1]),)
+        for p, probe in enumerate(probes):
+            sl = got[offsets[p] : offsets[p + 1]]
+            if t_lists[p].size == 0:
+                assert sl.size == 0
+                continue
+            reference = one_vs_all(
+                probe.data, probe.count, packed, config, indices=t_lists[p]
+            )
+            np.testing.assert_array_equal(sl, reference)
+
+    def test_empty_batch(self, tier, mva, mvs):
+        fp = Fingerprint("a", [Sample(x=0.0, y=0.0, t=0.0)], count=1)
+        packed = PaddedFingerprints([fp])
+        config = StretchConfig()
+        empty_probes = np.zeros((0, 1, 6), dtype=np.float64)
+        empty_i64 = np.zeros(0, dtype=np.int64)
+        out = mva(
+            empty_probes, empty_i64, empty_i64,
+            packed.data, packed.lengths, packed.counts,
+            np.array([0], dtype=np.int64), *_config_args(config),
+        )
+        assert out.shape == (0, 1)
+        flat_out = mvs(
+            empty_probes, empty_i64, empty_i64,
+            packed.data, packed.lengths, packed.counts,
+            empty_i64, np.zeros(1, dtype=np.int64), *_config_args(config),
+        )
+        assert flat_out.shape == (0,)
+
+    def test_single_probe_matches_one_vs_all(self, tier, mva, mvs):
+        probe = Fingerprint(
+            "p", [Sample(x=10.0, y=20.0, t=5.0), Sample(x=1500.0, y=0.0, t=90.0)],
+            count=3, members=["p0", "p1", "p2"],
+        )
+        fps = [
+            Fingerprint("a", [Sample(x=0.0, y=0.0, t=0.0)], count=1),
+            Fingerprint("b", [Sample(x=50_000.0, y=0.0, t=900.0)], count=2,
+                        members=["b0", "b1"]),
+        ]
+        packed = PaddedFingerprints(fps)
+        config = StretchConfig()
+        targets = np.array([0, 1], dtype=np.int64)
+        batch = _pack_probes([probe])
+        got = mva(
+            batch.data, batch.lengths, batch.counts,
+            packed.data, packed.lengths, packed.counts,
+            targets, *_config_args(config),
+        )
+        reference = one_vs_all(probe.data, probe.count, packed, config, indices=targets)
+        np.testing.assert_array_equal(got[0], reference)
 
 
 _FALLBACK_PROLOGUE = """

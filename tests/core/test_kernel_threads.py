@@ -1,0 +1,174 @@
+"""Thread-splitter determinism and degradation of the compiled tier.
+
+The compiled backend may split a batched multi-probe dispatch across
+``kernel_threads`` GIL-released native calls.  Probes are independent in
+the batched kernels (per-pair scratch re-zeroing, DESIGN.md D11), so any
+split reproduces the unsplit call bit for bit — these tests pin that
+guarantee end-to-end (whole ``glove()`` runs) and at the backend level,
+plus the config/CLI validation surface and the no-binding degradation
+path (batched pure twins, no crash).
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.config import ComputeConfig, GloveConfig, StretchConfig
+from repro.core.engine import (
+    CompiledBackend,
+    NumpyBackend,
+    _effective_kernel_threads,
+)
+from repro.core.glove import glove
+from repro.core.pairwise import PaddedFingerprints
+
+from tests.core.test_kernel_parity import _run_fallback_probe
+
+
+def _digest(result) -> str:
+    h = hashlib.sha256()
+    for fp in sorted(result.dataset, key=lambda f: f.uid):
+        h.update(fp.uid.encode())
+        h.update(np.ascontiguousarray(fp.data).tobytes())
+        h.update(str(fp.count).encode())
+    return h.hexdigest()
+
+
+@pytest.fixture(scope="module")
+def bench_dataset():
+    from repro.core.artifacts import ArtifactStore
+    from repro.core.pipeline import Pipeline
+    from repro.core.scenarios import get_scenario
+
+    sc = get_scenario("bench").scaled(n_users=48, days=2, seed=3)
+    return sc.synthesize(Pipeline(ArtifactStore(root=None)))
+
+
+@pytest.mark.skipif(
+    not kernels.COMPILED_AVAILABLE, reason="no accelerated kernel binding"
+)
+class TestThreadDeterminism:
+    def test_glove_identical_across_thread_counts(self, bench_dataset):
+        digests = {}
+        for nt in (1, 2, 8):
+            result = glove(
+                bench_dataset,
+                GloveConfig(k=2),
+                ComputeConfig(backend="compiled", kernel_threads=nt),
+            )
+            digests[nt] = _digest(result)
+        assert digests[1] == digests[2] == digests[8]
+
+    def test_glove_matches_numpy_reference(self, bench_dataset):
+        reference = glove(
+            bench_dataset, GloveConfig(k=2), ComputeConfig(backend="numpy")
+        )
+        threaded = glove(
+            bench_dataset,
+            GloveConfig(k=2),
+            ComputeConfig(backend="compiled", kernel_threads=2),
+        )
+        assert _digest(threaded) == _digest(reference)
+
+    def test_backend_rows_identical_across_splits(self, small_civ):
+        fps = list(small_civ)[:12]
+        packed = PaddedFingerprints(fps)
+        probes = [fp.data for fp in fps[:5]]
+        counts = [fp.count for fp in fps[:5]]
+        targets = np.arange(len(fps), dtype=np.int64)
+        t_lists = [targets[: 2 * p + 1] for p in range(5)]
+        baseline = None
+        baseline_some = None
+        for nt in (1, 2, 3, 8):
+            backend = CompiledBackend(
+                ComputeConfig(backend="compiled", kernel_threads=nt), StretchConfig()
+            )
+            with backend:
+                rows = backend.many_vs_all(probes, counts, packed, targets)
+                rows_some = backend.many_vs_some(probes, counts, packed, t_lists)
+            if baseline is None:
+                baseline, baseline_some = rows, rows_some
+            else:
+                np.testing.assert_array_equal(rows, baseline)
+                for got, ref in zip(rows_some, baseline_some):
+                    np.testing.assert_array_equal(got, ref)
+        numpy_backend = NumpyBackend(ComputeConfig(backend="numpy"), StretchConfig())
+        np.testing.assert_array_equal(
+            numpy_backend.many_vs_all(probes, counts, packed, targets), baseline
+        )
+
+    def test_thread_splitter_counts_crossings_per_slice(self, small_civ):
+        fps = list(small_civ)[:8]
+        packed = PaddedFingerprints(fps)
+        probes = [fp.data for fp in fps[:6]]
+        counts = [fp.count for fp in fps[:6]]
+        targets = np.arange(len(fps), dtype=np.int64)
+        backend = CompiledBackend(
+            ComputeConfig(backend="compiled", kernel_threads=3), StretchConfig()
+        )
+        with backend:
+            backend.many_vs_all(probes, counts, packed, targets)
+        assert backend.n_boundary_crossings == 3
+        assert backend.n_probe_dispatches == 6
+        assert backend.n_batched_probes == 6
+
+
+class TestKernelThreadsConfig:
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError, match="kernel_threads"):
+            ComputeConfig(kernel_threads=0)
+        with pytest.raises(ValueError, match="kernel_threads"):
+            ComputeConfig(kernel_threads=-2)
+
+    def test_explicit_field_wins(self):
+        assert _effective_kernel_threads(ComputeConfig(kernel_threads=4)) == 4
+
+    def test_env_knob_default_and_degradation(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_THREADS", raising=False)
+        assert _effective_kernel_threads(ComputeConfig()) == 1
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "3")
+        assert _effective_kernel_threads(ComputeConfig()) == 3
+        # Knobs degrade, never error (DESIGN.md D6): malformed and
+        # out-of-range env values fall back to one thread.
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "banana")
+        assert _effective_kernel_threads(ComputeConfig()) == 1
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "-4")
+        assert _effective_kernel_threads(ComputeConfig()) == 1
+
+
+class TestThreadedFallback:
+    def test_batched_pure_twins_without_binding(self):
+        # No accelerated tier: the batched entries must alias the pure
+        # twins and a threaded glove run must still work (the splitter
+        # lives in CompiledBackend, which cannot be constructed — the
+        # auto backend degrades to the NumPy per-probe path).
+        proc = _run_fallback_probe(
+            """
+            from repro.core import kernels
+            assert kernels.COMPILED_TIER is None
+            assert kernels.many_vs_all_arrays is kernels.many_vs_all_pure
+            assert kernels.many_vs_some_arrays is kernels.many_vs_some_pure
+
+            from repro.core.config import ComputeConfig, GloveConfig
+            from repro.core.glove import glove
+            from repro.core.scenarios import get_scenario
+            from repro.core.pipeline import Pipeline
+            from repro.core.artifacts import ArtifactStore
+
+            sc = get_scenario("bench").scaled(n_users=24, days=1, seed=0)
+            dataset = sc.synthesize(Pipeline(ArtifactStore(root=None)))
+            result = glove(
+                dataset, GloveConfig(k=2),
+                ComputeConfig(backend="auto", kernel_threads=2),
+            )
+            assert result.dataset.is_k_anonymous(2)
+            assert result.stats.n_batched_probes == 0
+            assert result.stats.n_boundary_crossings > 0
+            print("threaded-fallback-ok")
+            """,
+            {"REPRO_CC_KERNEL": "0"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "threaded-fallback-ok" in proc.stdout

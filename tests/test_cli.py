@@ -119,6 +119,26 @@ class TestComputeFlags:
         out = capsys.readouterr().out
         assert "2-gap" in out
 
+    def test_kernel_threads_never_changes_output(self, raw_csv, tmp_path):
+        outputs = {}
+        for nt in ("1", "2"):
+            published = tmp_path / f"pub-threads-{nt}.csv"
+            assert main(
+                ["anonymize", str(raw_csv), "-k", "2",
+                 "--kernel-threads", nt, "-o", str(published)]
+            ) == 0
+            outputs[nt] = published.read_bytes()
+        assert outputs["1"] == outputs["2"]
+
+    def test_invalid_kernel_threads_exits_2(self, raw_csv, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["anonymize", str(raw_csv), "-k", "2",
+                 "--kernel-threads", "0", "-o", str(tmp_path / "out.csv")]
+            )
+        assert excinfo.value.code == 2
+        assert "kernel_threads" in capsys.readouterr().err
+
 
 class TestShardedBackend:
     """The sharded tier end-to-end through the CLI."""
