@@ -23,8 +23,10 @@ counters and a ``kernel_threads`` byte-identity sweep,
 a ``suite_cached`` record timing a repeated experiment-suite run cold
 vs warm through the artifact pipeline, a ``stream`` record with the
 streaming tier's throughput and per-window latency on the stream-500
-scenario, and a ``baselines`` record comparing every registered
-anonymizer (GLOVE, W4M-LC, NWA, generalization) at Table-2 settings.
+scenario, a ``baselines`` record comparing every registered
+anonymizer (GLOVE, W4M-LC, NWA, generalization) at Table-2 settings,
+and a ``metrics_overhead`` record guarding the always-on-cheap
+contract of the D12 observability layer.
 Scale/skip knobs:
 
 * ``REPRO_BENCH_GLOVE`` — set to ``0`` to skip the emission;
@@ -44,7 +46,12 @@ Scale/skip knobs:
   (default 150) — the multi-process single-flight dedup record: M
   forked workers request the same cold dataset through a shared
   artifact store (disk and SQLite backends) and the record asserts
-  exactly one compute with byte-identical results.
+  exactly one compute with byte-identical results;
+* ``REPRO_BENCH_METRICS`` (default 1; ``0`` skips the
+  ``metrics_overhead`` record) — the always-on-cheap guard: the
+  glove-500 run and the stream-500 replay timed with the metrics
+  registry disabled vs installed (min-of-3 each), asserting the
+  instrumented overhead stays under the 5% budget (DESIGN.md D12).
 
 Every emission record is itself a content-addressed artifact
 (:mod:`repro.core.artifacts`), keyed by its scenario parameters plus a
@@ -103,6 +110,7 @@ BASELINES_SCENARIO = get_scenario("baselines-smoke").scaled(
     days=env_int("REPRO_BENCH_BASELINES_DAYS", 2),
     seed=BENCH_SEED,
 )
+METRICS_BENCH = env_int("REPRO_BENCH_METRICS", 1)
 CONCURRENT_BENCH_WORKERS = env_int("REPRO_BENCH_CONCURRENT_WORKERS", 4)
 CONCURRENT_SCENARIO = get_scenario("bench").scaled(
     n_users=max(env_int("REPRO_BENCH_CONCURRENT_USERS", 150), 1),
@@ -664,6 +672,85 @@ def _run_cache_concurrent_bench() -> dict:
     return record
 
 
+def _run_metrics_overhead_bench() -> dict:
+    """The always-on-cheap guard behind the D12 instrumentation.
+
+    Times the glove-500 run and the stream-500 replay in two modes: the
+    process registry at its disabled default (every instrument is the
+    shared null object) and a live registry installed.  The modes are
+    interleaved round-by-round so machine-load drift hits both equally,
+    and min-of-N per mode tames scheduler noise; the record stores the
+    overhead fraction against the 5% budget, plus the timing-free
+    invariant that the instrumented runs' dispatch counters match the
+    uninstrumented baselines exactly.
+    """
+    from repro.core.config import GloveConfig
+    from repro.core.glove import glove
+    from repro.obs import MetricsRegistry, set_metrics
+    from repro.stream.driver import stream_glove
+
+    glove_dataset = GLOVE_SCENARIO.synthesize(_PIPELINE)
+    stream_dataset = STREAM_SCENARIO.synthesize(_PIPELINE)
+    stream_cfg = STREAM_SCENARIO.stream_config()
+
+    def counters(result):
+        stats = result.stats
+        return (
+            stats.n_merges,
+            stats.n_boundary_crossings,
+            stats.n_probe_dispatches,
+            stats.n_batched_probes,
+        )
+
+    def one_run(fn, registry):
+        previous = set_metrics(registry)
+        try:
+            t0 = time.perf_counter()
+            result = fn()
+            return time.perf_counter() - t0, result
+        finally:
+            set_metrics(previous)
+
+    repeats = 5
+    budget = 0.05
+    record = {"budget_fraction": budget, "runs_per_mode": repeats, "workloads": {}}
+    workloads = {
+        "glove": (
+            len(glove_dataset),
+            lambda: glove(glove_dataset, GloveConfig(k=GLOVE_SCENARIO.k)),
+        ),
+        "stream": (
+            len(stream_dataset),
+            lambda: stream_glove(
+                stream_dataset, GloveConfig(k=STREAM_SCENARIO.k), stream_cfg
+            ),
+        ),
+    }
+    for name, (n, fn) in workloads.items():
+        fn()  # warm-up: first call pays any lazy import/JIT cost
+        registry = MetricsRegistry(enabled=True)
+        base_s = inst_s = None
+        baseline = instrumented = None
+        for _ in range(repeats):
+            elapsed, baseline = one_run(fn, registry=None)
+            base_s = elapsed if base_s is None else min(base_s, elapsed)
+            elapsed, instrumented = one_run(fn, registry=registry)
+            inst_s = elapsed if inst_s is None else min(inst_s, elapsed)
+        overhead = (inst_s - base_s) / base_s if base_s > 0 else 0.0
+        record["workloads"][name] = {
+            "n_fingerprints": n,
+            "uninstrumented_s": round(base_s, 4),
+            "instrumented_s": round(inst_s, 4),
+            "overhead_fraction": round(overhead, 4),
+            "overhead_ok": overhead < budget,
+            "counters_match_baseline": counters(instrumented) == counters(baseline),
+        }
+    record["overhead_ok"] = all(
+        row["overhead_ok"] for row in record["workloads"].values()
+    )
+    return record
+
+
 #: Minimum tests in the session before the timed benchmark runs, so a
 #: deselected one-test run doesn't pay the multi-run glove() price.
 _GLOVE_BENCH_MIN_TESTS = 50
@@ -735,6 +822,23 @@ def pytest_sessionfinish(session, exitstatus):
             _run_cache_concurrent_bench,
         )
         origins.add(origin)
+    if METRICS_BENCH > 0:
+        # Keyed on both workload scenarios (and the kernel tier, via the
+        # resolved "auto" backend) so either scale knob re-measures.
+        record["metrics_overhead"], origin = _STORE.fetch(
+            "bench",
+            canonical_key(
+                "bench",
+                {
+                    "record": f"metrics_overhead[{_kernels.COMPILED_TIER}]",
+                    "scenario": GLOVE_SCENARIO.key_params(),
+                    "stream_scenario": STREAM_SCENARIO.key_params(),
+                    "sources": source_digest("repro", str(_SEED_PATH_FILE)),
+                },
+            ),
+            _run_metrics_overhead_bench,
+        )
+        origins.add(origin)
     GLOVE_BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
     reporter = session.config.pluginmanager.get_plugin("terminalreporter")
     if reporter is not None:
@@ -792,6 +896,15 @@ def pytest_sessionfinish(session, exitstatus):
                 f"{stream['n_windows']} windows (p95 "
                 f"{stream['latency_p95_ms']}ms, {audit})"
             )
+        if "metrics_overhead" in record:
+            rows = record["metrics_overhead"]["workloads"]
+            audit = (
+                "<5% OK" if record["metrics_overhead"]["overhead_ok"] else "OVER BUDGET"
+            )
+            line += "; metrics overhead " + " ".join(
+                f"{name} {row['overhead_fraction']:+.1%}"
+                for name, row in sorted(rows.items())
+            ) + f" ({audit})"
         if origins != {"computed"}:
             line += " [records served from artifact store]"
         reporter.write_line(line + f" -> {GLOVE_BENCH_PATH.name}")

@@ -69,6 +69,14 @@ from repro.core.config import (
 )
 from repro.core.pipeline import add_pipeline_arguments, pipeline_from_args
 from repro.core.scenarios import available_scenarios, get_scenario
+from repro.obs import (
+    MetricsRegistry,
+    dump_json,
+    export_otlp,
+    get_metrics,
+    render_table,
+    set_metrics,
+)
 from repro.stream.windows import add_stream_arguments, stream_config_from_args
 
 
@@ -78,6 +86,24 @@ def _read_any(path: str):
         return read_events_csv(path)
     except ValueError:
         return read_fingerprints_csv(path)
+
+
+def _record_store_metrics(pipeline) -> None:
+    """Gauge the artifact store's size into the registry (D12).
+
+    The operation counters (hits/misses/puts/evictions/flights) stream
+    in live from the backend template methods; only the measured size
+    needs an end-of-run reading.
+    """
+    metrics = get_metrics()
+    if not metrics.enabled:
+        return
+    backend = pipeline.store.backend
+    if backend is None:
+        return
+    stats = backend.stats()
+    metrics.gauge(f"artifact_backend.{backend.name}.artifacts").set(stats.artifacts)
+    metrics.gauge(f"artifact_backend.{backend.name}.total_bytes").set(stats.total_bytes)
 
 
 # ----------------------------------------------------------------------
@@ -98,6 +124,7 @@ def cmd_generate(args) -> int:
     pipeline = pipeline_from_args(args)
     dataset = pipeline.dataset(preset, n_users=users, days=days, seed=seed)
     rows = write_events_csv(dataset, args.output)
+    _record_store_metrics(pipeline)
     print(f"wrote {rows} events for {len(dataset)} users to {args.output}")
     return 0
 
@@ -109,6 +136,7 @@ def cmd_measure(args) -> int:
         return 2
     pipeline = pipeline_from_args(args)
     result = pipeline.kgap(dataset, k=args.k, compute=compute_config_from_args(args))
+    _record_store_metrics(pipeline)
     print(f"dataset: {dataset}")
     print(f"{args.k}-gap: median={result.quantile(0.5):.4f} "
           f"p90={result.quantile(0.9):.4f} max={result.gaps.max():.4f}")
@@ -189,8 +217,18 @@ def cmd_anonymize(args) -> int:
         print("error: output failed the k-anonymity audit", file=sys.stderr)
         return 3
     rows = write_fingerprints_csv(result.dataset, args.output)
+    _record_store_metrics(pipeline)
     if method == "glove":
         stats = result.raw.stats
+        # Absolute writes so a run served from the artifact cache (no
+        # live engine, no finalize_result increments) still reports
+        # its dispatch counters; a live run is overwritten in place
+        # with identical totals.
+        metrics = get_metrics()
+        metrics.counter("engine.boundary_crossings").set_to(stats.n_boundary_crossings)
+        metrics.counter("engine.probe_dispatches").set_to(stats.n_probe_dispatches)
+        metrics.counter("engine.batched_probes").set_to(stats.n_batched_probes)
+        metrics.counter("glove.merges").set_to(stats.n_merges)
         spatial, temporal = extent_accuracy(result.dataset)
         print(
             f"anonymized {result.dataset.n_users} users into "
@@ -254,7 +292,12 @@ def cmd_stream(args) -> int:
             return 3
     combined = result.combined_dataset(name=f"{dataset.name}-stream")
     rows = write_fingerprints_csv(combined, args.output)
+    _record_store_metrics(pipeline)
     stats = result.stats
+    # Harvest the run's aggregates whether it executed live or was
+    # served from the artifact store; record_metrics writes absolute
+    # values, so a live run's in-flight updates are simply re-asserted.
+    stats.record_metrics(get_metrics())
     print(
         f"streamed {stats.n_events} events from {stats.n_users} users into "
         f"{stats.n_emitted_windows} windows ({stats.n_deferred_windows} deferred, "
@@ -321,6 +364,7 @@ def cmd_attack(args) -> int:
         pipeline = pipeline_from_args(args)
         result = pipeline.anonymize(original, config, method=method)
         published = result.dataset
+        _record_store_metrics(pipeline)
         print(f"attacking {get_anonymizer(method).display} output (cached anonymize stage)")
     top = uniqueness_given_top_locations(original, published, n_locations=args.locations)
     rnd = uniqueness_given_random_points(
@@ -354,6 +398,28 @@ def cmd_info(args) -> int:
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
+def _add_metrics_arguments(parser) -> None:
+    """Attach the shared --metrics reporting flags (every subcommand)."""
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print a metrics table (registry snapshot) after the run",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="write the metrics snapshot (repro.metrics.v1 JSON) to PATH",
+    )
+    parser.add_argument(
+        "--metrics-otlp",
+        metavar="ENDPOINT",
+        default=None,
+        help="push the snapshot to an OTLP/HTTP collector "
+        "(requires the [otel] extra)",
+    )
+
+
 def _add_method_arguments(parser, default: Optional[str]) -> None:
     """Attach the shared --method + per-method option flags."""
     parser.add_argument(
@@ -413,6 +479,7 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--seed", type=int, default=None, help="default: 0")
     g.add_argument("-o", "--output", required=True)
     add_pipeline_arguments(g)
+    _add_metrics_arguments(g)
     g.set_defaults(func=cmd_generate)
 
     m = sub.add_parser("measure", help="anonymizability statistics")
@@ -420,6 +487,7 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("-k", type=int, default=2)
     add_compute_arguments(m)
     add_pipeline_arguments(m)
+    _add_metrics_arguments(m)
     m.set_defaults(func=cmd_measure)
 
     a = sub.add_parser(
@@ -439,6 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument("-o", "--output", required=True)
     add_compute_arguments(a, pruning=True)
     add_pipeline_arguments(a)
+    _add_metrics_arguments(a)
     a.set_defaults(func=cmd_anonymize)
 
     st = sub.add_parser(
@@ -459,6 +528,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_stream_arguments(st)
     add_compute_arguments(st, pruning=True)
     add_pipeline_arguments(st)
+    _add_metrics_arguments(st)
     st.set_defaults(func=cmd_stream)
 
     t = sub.add_parser("attack", help="record-linkage attack validation")
@@ -476,18 +546,55 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--seed", type=int, default=0)
     _add_method_arguments(t, default=None)
     add_pipeline_arguments(t)
+    _add_metrics_arguments(t)
     t.set_defaults(func=cmd_attack)
 
     i = sub.add_parser("info", help="summarize a dataset file")
     i.add_argument("dataset")
+    _add_metrics_arguments(i)
     i.set_defaults(func=cmd_info)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    The ``--metrics*`` flags (any subcommand) install a live process
+    registry around the command and report its snapshot afterwards;
+    without them the registry stays the disabled no-op and the
+    instrumented paths cost nothing.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    wants_metrics = bool(
+        getattr(args, "metrics", False)
+        or getattr(args, "metrics_json", None)
+        or getattr(args, "metrics_otlp", None)
+    )
+    if not wants_metrics:
+        return args.func(args)
+    registry = MetricsRegistry(enabled=True)
+    # Pre-register the aggregate cache counters so the snapshot's key
+    # set is stable whether or not the run happened to hit/miss.
+    registry.counter("artifact.hits")
+    registry.counter("artifact.misses")
+    previous = set_metrics(registry)
+    try:
+        code = args.func(args)
+    finally:
+        set_metrics(previous)
+    snapshot = registry.snapshot()
+    if args.metrics:
+        print(render_table(snapshot))
+    if args.metrics_json:
+        out = dump_json(snapshot, args.metrics_json)
+        print(f"wrote metrics snapshot to {out}")
+    if args.metrics_otlp:
+        try:
+            export_otlp(snapshot, args.metrics_otlp)
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    return code
 
 
 if __name__ == "__main__":

@@ -36,9 +36,11 @@ import sys
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs import get_metrics
 
 try:  # POSIX advisory locks; the kernel releases them on process death
     import fcntl
@@ -79,10 +81,30 @@ def runtime_tag() -> str:
 
 @dataclass(frozen=True)
 class BackendStats:
-    """Size snapshot of one backend's persistent layer."""
+    """Uniform snapshot of one backend's persistent layer (D12).
+
+    Every backend reports exactly this key set — the measured size of
+    the durable layer plus this process's operation counters — so
+    callers (the CLI, the metrics registry, tests) never branch on the
+    backend kind.  The counters are process-local and monotonic:
+    ``hits``/``misses`` split every ``get``, ``puts`` counts stores,
+    ``evictions`` counts artifacts dropped by the size bound, and
+    ``flights``/``flight_waits`` count single-flight admissions and how
+    many of them had to wait behind another worker's claim.
+    """
 
     artifacts: int
     total_bytes: int
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    flights: int = 0
+    flight_waits: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The snapshot as a plain dict (stable, JSON-able)."""
+        return asdict(self)
 
 
 class ArtifactBackend:
@@ -93,29 +115,99 @@ class ArtifactBackend:
     Eviction policy is deliberately per-backend: what "least recently
     used" and "total size" mean depends on the medium (file mtimes vs
     an ``atime`` column vs a server-side ``maxmemory`` policy).
+
+    The public ``get``/``put``/``evict``/``stats`` methods are template
+    methods: they maintain the uniform :class:`BackendStats` operation
+    counters (and mirror them into the metrics registry) around the
+    per-medium ``_get``/``_put``/``_evict``/``_measure`` hooks, so all
+    three backends report the same hit/miss/eviction key set by
+    construction.  Subclass ``__init__`` must call ``super().__init__()``.
     """
 
     name: str = "?"
 
+    def __init__(self):
+        self._counter_lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
+        self._evictions = 0
+        self._flights = 0
+        self._flight_waits = 0
+
+    # -- template methods (uniform counting) ---------------------------
     def get(self, stage: str, key: str) -> Optional[bytes]:
         """The stored payload, or ``None`` on a miss.  Refreshes LRU."""
-        raise NotImplementedError
+        payload = self._get(stage, key)
+        field = "misses" if payload is None else "hits"
+        with self._counter_lock:
+            if payload is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+        get_metrics().counter(f"artifact_backend.{self.name}.{field}").inc()
+        return payload
 
     def put(self, stage: str, key: str, payload: bytes) -> None:
         """Store a payload, evicting if the size bound is crossed."""
-        raise NotImplementedError
+        self._put(stage, key, payload)
+        with self._counter_lock:
+            self._puts += 1
+        get_metrics().counter(f"artifact_backend.{self.name}.puts").inc()
 
-    def evict(self) -> None:
-        """Enforce the size bound now and sweep stale debris."""
-        raise NotImplementedError
+    def evict(self) -> int:
+        """Enforce the size bound now; returns artifacts dropped."""
+        dropped = self._evict()
+        if dropped:
+            with self._counter_lock:
+                self._evictions += dropped
+            get_metrics().counter(f"artifact_backend.{self.name}.evictions").inc(dropped)
+        return dropped
 
     def stats(self) -> BackendStats:
-        """Measured artifact count and total payload bytes."""
+        """The uniform size + operation-counter snapshot."""
+        artifacts, total_bytes = self._measure()
+        with self._counter_lock:
+            return BackendStats(
+                artifacts=artifacts,
+                total_bytes=total_bytes,
+                hits=self._hits,
+                misses=self._misses,
+                puts=self._puts,
+                evictions=self._evictions,
+                flights=self._flights,
+                flight_waits=self._flight_waits,
+            )
+
+    def _count_flight(self, waited: bool) -> None:
+        """Record one single-flight admission (``waited``: behind a claim)."""
+        with self._counter_lock:
+            self._flights += 1
+            if waited:
+                self._flight_waits += 1
+        metrics = get_metrics()
+        metrics.counter(f"artifact_backend.{self.name}.flights").inc()
+        if waited:
+            metrics.counter(f"artifact_backend.{self.name}.flight_waits").inc()
+
+    # -- per-medium hooks ----------------------------------------------
+    def _get(self, stage: str, key: str) -> Optional[bytes]:
+        raise NotImplementedError
+
+    def _put(self, stage: str, key: str, payload: bytes) -> None:
+        raise NotImplementedError
+
+    def _evict(self) -> int:
+        raise NotImplementedError
+
+    def _measure(self) -> Tuple[int, int]:
+        """Measured ``(artifact count, total payload bytes)``."""
         raise NotImplementedError
 
     @contextmanager
     def single_flight(self, stage: str, key: str) -> Iterator[None]:
         """Admit callers one at a time per (stage, key); see module doc."""
+        self._count_flight(waited=False)
         yield
 
 
@@ -147,6 +239,7 @@ class DiskArtifactBackend(ArtifactBackend):
         stale_lock_timeout: float = DEFAULT_STALE_LOCK_S,
         tmp_max_age_s: float = DEFAULT_TMP_MAX_AGE_S,
     ):
+        super().__init__()
         self.root = Path(root)
         self.max_bytes = int(max_bytes)
         self.stale_lock_timeout = float(stale_lock_timeout)
@@ -167,7 +260,7 @@ class DiskArtifactBackend(ArtifactBackend):
         return [p for p in self.root.rglob("*.pkl") if p.is_file()]
 
     # -- access --------------------------------------------------------
-    def get(self, stage: str, key: str) -> Optional[bytes]:
+    def _get(self, stage: str, key: str) -> Optional[bytes]:
         path = self.path(stage, key)
         try:
             with open(path, "rb") as f:
@@ -180,7 +273,7 @@ class DiskArtifactBackend(ArtifactBackend):
             pass
         return payload
 
-    def put(self, stage: str, key: str, payload: bytes) -> None:
+    def _put(self, stage: str, key: str, payload: bytes) -> None:
         import tempfile
 
         path = self.path(stage, key)
@@ -202,7 +295,7 @@ class DiskArtifactBackend(ArtifactBackend):
                 if os.path.exists(tmp):
                     os.unlink(tmp)
             if self._approx_bytes is None:
-                self._approx_bytes = self.stats().total_bytes
+                self._approx_bytes = self._measure()[1]
             else:
                 self._approx_bytes += len(payload) - old_size
             if self._approx_bytes > self.max_bytes:
@@ -210,7 +303,7 @@ class DiskArtifactBackend(ArtifactBackend):
         except OSError:
             return  # a read-only or full disk degrades to memo-only
 
-    def evict(self) -> None:
+    def _evict(self) -> int:
         """Drop LRU artifacts past ``max_bytes``; sweep orphaned tmps."""
         now = time.time()
         if self.root.exists():
@@ -224,6 +317,7 @@ class DiskArtifactBackend(ArtifactBackend):
                     continue
         sized = []
         total = 0
+        dropped = 0
         for p in self._artifact_files():
             try:
                 st = p.stat()
@@ -237,12 +331,14 @@ class DiskArtifactBackend(ArtifactBackend):
                     os.unlink(p)
                 except OSError:
                     continue
+                dropped += 1
                 total -= size
                 if total <= self.max_bytes:
                     break
         self._approx_bytes = total
+        return dropped
 
-    def stats(self) -> BackendStats:
+    def _measure(self) -> Tuple[int, int]:
         files = self._artifact_files()
         total = 0
         for p in files:
@@ -250,7 +346,7 @@ class DiskArtifactBackend(ArtifactBackend):
                 total += p.stat().st_size
             except OSError:
                 continue
-        return BackendStats(artifacts=len(files), total_bytes=total)
+        return len(files), total
 
     # -- single flight -------------------------------------------------
     @contextmanager
@@ -259,6 +355,7 @@ class DiskArtifactBackend(ArtifactBackend):
         try:
             lock_path.parent.mkdir(parents=True, exist_ok=True)
         except OSError:
+            self._count_flight(waited=False)
             yield  # unwritable store: no lock, just compute
             return
         if fcntl is not None:
@@ -270,9 +367,11 @@ class DiskArtifactBackend(ArtifactBackend):
         try:
             fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
         except OSError:
+            self._count_flight(waited=False)
             yield
             return
         acquired = False
+        waited = False
         try:
             deadline = time.monotonic() + self.stale_lock_timeout
             while True:
@@ -288,7 +387,9 @@ class DiskArtifactBackend(ArtifactBackend):
                     # hanging the pipeline.
                     if time.monotonic() >= deadline:
                         break
+                    waited = True
                     time.sleep(_POLL_S)
+            self._count_flight(waited)
             yield
         finally:
             if acquired:
@@ -303,6 +404,7 @@ class DiskArtifactBackend(ArtifactBackend):
         # crashed owner's file is broken by the first waiter to see it
         # exceed the stale timeout.
         acquired = False
+        waited = False
         deadline = time.monotonic() + self.stale_lock_timeout
         while True:
             try:
@@ -312,6 +414,7 @@ class DiskArtifactBackend(ArtifactBackend):
                 acquired = True
                 break
             except FileExistsError:
+                waited = True
                 try:
                     age = time.time() - lock_path.stat().st_mtime
                 except OSError:
@@ -327,6 +430,7 @@ class DiskArtifactBackend(ArtifactBackend):
                 time.sleep(_POLL_S)
             except OSError:
                 break  # unwritable store: proceed without the lock
+        self._count_flight(waited)
         try:
             yield
         finally:
@@ -365,6 +469,7 @@ class SQLiteArtifactBackend(ArtifactBackend):
         stale_lock_timeout: float = DEFAULT_STALE_LOCK_S,
         busy_timeout_s: float = 10.0,
     ):
+        super().__init__()
         self.root = Path(root)
         self.db_path = self.root / f"artifacts-{STORE_VERSION}.sqlite"
         self.max_bytes = int(max_bytes)
@@ -403,7 +508,7 @@ class SQLiteArtifactBackend(ArtifactBackend):
         return (self._runtime, stage, key)
 
     # -- access --------------------------------------------------------
-    def get(self, stage: str, key: str) -> Optional[bytes]:
+    def _get(self, stage: str, key: str) -> Optional[bytes]:
         import sqlite3
 
         try:
@@ -424,7 +529,7 @@ class SQLiteArtifactBackend(ArtifactBackend):
         except sqlite3.Error:
             return None
 
-    def put(self, stage: str, key: str, payload: bytes) -> None:
+    def _put(self, stage: str, key: str, payload: bytes) -> None:
         import sqlite3
 
         try:
@@ -443,9 +548,10 @@ class SQLiteArtifactBackend(ArtifactBackend):
         except sqlite3.Error:
             return
 
-    def evict(self) -> None:
+    def _evict(self) -> int:
         import sqlite3
 
+        dropped = 0
         try:
             with self._tx() as conn:
                 total = conn.execute(
@@ -457,6 +563,7 @@ class SQLiteArtifactBackend(ArtifactBackend):
                     ).fetchall()
                     for rowid, size in victims:
                         conn.execute("DELETE FROM artifacts WHERE rowid=?", (rowid,))
+                        dropped += 1
                         total -= size
                         if total <= self.max_bytes:
                             break
@@ -465,9 +572,10 @@ class SQLiteArtifactBackend(ArtifactBackend):
                     (time.time() - self.stale_lock_timeout,),
                 )
         except sqlite3.Error:
-            return
+            return dropped
+        return dropped
 
-    def stats(self) -> BackendStats:
+    def _measure(self) -> Tuple[int, int]:
         import sqlite3
 
         try:
@@ -475,9 +583,9 @@ class SQLiteArtifactBackend(ArtifactBackend):
                 count, total = conn.execute(
                     "SELECT COUNT(*), COALESCE(SUM(size), 0) FROM artifacts"
                 ).fetchone()
-            return BackendStats(artifacts=count, total_bytes=total)
+            return count, total
         except sqlite3.Error:
-            return BackendStats(artifacts=0, total_bytes=0)
+            return 0, 0
 
     # -- single flight -------------------------------------------------
     @contextmanager
@@ -486,6 +594,7 @@ class SQLiteArtifactBackend(ArtifactBackend):
 
         owner = f"{os.getpid()}-{threading.get_ident()}"
         acquired = False
+        waited = False
         deadline = time.monotonic() + self.stale_lock_timeout
         try:
             while True:
@@ -509,7 +618,9 @@ class SQLiteArtifactBackend(ArtifactBackend):
                     break  # degrade: compute without the claim
                 if acquired or time.monotonic() >= deadline:
                     break
+                waited = True
                 time.sleep(_POLL_S)
+            self._count_flight(waited)
             yield
         finally:
             if acquired:
@@ -545,6 +656,7 @@ class RedisArtifactBackend(ArtifactBackend):
         stale_lock_timeout: float = DEFAULT_STALE_LOCK_S,
         url: Optional[str] = None,
     ):
+        super().__init__()
         try:
             import redis
         except ImportError as exc:
@@ -561,30 +673,30 @@ class RedisArtifactBackend(ArtifactBackend):
     def _key(self, stage: str, key: str) -> str:
         return f"{self._prefix}:{stage}:{key}"
 
-    def get(self, stage: str, key: str) -> Optional[bytes]:
+    def _get(self, stage: str, key: str) -> Optional[bytes]:
         try:
             return self._redis.get(self._key(stage, key))
         except Exception:
             return None
 
-    def put(self, stage: str, key: str, payload: bytes) -> None:
+    def _put(self, stage: str, key: str, payload: bytes) -> None:
         try:
             self._redis.set(self._key(stage, key), payload)
         except Exception:
             return
 
-    def evict(self) -> None:
-        return  # the server's maxmemory policy owns eviction
+    def _evict(self) -> int:
+        return 0  # the server's maxmemory policy owns eviction
 
-    def stats(self) -> BackendStats:
+    def _measure(self) -> Tuple[int, int]:
         try:
             count = total = 0
             for k in self._redis.scan_iter(match=f"{self._prefix}:*"):
                 count += 1
                 total += int(self._redis.strlen(k))
-            return BackendStats(artifacts=count, total_bytes=total)
+            return count, total
         except Exception:
-            return BackendStats(artifacts=0, total_bytes=0)
+            return 0, 0
 
     @contextmanager
     def single_flight(self, stage: str, key: str) -> Iterator[None]:
@@ -592,6 +704,7 @@ class RedisArtifactBackend(ArtifactBackend):
         token = f"{os.getpid()}-{threading.get_ident()}".encode("ascii")
         ttl = max(1, int(self.stale_lock_timeout))
         acquired = False
+        waited = False
         deadline = time.monotonic() + self.stale_lock_timeout
         try:
             while True:
@@ -601,7 +714,9 @@ class RedisArtifactBackend(ArtifactBackend):
                     break  # unreachable server: compute without the lock
                 if acquired or time.monotonic() >= deadline:
                     break
+                waited = True
                 time.sleep(_POLL_S)
+            self._count_flight(waited)
             yield
         finally:
             if acquired:

@@ -48,6 +48,7 @@ from repro.core.fingerprint import Fingerprint
 from repro.core.merge import merge_fingerprints
 from repro.core.reshape import reshape_fingerprint
 from repro.core.suppression import SuppressionStats, suppress_dataset
+from repro.obs import get_metrics
 
 
 @dataclass
@@ -107,6 +108,21 @@ class GloveStats:
     n_probe_dispatches: int = 0
     n_batched_probes: int = 0
     suppression: Optional[SuppressionStats] = None
+
+    def record_metrics(self, registry) -> None:
+        """Accumulate this run's counters into a metrics registry (D12).
+
+        Uses ``inc`` (not absolute writes): one process may run many
+        GLOVE invocations (every stream window, every shard), and the
+        registry keeps the process-wide totals across them.
+        """
+        registry.counter("glove.runs").inc()
+        registry.counter("glove.merges").inc(self.n_merges)
+        registry.counter("glove.exact_evaluations").inc(self.n_exact_evaluations)
+        registry.counter("glove.pruned_evaluations").inc(self.n_pruned_evaluations)
+        registry.counter("engine.boundary_crossings").inc(self.n_boundary_crossings)
+        registry.counter("engine.probe_dispatches").inc(self.n_probe_dispatches)
+        registry.counter("engine.batched_probes").inc(self.n_batched_probes)
 
 
 @dataclass(frozen=True)
@@ -462,7 +478,12 @@ def validate_population(fps: List[Fingerprint], k: int) -> None:
 def finalize_result(
     out: FingerprintDataset, stats: GloveStats, config: GloveConfig
 ) -> GloveResult:
-    """Apply output suppression and package a :class:`GloveResult`."""
+    """Apply output suppression and package a :class:`GloveResult`.
+
+    Every anonymization path funnels through here — batch, sharded and
+    per-stream-window — so this is also where a run's counters join the
+    process-wide metrics registry (a no-op unless one is installed).
+    """
     if config.suppression.enabled:
         out, supp = suppress_dataset(out, config.suppression)
         stats.suppression = supp
@@ -470,6 +491,7 @@ def finalize_result(
         stats.suppression = SuppressionStats(
             total_samples=out.n_samples, discarded_samples=0, discarded_fingerprints=0
         )
+    stats.record_metrics(get_metrics())
     return GloveResult(dataset=out, stats=stats, config=config)
 
 

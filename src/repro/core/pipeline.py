@@ -54,6 +54,7 @@ from repro.core.config import ComputeConfig, GloveConfig, StretchConfig
 from repro.core.dataset import FingerprintDataset
 from repro.core.engine import get_default_compute, get_glove_driver
 from repro.core.kgap import KGapResult, kgap as _kgap
+from repro.obs import get_metrics
 
 #: Sources whose edits invalidate synthesized datasets.
 DATASET_SOURCES = (
@@ -157,19 +158,31 @@ class Pipeline:
 
     def _fetch(self, stage: str, params: Dict[str, Any], label: str, compute: Callable[[], Any]) -> Any:
         stats = self._stage(stage)
+        metrics = get_metrics()
         if not self.enabled:
             stats.computed += 1
             stats.computed_labels[label] += 1
-            return compute()
+            with metrics.span(f"pipeline.{stage}.wall_s"):
+                value = compute()
+            metrics.counter(f"pipeline.{stage}.computed").inc()
+            metrics.counter("artifact.misses").inc()
+            return value
         key = canonical_key(stage, params)
-        value, origin = self.store.fetch(stage, key, compute)
+        with metrics.span(f"pipeline.{stage}.wall_s"):
+            value, origin = self.store.fetch(stage, key, compute)
         if origin == "computed":
             stats.computed += 1
             stats.computed_labels[label] += 1
+            metrics.counter(f"pipeline.{stage}.computed").inc()
+            metrics.counter("artifact.misses").inc()
         elif origin == "memo":
             stats.memo_hits += 1
+            metrics.counter(f"pipeline.{stage}.memo_hits").inc()
+            metrics.counter("artifact.hits").inc()
         else:
             stats.disk_hits += 1
+            metrics.counter(f"pipeline.{stage}.disk_hits").inc()
+            metrics.counter("artifact.hits").inc()
         return value
 
     def digest(self, dataset: FingerprintDataset) -> str:

@@ -1,0 +1,71 @@
+"""Human- and machine-readable views of a metrics snapshot.
+
+``render_table`` backs ``glove <cmd> --metrics`` (a plain-text table on
+stderr-free stdout); ``dump_json`` backs ``--metrics-json PATH``.  Both
+consume the stable ``repro.metrics.v1`` snapshot dict, never a live
+registry, so they also work on snapshots reloaded from disk.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from .registry import validate_snapshot
+
+__all__ = ["render_table", "dump_json"]
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 1:
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return f"{value:.6f}".rstrip("0").rstrip(".")
+
+
+def render_table(snapshot: Dict[str, object]) -> str:
+    """A metrics table for terminals, grouped by instrument kind."""
+    validate_snapshot(snapshot)
+    lines = [f"metrics ({snapshot['schema']})"]
+    counters = snapshot["counters"]
+    gauges = snapshot["gauges"]
+    histograms = snapshot["histograms"]
+    rows = []
+    for name, value in counters.items():  # type: ignore[union-attr]
+        rows.append((name, "counter", f"{value:,}"))
+    for name, value in gauges.items():  # type: ignore[union-attr]
+        rows.append((name, "gauge", _fmt(float(value))))
+    for name, hist in histograms.items():  # type: ignore[union-attr]
+        rows.append(
+            (
+                name,
+                "histogram",
+                "count={count:,} sum={sum} p50={p50} p95={p95}".format(
+                    count=hist["count"],
+                    sum=_fmt(hist["sum"]),
+                    p50=_fmt(hist["p50"]),
+                    p95=_fmt(hist["p95"]),
+                ),
+            )
+        )
+    if not rows:
+        lines.append("  (no instruments recorded)")
+        return "\n".join(lines)
+    width = max(len(name) for name, _, _ in rows)
+    kind_w = max(len(kind) for _, kind, _ in rows)
+    for name, kind, value in rows:
+        lines.append(f"  {name:<{width}}  {kind:<{kind_w}}  {value}")
+    return "\n".join(lines)
+
+
+def dump_json(snapshot: Dict[str, object], path: "str | Path") -> Path:
+    """Validate and write ``snapshot`` to ``path`` as pretty JSON."""
+    validate_snapshot(snapshot)
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return out

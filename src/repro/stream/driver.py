@@ -58,6 +58,7 @@ from repro.core.glove import (
 from repro.core.merge import merge_fingerprints
 from repro.core.reshape import reshape_fingerprint
 from repro.core.shard import _boundary_repair
+from repro.obs import get_metrics
 from repro.stream.feed import ReplayFeed, StreamEvent, replay_dataset
 from repro.stream.stats import StreamStats, WindowStats
 from repro.stream.windows import ClosedWindow, StreamConfig, WindowManager
@@ -201,6 +202,9 @@ def _batch_result(
     wstats.n_groups = len(result.dataset)
     wstats.n_merges = result.stats.n_merges
     wstats.suppression = result.stats.suppression
+    wstats.n_boundary_crossings = result.stats.n_boundary_crossings
+    wstats.n_probe_dispatches = result.stats.n_probe_dispatches
+    wstats.n_batched_probes = result.stats.n_batched_probes
     return result
 
 
@@ -264,6 +268,9 @@ def _finalize(pending: _PendingWindow, config: GloveConfig) -> WindowResult:
     pending.wstats.n_groups = len(result.dataset)
     pending.wstats.n_merges = pending.glove_stats.n_merges
     pending.wstats.suppression = result.stats.suppression
+    pending.wstats.n_boundary_crossings = pending.glove_stats.n_boundary_crossings
+    pending.wstats.n_probe_dispatches = pending.glove_stats.n_probe_dispatches
+    pending.wstats.n_batched_probes = pending.glove_stats.n_batched_probes
     pending.wstats.wall_s += time.perf_counter() - t0
     return WindowResult(
         index=pending.index,
@@ -357,6 +364,11 @@ def iter_stream_glove(
             finished, leftover, _ = _greedy_merge(engine, population, config, glove_stats)
             finished_fps = [engine.store.fps[s] for s in finished]
             leftover_fp = engine.store.fps[leftover] if leftover is not None else None
+            (
+                glove_stats.n_boundary_crossings,
+                glove_stats.n_probe_dispatches,
+                glove_stats.n_batched_probes,
+            ) = engine.backend.dispatch_counters()
         if leftover_fp is not None:
             carry = [leftover_fp]
             wstats.carried_out_members = leftover_fp.count
@@ -438,6 +450,7 @@ def iter_stream_glove(
     stats.n_late_redirected = manager.n_redirected
     stats.n_late_dropped = manager.n_dropped
     stats.wall_s = time.perf_counter() - t_start
+    stats.record_metrics(get_metrics())
 
 
 def stream_glove(

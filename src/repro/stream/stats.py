@@ -15,6 +15,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.suppression import SuppressionStats
+from repro.obs import get_metrics
 
 
 @dataclass
@@ -58,6 +59,9 @@ class WindowStats:
         Sample-suppression statistics of the emitted window.
     wall_s:
         Processing latency of the window (assembly + GLOVE + output).
+    n_boundary_crossings, n_probe_dispatches, n_batched_probes:
+        Stretch-backend dispatch counters harvested from the window's
+        engine (zero for deferred windows, which run no merges).
     """
 
     index: int
@@ -76,6 +80,9 @@ class WindowStats:
     carried_out_members: int = 0
     suppression: Optional[SuppressionStats] = None
     wall_s: float = 0.0
+    n_boundary_crossings: int = 0
+    n_probe_dispatches: int = 0
+    n_batched_probes: int = 0
 
 
 @dataclass
@@ -104,6 +111,12 @@ class StreamStats:
     max_carried_members: int = 0
     wall_s: float = 0.0
     window_wall_s: List[float] = field(default_factory=list)
+    n_boundary_crossings: int = 0
+    n_probe_dispatches: int = 0
+    n_batched_probes: int = 0
+    suppression_total_samples: int = 0
+    suppression_discarded_samples: int = 0
+    suppression_discarded_fingerprints: int = 0
 
     @property
     def events_per_sec(self) -> float:
@@ -112,10 +125,26 @@ class StreamStats:
             return 0.0
         return self.n_events / self.wall_s
 
+    @property
+    def suppression_rate(self) -> float:
+        """Fraction of published samples discarded by output suppression."""
+        if self.suppression_total_samples <= 0:
+            return 0.0
+        return self.suppression_discarded_samples / self.suppression_total_samples
+
     def latency_quantile(self, q: float) -> float:
-        """Per-window processing latency quantile, in seconds."""
+        """Per-window processing latency quantile, in seconds.
+
+        Robust at the edges: with no emitted windows every quantile is
+        0.0, with a single emitted window every quantile is that
+        window's latency, and ``q`` is clamped into ``[0, 1]`` rather
+        than propagating to a raising ``np.quantile`` call.
+        """
         if not self.window_wall_s:
             return 0.0
+        q = min(max(float(q), 0.0), 1.0)
+        if len(self.window_wall_s) == 1:
+            return float(self.window_wall_s[0])
         return float(np.quantile(np.asarray(self.window_wall_s), q))
 
     @property
@@ -136,6 +165,57 @@ class StreamStats:
         else:
             self.n_emitted_windows += 1
             self.window_wall_s.append(window.wall_s)
+            # Live-run view only; the canonical p50/p95 gauges are
+            # re-derived from window_wall_s at harvest time, so cached
+            # runs (which never pass here) still report latency.
+            get_metrics().histogram("stream.window_wall_s").observe(window.wall_s)
         self.n_groups += window.n_groups
         self.n_merges += window.n_merges
         self.max_carried_members = max(self.max_carried_members, window.carried_out_members)
+        self.n_boundary_crossings += window.n_boundary_crossings
+        self.n_probe_dispatches += window.n_probe_dispatches
+        self.n_batched_probes += window.n_batched_probes
+        if window.suppression is not None:
+            self.suppression_total_samples += window.suppression.total_samples
+            self.suppression_discarded_samples += window.suppression.discarded_samples
+            self.suppression_discarded_fingerprints += (
+                window.suppression.discarded_fingerprints
+            )
+
+    def record_metrics(self, registry) -> None:
+        """Publish the aggregates into a metrics registry (D12).
+
+        Uses absolute writes (``set_to``/``set``) throughout, so the
+        harvest is idempotent — the CLI calls this on the final stats
+        object whether the run executed live or was served from the
+        artifact cache, and a repeated call never double-counts.
+        """
+        counters = {
+            "stream.events": self.n_events,
+            "stream.users": self.n_users,
+            "stream.windows": self.n_windows,
+            "stream.windows_emitted": self.n_emitted_windows,
+            "stream.windows_deferred": self.n_deferred_windows,
+            "stream.late_redirected": self.n_late_redirected,
+            "stream.late_dropped": self.n_late_dropped,
+            "stream.unpublished_members": self.n_unpublished_members,
+            "stream.groups": self.n_groups,
+            "stream.merges": self.n_merges,
+            "stream.suppressed_samples": self.suppression_discarded_samples,
+            "stream.suppressed_fingerprints": self.suppression_discarded_fingerprints,
+            "engine.boundary_crossings": self.n_boundary_crossings,
+            "engine.probe_dispatches": self.n_probe_dispatches,
+            "engine.batched_probes": self.n_batched_probes,
+        }
+        for name, value in counters.items():
+            registry.counter(name).set_to(value)
+        gauges = {
+            "stream.events_per_sec": self.events_per_sec,
+            "stream.window_latency_p50_s": self.latency_p50_s,
+            "stream.window_latency_p95_s": self.latency_p95_s,
+            "stream.suppression_rate": self.suppression_rate,
+            "stream.carry_over_depth": float(self.max_carried_members),
+            "stream.wall_s": self.wall_s,
+        }
+        for name, value in gauges.items():
+            registry.gauge(name).set(value)

@@ -53,7 +53,10 @@ class TestSQLiteBackend:
         assert backend.get("s", "k") is None
         backend.put("s", "k", b"payload-bytes")
         assert backend.get("s", "k") == b"payload-bytes"
-        assert backend.stats() == BackendStats(artifacts=1, total_bytes=13)
+        stats = backend.stats()
+        assert stats.artifacts == 1
+        assert stats.total_bytes == 13
+        assert (stats.hits, stats.misses, stats.puts, stats.evictions) == (1, 1, 1, 0)
 
     def test_persists_across_instances(self, tmp_path):
         SQLiteArtifactBackend(root=tmp_path, max_bytes=1 << 20).put("s", "k", b"v")
@@ -177,6 +180,58 @@ class TestThreadSingleFlight:
         finally:
             release.set()
             holder.join(timeout=10)
+
+
+class TestUniformBackendStats:
+    """All backends report the same hit/miss/eviction key set (D12)."""
+
+    KEYS = {
+        "artifacts",
+        "total_bytes",
+        "hits",
+        "misses",
+        "puts",
+        "evictions",
+        "flights",
+        "flight_waits",
+    }
+
+    @pytest.mark.parametrize("backend", ["disk", "sqlite"])
+    def test_key_set_is_uniform(self, tmp_path, backend):
+        b = create_artifact_backend(backend, root=tmp_path, max_bytes=1 << 20)
+        assert set(b.stats().as_dict()) == self.KEYS
+
+    def test_redis_key_set_is_uniform(self, tmp_path):
+        pytest.importorskip("redis")
+        b = create_artifact_backend("redis", root=tmp_path, max_bytes=1 << 20)
+        assert set(b.stats().as_dict()) == self.KEYS
+
+    @pytest.mark.parametrize("backend", ["disk", "sqlite"])
+    def test_counters_track_operations(self, tmp_path, backend):
+        b = create_artifact_backend(backend, root=tmp_path, max_bytes=1 << 20)
+        assert b.get("s", "missing") is None
+        b.put("s", "k", b"v")
+        assert b.get("s", "k") == b"v"
+        with b.single_flight("s", "k"):
+            pass
+        stats = b.stats().as_dict()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert stats["puts"] == 1
+        assert stats["flights"] == 1
+        assert stats["flight_waits"] == 0
+
+    @pytest.mark.parametrize("backend", ["disk", "sqlite"])
+    def test_evictions_counted(self, tmp_path, backend):
+        b = create_artifact_backend(backend, root=tmp_path, max_bytes=5_000)
+        payload = b"x" * 4000
+        b.put("s", "a", payload)
+        b.put("s", "b", payload)  # pushes past the bound -> evicts LRU
+        assert b.stats().evictions >= 1
+
+    def test_default_counter_values_are_zero(self, tmp_path):
+        stats = BackendStats(artifacts=0, total_bytes=0)
+        assert stats.as_dict() == {key: 0 for key in self.KEYS}
 
 
 def test_runtime_tag_shape():

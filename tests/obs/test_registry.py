@@ -1,0 +1,291 @@
+"""Tests of the metrics registry (DESIGN.md D12).
+
+Covers the three satellite guarantees: snapshot schema stability
+(golden dict), thread safety under concurrent span/counter updates,
+and the disabled-registry no-op path.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BOUNDARIES_S,
+    SNAPSHOT_SCHEMA,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    validate_snapshot,
+)
+from repro.obs.registry import _NULL, Histogram
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+class TestInstruments:
+    def test_counter_inc_and_set_to(self, registry):
+        c = registry.counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.set_to(3)
+        assert c.value == 3
+        c.set_to(3)  # idempotent re-harvest
+        assert c.value == 3
+
+    def test_counter_is_get_or_create(self, registry):
+        assert registry.counter("same") is registry.counter("same")
+        assert registry.counter("same") is not registry.counter("other")
+
+    def test_gauge_set_and_max(self, registry):
+        g = registry.gauge("g")
+        g.set(2.5)
+        assert g.value == 2.5
+        g.max(1.0)
+        assert g.value == 2.5
+        g.max(7.0)
+        assert g.value == 7.0
+
+    def test_histogram_counts_and_sum(self, registry):
+        h = registry.histogram("h")
+        for v in (0.01, 0.02, 0.3):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(0.33)
+
+    def test_histogram_rejects_bad_boundaries(self):
+        with pytest.raises(ValueError, match="increasing"):
+            Histogram("bad", boundaries=[1.0, 0.5])
+        with pytest.raises(ValueError, match="increasing"):
+            Histogram("bad", boundaries=[])
+
+    def test_span_times_the_block(self, registry):
+        with registry.span("work"):
+            pass
+        h = registry.histogram("work")
+        assert h.count == 1
+        assert 0.0 <= h.sum < 1.0
+
+
+class TestHistogramQuantiles:
+    def test_empty_is_zero(self, registry):
+        h = registry.histogram("h")
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(0.95) == 0.0
+
+    def test_single_sample_is_every_quantile(self, registry):
+        h = registry.histogram("h")
+        h.observe(0.042)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert h.quantile(q) == pytest.approx(0.042)
+
+    def test_q_is_clamped(self, registry):
+        h = registry.histogram("h")
+        h.observe(0.01)
+        h.observe(0.02)
+        assert h.quantile(-3.0) <= h.quantile(1.5)
+        assert h.quantile(1.5) == pytest.approx(0.02, abs=0.01)
+
+    def test_quantiles_bounded_by_observed_range(self, registry):
+        h = registry.histogram("h")
+        values = [0.003, 0.007, 0.04, 0.2, 0.9, 3.0]
+        for v in values:
+            h.observe(v)
+        for q in (0.1, 0.5, 0.9, 0.95):
+            assert min(values) <= h.quantile(q) <= max(values)
+
+    def test_estimate_within_one_bucket_of_truth(self, registry):
+        h = registry.histogram("h")
+        for _ in range(100):
+            h.observe(0.3)  # lands in the (0.25, 0.5] bucket
+        assert 0.25 <= h.quantile(0.5) <= 0.5
+
+    def test_overflow_bucket_catches_huge_values(self, registry):
+        h = registry.histogram("h")
+        h.observe(1e6)  # beyond the last default edge
+        snap = h._snapshot()
+        assert snap["bucket_counts"][-1] == 1
+        assert h.quantile(0.5) == pytest.approx(1e6)
+
+
+class TestSnapshotSchema:
+    def test_golden_shape(self, registry):
+        """The exact v1 snapshot shape; changing it must break here."""
+        registry.counter("runs").inc(2)
+        registry.gauge("depth").set(1.5)
+        registry.histogram("lat", boundaries=[0.1, 1.0]).observe(0.05)
+        snapshot = registry.snapshot()
+        assert snapshot == {
+            "schema": "repro.metrics.v1",
+            "enabled": True,
+            "counters": {"runs": 2},
+            "gauges": {"depth": 1.5},
+            "histograms": {
+                "lat": {
+                    "count": 1,
+                    "sum": 0.05,
+                    "min": 0.05,
+                    "max": 0.05,
+                    "boundaries": [0.1, 1.0],
+                    "bucket_counts": [1, 0, 0],
+                    "p50": 0.05,
+                    "p95": 0.05,
+                }
+            },
+        }
+
+    def test_snapshot_is_json_and_validates(self, registry):
+        registry.counter("c").inc()
+        with registry.span("s"):
+            pass
+        snapshot = registry.snapshot()
+        validate_snapshot(snapshot)
+        validate_snapshot(json.loads(json.dumps(snapshot)))  # survives JSON
+
+    def test_snapshot_names_are_sorted(self, registry):
+        for name in ("zz", "aa", "mm"):
+            registry.counter(name).inc()
+        assert list(registry.snapshot()["counters"]) == ["aa", "mm", "zz"]
+
+    def test_validator_rejects_wrong_schema(self, registry):
+        snapshot = registry.snapshot()
+        snapshot["schema"] = "repro.metrics.v0"
+        with pytest.raises(ValueError, match="unknown snapshot schema"):
+            validate_snapshot(snapshot)
+
+    def test_validator_rejects_missing_sections(self):
+        with pytest.raises(ValueError):
+            validate_snapshot({"schema": SNAPSHOT_SCHEMA, "enabled": True})
+
+    def test_validator_rejects_malformed_histogram(self, registry):
+        registry.histogram("h").observe(0.1)
+        snapshot = registry.snapshot()
+        snapshot["histograms"]["h"].pop("p95")
+        with pytest.raises(ValueError, match="exactly the keys"):
+            validate_snapshot(snapshot)
+
+    def test_validator_rejects_inconsistent_buckets(self, registry):
+        registry.histogram("h").observe(0.1)
+        snapshot = registry.snapshot()
+        snapshot["histograms"]["h"]["count"] = 99
+        with pytest.raises(ValueError, match="sum to count"):
+            validate_snapshot(snapshot)
+
+    def test_validator_rejects_negative_counter(self, registry):
+        snapshot = registry.snapshot()
+        snapshot["counters"]["bad"] = -1
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_snapshot(snapshot)
+
+
+class TestThreadSafety:
+    def test_concurrent_counter_updates_lose_nothing(self, registry):
+        n_threads, n_incs = 8, 2500
+        barrier = threading.Barrier(n_threads)
+
+        def worker():
+            barrier.wait()
+            c = registry.counter("shared")
+            for _ in range(n_incs):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert registry.counter("shared").value == n_threads * n_incs
+
+    def test_concurrent_spans_and_observations(self, registry):
+        n_threads, n_spans = 8, 300
+        barrier = threading.Barrier(n_threads)
+
+        def worker():
+            barrier.wait()
+            for _ in range(n_spans):
+                with registry.span("hot"):
+                    pass
+                registry.histogram("obs").observe(0.001)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert registry.histogram("hot").count == n_threads * n_spans
+        assert registry.histogram("obs").count == n_threads * n_spans
+        validate_snapshot(registry.snapshot())
+
+    def test_concurrent_get_or_create_returns_one_instrument(self, registry):
+        results = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            results.append(registry.counter("raced"))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert all(c is results[0] for c in results)
+
+
+class TestDisabledRegistry:
+    def test_accessors_return_the_shared_null(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("c") is _NULL
+        assert registry.gauge("g") is _NULL
+        assert registry.histogram("h") is _NULL
+        assert registry.span("s") is _NULL
+
+    def test_null_instrument_absorbs_everything(self):
+        registry = MetricsRegistry(enabled=False)
+        c = registry.counter("c")
+        c.inc()
+        c.set_to(5)
+        registry.gauge("g").set(1.0)
+        registry.histogram("h").observe(0.1)
+        assert registry.histogram("h").quantile(0.5) == 0.0
+        with registry.span("s"):
+            pass
+
+    def test_disabled_snapshot_is_empty_but_valid(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c").inc()
+        snapshot = registry.snapshot()
+        validate_snapshot(snapshot)
+        assert snapshot["enabled"] is False
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"] == {}
+        assert snapshot["histograms"] == {}
+
+    def test_process_default_is_disabled(self):
+        assert get_metrics().enabled is False
+
+    def test_set_metrics_installs_and_restores(self):
+        live = MetricsRegistry(enabled=True)
+        previous = set_metrics(live)
+        try:
+            assert get_metrics() is live
+        finally:
+            set_metrics(previous)
+        assert get_metrics() is previous
+
+    def test_set_metrics_none_restores_disabled_default(self):
+        previous = set_metrics(MetricsRegistry(enabled=True))
+        try:
+            set_metrics(None)
+            assert get_metrics().enabled is False
+        finally:
+            set_metrics(previous)
+
+
+def test_default_boundaries_are_increasing():
+    edges = DEFAULT_LATENCY_BOUNDARIES_S
+    assert all(b > a for a, b in zip(edges, edges[1:]))
