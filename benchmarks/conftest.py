@@ -158,19 +158,22 @@ def sen_dataset():
 
 
 def _bench_record_key(name: str, scenario) -> str:
-    """Artifact key of one emission record: scenario + package sources.
+    """Artifact key of one emission record: scenario + sources.
 
-    The source digest makes code edits (anywhere in ``repro`` or the
-    preserved seed path) invalidate the cached measurement, so BENCH
-    numbers always describe the checked-out implementation (DESIGN.md
-    D6).
+    The source digest makes code edits (anywhere in ``repro``, the
+    preserved seed path, or this harness itself — a new measured field
+    must re-measure, not be served from a record that lacks it)
+    invalidate the cached measurement, so BENCH numbers always
+    describe the checked-out implementation (DESIGN.md D6).
     """
     return canonical_key(
         "bench",
         {
             "record": name,
             "scenario": scenario.key_params(),
-            "sources": source_digest("repro", str(_SEED_PATH_FILE)),
+            "sources": source_digest(
+                "repro", str(_SEED_PATH_FILE), str(Path(__file__).resolve())
+            ),
         },
     )
 
@@ -248,6 +251,7 @@ def _run_glove_bench() -> dict:
             "speedup_vs_seed_path": round(seed_s / elapsed, 2) if elapsed > 0 else None,
             "exact_evaluations": stats.n_exact_evaluations,
             "pruned_evaluations": stats.n_pruned_evaluations,
+            "bound_pruned": stats.n_bound_pruned,
             "boundary_crossings": stats.n_boundary_crossings,
             "probe_dispatches": stats.n_probe_dispatches,
             "batched_probes": stats.n_batched_probes,
@@ -272,6 +276,7 @@ def _run_glove_bench() -> dict:
         "speedup_vs_seed_path": round(seed_s / elapsed, 2) if elapsed > 0 else None,
         "exact_evaluations": sharded.stats.n_exact_evaluations,
         "pruned_evaluations": sharded.stats.n_pruned_evaluations,
+        "bound_pruned": sharded.stats.n_bound_pruned,
         "boundary_crossings": sharded.stats.n_boundary_crossings,
         "probe_dispatches": sharded.stats.n_probe_dispatches,
         "batched_probes": sharded.stats.n_batched_probes,
@@ -386,6 +391,111 @@ def _run_kernel_bench() -> dict:
                 "identical_to_loop": bool(np.array_equal(out, loop)),
             }
         record["batched_dispatch"] = batched
+
+        # The fused bounded row entry across the prune-rate spectrum
+        # (Issue 10): per-probe dispatch cost when the in-kernel bound
+        # never fires (~0%), fires on about half the pairs (~50%), and
+        # at the natural rate of this population (~90%).  The 0%/50%
+        # rows run against widened hull summaries (plus -inf thresholds
+        # on half the probes for the 50% anchor) — a timing instrument
+        # only — so parity is judged on the evaluated positions, which
+        # always run the exact kernel faithfully.
+        from repro.core.engine import StretchEngine
+
+        with StretchEngine(
+            fps, stretch=stretch, compute=ComputeConfig(backend="compiled")
+        ) as engine:
+            store = engine.store
+            probe_slots = np.arange(8, dtype=np.int64)
+            bd_targets = np.arange(8, store.size, dtype=np.int64)
+            t_lists = [bd_targets] * probe_slots.size
+            rev = [np.zeros(bd_targets.size, dtype=bool)] * probe_slots.size
+            best_vals = np.full(store.capacity, np.inf)
+            ref_rows = engine.rows(probe_slots, bd_targets)
+
+            hull, bhull, bocc = engine._hull, engine._bucket_hull, engine._bucket_occ
+            # ~0%: every slot summarized by the global envelope — all
+            # hull gaps are zero, so the bound can never beat a best.
+            wide_hull = np.empty_like(hull)
+            wide_bhull = bhull.copy()
+            for lo, hi in ((0, 1), (2, 3), (4, 5)):
+                wide_hull[lo] = hull[lo].min()
+                wide_hull[hi] = hull[hi].max()
+                wide_bhull[..., lo] = hull[lo].min()
+                wide_bhull[..., hi] = hull[hi].max()
+            # ~50%: wide hulls again (no bound ever fires on its own)
+            # but every other probe's threshold pinned to -inf, so its
+            # whole row prunes — exactly half the pairs, without the
+            # running-best feedback that drags a displaced-hull mix to
+            # ~100%.
+            open_tau = np.full(probe_slots.size, np.inf)
+            half_tau = open_tau.copy()
+            half_tau[1::2] = -np.inf
+            settings = {
+                "prune_0": ((wide_hull, wide_bhull, bocc), open_tau),
+                "prune_50": ((wide_hull, wide_bhull, bocc), half_tau),
+                "natural": ((hull, bhull, bocc), open_tau),
+            }
+            bounded = {}
+            for key, (bounds, thresholds) in settings.items():
+                rows, pruned = compiled.bounded_many_vs_some(
+                    probe_slots, store, bounds, t_lists, thresholds, rev, best_vals
+                )
+                total = bd_targets.size * probe_slots.size
+                parity = all(
+                    bool(np.array_equal(row[row < np.inf], ref_rows[p][row < np.inf]))
+                    for p, row in enumerate(rows)
+                )
+                calls = 30
+                t0 = time.perf_counter()
+                for _ in range(calls):
+                    compiled.bounded_many_vs_some(
+                        probe_slots, store, bounds, t_lists, thresholds, rev, best_vals
+                    )
+                elapsed = time.perf_counter() - t0
+                bounded[key] = {
+                    "per_probe_us": round(elapsed / calls / probe_slots.size * 1e6, 2),
+                    "prune_rate": round(float(pruned.sum()) / total, 3),
+                    "parity_at_evaluated": parity,
+                }
+            record["bounded_dispatch"] = bounded
+
+        # Routing crossover (Issue 10 satellite): with a compiled
+        # inline tier the auto backend must keep even threshold-sized
+        # one-vs-all calls inline — the pool's per-pair cost (~26 µs)
+        # never crosses back below the inline compiled kernel's
+        # (~0.97 µs), so size alone must not send work to the pool.
+        from repro.core.engine import AutoBackend, ProcessBackend
+
+        big = np.arange(1, n, dtype=np.int64)
+        auto = AutoBackend(
+            ComputeConfig(backend="auto", workers=2, parallel_targets_threshold=8),
+            stretch,
+        )
+        with auto:
+            auto.one_vs_all(probe.data, probe.count, packed, big)
+            stays_inline = auto._process is None
+        pool = ProcessBackend(
+            ComputeConfig(backend="process", workers=2, parallel_targets_threshold=8),
+            stretch,
+        )
+        with pool:
+            pool.one_vs_all(probe.data, probe.count, packed, big)  # warm-up
+            calls = 5
+            t0 = time.perf_counter()
+            for _ in range(calls):
+                pool.one_vs_all(probe.data, probe.count, packed, big)
+            pool_per_pair_us = (time.perf_counter() - t0) / calls / big.size * 1e6
+        inline_per_pair_us = record["backends"]["compiled"]["large"]["per_pair_us"]
+        record["auto_routing"] = {
+            "large_one_vs_all_stays_inline": stays_inline,
+            "inline_compiled_per_pair_us": inline_per_pair_us,
+            "process_pool_per_pair_us": round(pool_per_pair_us, 2),
+            "inline_beats_pool": bool(inline_per_pair_us <= pool_per_pair_us),
+        }
+        assert stays_inline, (
+            "auto backend pooled a one_vs_all despite the compiled inline tier"
+        )
     return record
 
 
@@ -435,6 +545,8 @@ def _run_shard_bench() -> dict:
         "wall_s": round(elapsed, 3),
         "n_merges": stats.n_merges,
         "n_output_groups": len(result.dataset),
+        "exact_evaluations": stats.n_exact_evaluations,
+        "bound_pruned": stats.n_bound_pruned,
         "boundary_crossings": stats.n_boundary_crossings,
         "probe_dispatches": stats.n_probe_dispatches,
         "batched_probes": stats.n_batched_probes,
@@ -833,7 +945,9 @@ def pytest_sessionfinish(session, exitstatus):
                     "record": f"metrics_overhead[{_kernels.COMPILED_TIER}]",
                     "scenario": GLOVE_SCENARIO.key_params(),
                     "stream_scenario": STREAM_SCENARIO.key_params(),
-                    "sources": source_digest("repro", str(_SEED_PATH_FILE)),
+                    "sources": source_digest(
+                        "repro", str(_SEED_PATH_FILE), str(Path(__file__).resolve())
+                    ),
                 },
             ),
             _run_metrics_overhead_bench,

@@ -228,6 +228,7 @@ def cmd_anonymize(args) -> int:
         metrics.counter("engine.boundary_crossings").set_to(stats.n_boundary_crossings)
         metrics.counter("engine.probe_dispatches").set_to(stats.n_probe_dispatches)
         metrics.counter("engine.batched_probes").set_to(stats.n_batched_probes)
+        metrics.counter("engine.bound_pruned").set_to(stats.n_bound_pruned)
         metrics.counter("glove.merges").set_to(stats.n_merges)
         spatial, temporal = extent_accuracy(result.dataset)
         print(
@@ -245,7 +246,8 @@ def cmd_anonymize(args) -> int:
                 f"dispatch: {stats.n_probe_dispatches} probe rows in "
                 f"{stats.n_boundary_crossings} kernel calls "
                 f"({per_crossing:.1f} probes/call, "
-                f"{stats.n_batched_probes} via batched entries)"
+                f"{stats.n_batched_probes} via batched entries, "
+                f"{stats.n_bound_pruned} pairs pruned in-kernel)"
             )
     else:
         s = result.stats

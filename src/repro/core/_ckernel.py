@@ -290,6 +290,311 @@ int glove_many_vs_some(
     return 0;
 }
 
+/* ---- fused bound-and-prune sweep ----------------------------------
+ * Transliteration of the bounded_* pure twins: the level-0 hull-gap
+ * bound and the level-1 per-time-bucket bound are evaluated inside the
+ * native sweep, and the exact kernel runs only for candidates whose
+ * bound could still beat the probe's running best (or, where the
+ * reverse flag allows, the target's cached best).  Every comparison
+ * replicates NumPy's maximum/minimum tie rule, every mean runs the
+ * same pairwise summation over the same (padded) widths, and the walk
+ * order is a stable sort by level-0 bound — so evaluated positions and
+ * values are bitwise those of the reference walk. */
+
+static double interval_gap(double a_lo, double a_hi, double b_lo, double b_hi)
+{
+    double g1 = a_lo - b_hi;
+    double g2 = b_lo - a_hi;
+    double g = g1 > g2 ? g1 : g2;
+    return 0.0 > g ? 0.0 : g;
+}
+
+static double hull_bound(
+    const double *hull, int64_t hull_cap, int64_t a, int64_t t,
+    double w_sigma, double w_tau, double phi_sigma, double phi_tau)
+{
+    double gx = interval_gap(hull[0 * hull_cap + a], hull[1 * hull_cap + a],
+                             hull[0 * hull_cap + t], hull[1 * hull_cap + t]);
+    double gy = interval_gap(hull[2 * hull_cap + a], hull[3 * hull_cap + a],
+                             hull[2 * hull_cap + t], hull[3 * hull_cap + t]);
+    double gt = interval_gap(hull[4 * hull_cap + a], hull[5 * hull_cap + a],
+                             hull[4 * hull_cap + t], hull[5 * hull_cap + t]);
+    double s_term = (gx + gy) / phi_sigma;
+    s_term = s_term < 1.0 ? s_term : 1.0;
+    double t_term = gt / phi_tau;
+    t_term = t_term < 1.0 ? t_term : 1.0;
+    return w_sigma * s_term + w_tau * t_term;
+}
+
+static double sample_hull_bound(
+    double sx, double shx, double sy, double shy, double st, double sht,
+    const double *h,
+    double w_sigma, double w_tau, double phi_sigma, double phi_tau)
+{
+    double gx = interval_gap(sx, shx, h[0], h[1]);
+    double gy = interval_gap(sy, shy, h[2], h[3]);
+    double gt = interval_gap(st, sht, h[4], h[5]);
+    double s_term = (gx + gy) / phi_sigma;
+    s_term = s_term < 1.0 ? s_term : 1.0;
+    double t_term = gt / phi_tau;
+    t_term = t_term < 1.0 ? t_term : 1.0;
+    return w_sigma * s_term + w_tau * t_term;
+}
+
+/* Level-1 bound of the (a, c) pair following Eq. 10's longer-side
+ * rule.  The a-side direction folds the minimum over all of c's
+ * buckets (unoccupied contribute +inf) and means over ma samples; the
+ * c-side direction folds only a's occupied buckets and sums a
+ * zero-padded width-m_max vector before dividing by mc, replicating
+ * the reference's masked mean bit for bit.  lbbuf needs m_max
+ * doubles. */
+static double bucket_bound(
+    const double *data, int64_t m_max, const int64_t *lengths,
+    const double *bhull, const uint8_t *bocc, int64_t n_buckets,
+    int64_t a, int64_t c, double *lbbuf,
+    double w_sigma, double w_tau, double phi_sigma, double phi_tau)
+{
+    int64_t ma = lengths[a];
+    int64_t mc = lengths[c];
+    double la = 0.0, lb = 0.0;
+    if (ma >= mc) {
+        const double *ad = data + a * m_max * NCOLS;
+        const double *ch = bhull + c * n_buckets * 6;
+        const uint8_t *co = bocc + c * n_buckets;
+        for (int64_t i = 0; i < ma; i++) {
+            const double *s = ad + i * NCOLS;
+            double sx = s[XCOL], shx = sx + s[DXCOL];
+            double sy = s[YCOL], shy = sy + s[DYCOL];
+            double st = s[TCOL], sht = st + s[DTCOL];
+            double m = INFINITY;
+            for (int64_t b = 0; b < n_buckets; b++) {
+                double v = co[b]
+                    ? sample_hull_bound(sx, shx, sy, shy, st, sht, ch + b * 6,
+                                        w_sigma, w_tau, phi_sigma, phi_tau)
+                    : INFINITY;
+                m = m < v ? m : v;
+            }
+            lbbuf[i] = m;
+        }
+        la = psum(lbbuf, ma) / (double)ma;
+    }
+    if (mc >= ma) {
+        const double *cd = data + c * m_max * NCOLS;
+        const double *ah = bhull + a * n_buckets * 6;
+        const uint8_t *ao = bocc + a * n_buckets;
+        for (int64_t j = 0; j < mc; j++) {
+            const double *s = cd + j * NCOLS;
+            double sx = s[XCOL], shx = sx + s[DXCOL];
+            double sy = s[YCOL], shy = sy + s[DYCOL];
+            double st = s[TCOL], sht = st + s[DTCOL];
+            double m = INFINITY;
+            for (int64_t b = 0; b < n_buckets; b++) {
+                if (ao[b]) {
+                    double v = sample_hull_bound(
+                        sx, shx, sy, shy, st, sht, ah + b * 6,
+                        w_sigma, w_tau, phi_sigma, phi_tau);
+                    m = m < v ? m : v;
+                }
+            }
+            lbbuf[j] = m;
+        }
+        for (int64_t j = mc; j < m_max; j++)
+            lbbuf[j] = 0.0;
+        lb = psum(lbbuf, m_max) / (double)mc;
+    }
+    if (ma > mc)
+        return la;
+    if (mc > ma)
+        return lb;
+    return (la + lb) / 2.0;
+}
+
+/* Bottom-up stable mergesort of indices by key: a stable sort's
+ * permutation is unique, so this matches np.argsort(kind="stable"). */
+static void stable_argsort(const double *keys, int64_t *idx, int64_t *tmp, int64_t n)
+{
+    for (int64_t i = 0; i < n; i++)
+        idx[i] = i;
+    for (int64_t width = 1; width < n; width *= 2) {
+        for (int64_t lo = 0; lo < n; lo += 2 * width) {
+            int64_t mid = lo + width < n ? lo + width : n;
+            int64_t hi = lo + 2 * width < n ? lo + 2 * width : n;
+            int64_t i = lo, j = mid, k = lo;
+            while (i < mid && j < hi) {
+                /* Right run wins only on a strict key win: equal keys
+                 * keep their left-first (stable) order. */
+                if (keys[idx[j]] < keys[idx[i]])
+                    tmp[k++] = idx[j++];
+                else
+                    tmp[k++] = idx[i++];
+            }
+            while (i < mid)
+                tmp[k++] = idx[i++];
+            while (j < hi)
+                tmp[k++] = idx[j++];
+        }
+        for (int64_t i = 0; i < n; i++)
+            idx[i] = tmp[i];
+    }
+}
+
+/* Fused bound-and-prune ragged sweep (CSR layout; probes are slot ids
+ * into the store tensors).  Pruned positions get a +inf sentinel
+ * (exact efforts never exceed 1.0) and count into pruned[p]. */
+int glove_bounded_many_vs_some(
+    const int64_t *probe_slots, int64_t n_probes,
+    const double *data, int64_t m_max,
+    const int64_t *lengths, const int64_t *counts,
+    const double *hull, int64_t hull_cap,
+    const double *bhull, const uint8_t *bocc, int64_t n_buckets,
+    const int64_t *flat_targets, const int64_t *offsets,
+    const double *thresholds, const uint8_t *reverse, const double *best_vals,
+    double w_sigma, double w_tau, double phi_sigma, double phi_tau,
+    double *out, int64_t *pruned)
+{
+    int64_t n_max = 1;
+    for (int64_t p = 0; p < n_probes; p++) {
+        int64_t n = offsets[p + 1] - offsets[p];
+        if (n > n_max)
+            n_max = n;
+    }
+    double *sa = calloc((size_t)m_max, sizeof(double));
+    double *sb = calloc((size_t)m_max, sizeof(double));
+    double *tb = malloc((size_t)(9 * m_max) * sizeof(double));
+    double *lbbuf = malloc((size_t)m_max * sizeof(double));
+    double *lb0 = malloc((size_t)n_max * sizeof(double));
+    int64_t *order = malloc((size_t)n_max * sizeof(int64_t));
+    int64_t *tmp = malloc((size_t)n_max * sizeof(int64_t));
+    if (sa == NULL || sb == NULL || tb == NULL || lbbuf == NULL ||
+        lb0 == NULL || order == NULL || tmp == NULL) {
+        free(sa); free(sb); free(tb); free(lbbuf);
+        free(lb0); free(order); free(tmp);
+        return -1;
+    }
+    for (int64_t p = 0; p < n_probes; p++) {
+        int64_t a = probe_slots[p];
+        int64_t ma = lengths[a];
+        const double *a_data = data + a * m_max * NCOLS;
+        double n_a = (double)counts[a];
+        int64_t off = offsets[p];
+        int64_t n = offsets[p + 1] - off;
+        if (n == 0)
+            continue;
+        for (int64_t idx = 0; idx < n; idx++)
+            lb0[idx] = hull_bound(hull, hull_cap, a, flat_targets[off + idx],
+                                  w_sigma, w_tau, phi_sigma, phi_tau);
+        stable_argsort(lb0, order, tmp, n);
+        double best = thresholds[p];
+        int64_t best_idx = -1;
+        for (int64_t k = 0; k < n; k++) {
+            int64_t j = order[k];
+            int64_t t = flat_targets[off + j];
+            int rev = reverse[off + j] != 0;
+            double lb = lb0[j];
+            if (lb > best && (!rev || lb >= best_vals[t])) {
+                out[off + j] = INFINITY;
+                pruned[p]++;
+                continue;
+            }
+            double lb1 = bucket_bound(data, m_max, lengths, bhull, bocc,
+                                      n_buckets, a, t, lbbuf,
+                                      w_sigma, w_tau, phi_sigma, phi_tau);
+            if (lb1 > best && (!rev || lb1 >= best_vals[t])) {
+                out[off + j] = INFINITY;
+                pruned[p]++;
+                continue;
+            }
+            double v = pair_effort(
+                a_data, ma, n_a,
+                data + t * m_max * NCOLS, lengths[t], (double)counts[t],
+                sa, sb, tb, m_max, m_max,
+                w_sigma, w_tau, phi_sigma, phi_tau);
+            out[off + j] = v;
+            if (v < best || (v == best && t < best_idx)) {
+                best = v;
+                best_idx = t;
+            }
+        }
+    }
+    free(sa); free(sb); free(tb); free(lbbuf);
+    free(lb0); free(order); free(tmp);
+    return 0;
+}
+
+/* Fused sweep with in-kernel (argmin, min) reduction over one shared
+ * target set: no row materialization at all.  A probe meeting itself
+ * in the shared set is skipped without counting as pruned; a probe
+ * whose threshold no target strictly beats keeps (threshold, -1). */
+int glove_bounded_many_vs_all(
+    const int64_t *probe_slots, int64_t n_probes,
+    const double *data, int64_t m_max,
+    const int64_t *lengths, const int64_t *counts,
+    const double *hull, int64_t hull_cap,
+    const double *bhull, const uint8_t *bocc, int64_t n_buckets,
+    const int64_t *targets, int64_t n_targets,
+    const double *thresholds,
+    double w_sigma, double w_tau, double phi_sigma, double phi_tau,
+    double *best_out, int64_t *best_idx_out, int64_t *pruned)
+{
+    int64_t n_max = n_targets > 1 ? n_targets : 1;
+    double *sa = calloc((size_t)m_max, sizeof(double));
+    double *sb = calloc((size_t)m_max, sizeof(double));
+    double *tb = malloc((size_t)(9 * m_max) * sizeof(double));
+    double *lbbuf = malloc((size_t)m_max * sizeof(double));
+    double *lb0 = malloc((size_t)n_max * sizeof(double));
+    int64_t *order = malloc((size_t)n_max * sizeof(int64_t));
+    int64_t *tmp = malloc((size_t)n_max * sizeof(int64_t));
+    if (sa == NULL || sb == NULL || tb == NULL || lbbuf == NULL ||
+        lb0 == NULL || order == NULL || tmp == NULL) {
+        free(sa); free(sb); free(tb); free(lbbuf);
+        free(lb0); free(order); free(tmp);
+        return -1;
+    }
+    for (int64_t p = 0; p < n_probes; p++) {
+        int64_t a = probe_slots[p];
+        int64_t ma = lengths[a];
+        const double *a_data = data + a * m_max * NCOLS;
+        double n_a = (double)counts[a];
+        for (int64_t idx = 0; idx < n_targets; idx++)
+            lb0[idx] = hull_bound(hull, hull_cap, a, targets[idx],
+                                  w_sigma, w_tau, phi_sigma, phi_tau);
+        stable_argsort(lb0, order, tmp, n_targets);
+        double best = thresholds[p];
+        int64_t best_idx = -1;
+        for (int64_t k = 0; k < n_targets; k++) {
+            int64_t j = order[k];
+            int64_t t = targets[j];
+            if (t == a)
+                continue;
+            if (lb0[j] > best) {
+                pruned[p]++;
+                continue;
+            }
+            double lb1 = bucket_bound(data, m_max, lengths, bhull, bocc,
+                                      n_buckets, a, t, lbbuf,
+                                      w_sigma, w_tau, phi_sigma, phi_tau);
+            if (lb1 > best) {
+                pruned[p]++;
+                continue;
+            }
+            double v = pair_effort(
+                a_data, ma, n_a,
+                data + t * m_max * NCOLS, lengths[t], (double)counts[t],
+                sa, sb, tb, m_max, m_max,
+                w_sigma, w_tau, phi_sigma, phi_tau);
+            if (v < best || (v == best && t < best_idx)) {
+                best = v;
+                best_idx = t;
+            }
+        }
+        best_out[p] = best;
+        best_idx_out[p] = best_idx;
+    }
+    free(sa); free(sb); free(tb); free(lbbuf);
+    free(lb0); free(order); free(tmp);
+    return 0;
+}
+
 /* mat must arrive prefilled with +inf (the diagonal stays that way). */
 int glove_pairwise_matrix(
     const double *data, int64_t n, int64_t m_max,
@@ -411,6 +716,31 @@ def _bind(lib: ctypes.CDLL) -> ctypes.CDLL:
         i64, i64,                          # flat_targets, offsets
         c_f64, c_f64, c_f64, c_f64,        # w_sigma, w_tau, phis
         f64,                               # out
+    ]
+    u8 = npc.ndpointer(dtype="uint8", flags="C_CONTIGUOUS")
+    lib.glove_bounded_many_vs_some.restype = ctypes.c_int
+    lib.glove_bounded_many_vs_some.argtypes = [
+        i64, c_i64,                        # probe_slots, n_probes
+        f64, c_i64,                        # data, m_max
+        i64, i64,                          # lengths, counts
+        f64, c_i64,                        # hull, hull_cap
+        f64, u8, c_i64,                    # bucket_hull, bucket_occ, n_buckets
+        i64, i64,                          # flat_targets, offsets
+        f64, u8, f64,                      # thresholds, reverse, best_vals
+        c_f64, c_f64, c_f64, c_f64,        # w_sigma, w_tau, phis
+        f64, i64,                          # out, pruned
+    ]
+    lib.glove_bounded_many_vs_all.restype = ctypes.c_int
+    lib.glove_bounded_many_vs_all.argtypes = [
+        i64, c_i64,                        # probe_slots, n_probes
+        f64, c_i64,                        # data, m_max
+        i64, i64,                          # lengths, counts
+        f64, c_i64,                        # hull, hull_cap
+        f64, u8, c_i64,                    # bucket_hull, bucket_occ, n_buckets
+        i64, c_i64,                        # targets, n_targets
+        f64,                               # thresholds
+        c_f64, c_f64, c_f64, c_f64,        # w_sigma, w_tau, phis
+        f64, i64, i64,                     # best, best_idx, pruned
     ]
     return lib
 

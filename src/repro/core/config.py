@@ -124,10 +124,14 @@ class ComputeConfig:
         the ``compiled`` backend.  Probes are independent, so the split
         is byte-identical by construction at any thread count (DESIGN.md
         D11); the native kernels release the GIL, so threads scale on
-        multi-core hosts without process-pool pickling.  ``None`` reads
-        the ``REPRO_KERNEL_THREADS`` environment knob (default 1).
-        Composes with shard-level ``workers``: each shard process splits
-        its own probe batches.
+        multi-core hosts without process-pool pickling.  ``"auto"``
+        resolves to the machine's CPU count at backend construction —
+        the safe default for portable configs, since oversubscribing a
+        small machine pessimizes (the 1-CPU large_n sweep measured
+        18.454 s at 1 thread vs 23.908 s at 8).  ``None`` reads the
+        ``REPRO_KERNEL_THREADS`` environment knob (integer or ``auto``,
+        default 1).  Composes with shard-level ``workers``: each shard
+        process splits its own probe batches.
     """
 
     backend: str = "auto"
@@ -140,17 +144,19 @@ class ComputeConfig:
     lb_max_buckets: int = 48
     parallel_matrix_threshold: int = 192
     parallel_targets_threshold: int = 4096
-    kernel_threads: Optional[int] = None
+    kernel_threads: Optional[Union[int, str]] = None
 
     def __post_init__(self) -> None:
         if self.chunk < 1:
             raise ValueError(f"chunk must be at least 1, got {self.chunk}")
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be at least 1 or None, got {self.workers}")
-        if self.kernel_threads is not None and self.kernel_threads < 1:
-            raise ValueError(
-                f"kernel_threads must be at least 1 or None, got {self.kernel_threads}"
-            )
+        if self.kernel_threads is not None and self.kernel_threads != "auto":
+            if not isinstance(self.kernel_threads, int) or self.kernel_threads < 1:
+                raise ValueError(
+                    "kernel_threads must be a positive integer, 'auto' or "
+                    f"None, got {self.kernel_threads!r}"
+                )
         if self.shards is not None and self.shards < 1:
             raise ValueError(f"shards must be at least 1 or None, got {self.shards}")
         if self.shard_strategy not in ("time", "hash"):
@@ -163,6 +169,25 @@ class ComputeConfig:
             raise ValueError("lb_max_buckets must be at least 1")
         if self.parallel_matrix_threshold < 0 or self.parallel_targets_threshold < 0:
             raise ValueError("parallelism thresholds must be non-negative")
+
+
+def kernel_threads_arg(value: str) -> Union[int, str]:
+    """Argparse type for ``--kernel-threads``: an integer or ``auto``.
+
+    Any other string is a hard usage error (exit 2), matching the
+    strict CLI validation policy — only the environment knob degrades
+    silently (DESIGN.md D6).
+    """
+    import argparse
+
+    if value.strip().lower() == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        )
 
 
 def add_compute_arguments(parser, pruning: bool = False) -> None:
@@ -205,9 +230,10 @@ def add_compute_arguments(parser, pruning: bool = False) -> None:
     )
     parser.add_argument(
         "--kernel-threads",
-        type=int,
+        type=kernel_threads_arg,
         default=None,
-        help="worker threads per batched compiled-kernel call (default: "
+        help="worker threads per batched compiled-kernel call: an integer "
+        "or 'auto' (= CPU count; a 1-CPU host never splits) (default: "
         "REPRO_KERNEL_THREADS or 1; results are byte-identical at any "
         "thread count)",
     )

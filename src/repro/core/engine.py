@@ -80,12 +80,19 @@ def _effective_kernel_threads(compute: ComputeConfig) -> int:
     """Resolved intra-batch thread count of the compiled tier.
 
     The explicit config field wins; otherwise the
-    ``REPRO_KERNEL_THREADS`` environment knob applies (default 1).  The
-    env knob degrades to 1 on out-of-range values — only the config
-    field / CLI flag validates strictly (DESIGN.md D6).
+    ``REPRO_KERNEL_THREADS`` environment knob applies (default 1).
+    ``auto`` (flag or env) resolves to the machine's CPU count, so a
+    1-CPU container never splits batches — the large_n sweep measured
+    18.454 s → 23.908 s going 1→8 threads there (BENCH_glove.json).
+    The env knob degrades to 1 on other malformed values — only the
+    config field / CLI flag validates strictly (DESIGN.md D6).
     """
+    if compute.kernel_threads == "auto":
+        return max(1, os.cpu_count() or 1)
     if compute.kernel_threads is not None:
-        return compute.kernel_threads
+        return int(compute.kernel_threads)
+    if os.environ.get("REPRO_KERNEL_THREADS", "").strip().lower() == "auto":
+        return max(1, os.cpu_count() or 1)
     return max(1, env_int("REPRO_KERNEL_THREADS", 1))
 
 
@@ -217,6 +224,12 @@ class StretchBackend(abc.ABC):
     #: outputs, only which evaluations run (DESIGN.md D7/D9).
     fast_exact: bool = False
 
+    #: True when the backend offers the fused in-kernel bound-and-prune
+    #: entries (:meth:`bounded_many_vs_all` / :meth:`bounded_many_vs_some`,
+    #: DESIGN.md D13).  The engine's walkers switch to them when pruning
+    #: is enabled; tiers without the entries keep the Python-side walk.
+    supports_bounded: bool = False
+
     def __init__(self, compute: ComputeConfig, stretch: StretchConfig):
         self.compute = compute
         self.stretch = stretch
@@ -229,9 +242,13 @@ class StretchBackend(abc.ABC):
         #: entry (native ``many_vs_all``/``many_vs_some``); zero on
         #: tiers that fall back to per-probe loops.
         self.n_batched_probes = 0
+        #: (probe, target) pairs whose exact evaluation the fused
+        #: bounded entries skipped in-kernel; zero on tiers without
+        #: them.
+        self.n_bound_pruned = 0
 
-    def dispatch_counters(self) -> Tuple[int, int, int]:
-        """``(boundary_crossings, probe_dispatches, batched_probes)``.
+    def dispatch_counters(self) -> Tuple[int, int, int, int]:
+        """``(crossings, probe_dispatches, batched_probes, bound_pruned)``.
 
         Composite backends override this to aggregate their children so
         a silent per-probe fallback is visible in run stats instead of
@@ -241,6 +258,7 @@ class StretchBackend(abc.ABC):
             self.n_boundary_crossings,
             self.n_probe_dispatches,
             self.n_batched_probes,
+            self.n_bound_pruned,
         )
 
     @abc.abstractmethod
@@ -532,6 +550,7 @@ class CompiledBackend(StretchBackend):
 
     name = "compiled"
     fast_exact = True
+    supports_bounded = True
 
     def __init__(self, compute: ComputeConfig, stretch: StretchConfig):
         super().__init__(compute, stretch)
@@ -656,6 +675,114 @@ class CompiledBackend(StretchBackend):
             packed.data, packed.lengths, packed.counts, *self._args()
         )
 
+    def bounded_many_vs_all(self, probe_slots, store, bounds, targets, thresholds):
+        """Fused bound-and-prune argmin sweep (DESIGN.md D13).
+
+        Per probe slot, returns the running-best ``(min, argmin)`` over
+        ``targets`` (self-pairs skipped in-kernel) plus the count of
+        pairs whose exact evaluation the inline level-0/level-1 bounds
+        pruned.  Probes are independent, so the thread splitter applies
+        unchanged.
+        """
+        probe_slots = np.ascontiguousarray(probe_slots, dtype=np.int64)
+        targets = np.ascontiguousarray(targets, dtype=np.int64)
+        P = probe_slots.shape[0]
+        if P == 0:
+            return (
+                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+            )
+        hull, bucket_hull, bucket_occ = bounds
+        thresholds = np.ascontiguousarray(thresholds, dtype=np.float64)
+        slices = self._probe_slices(P)
+        self.n_boundary_crossings += len(slices)
+        self.n_probe_dispatches += P
+        self.n_batched_probes += P
+        args = self._args()
+
+        def run(s: int, e: int):
+            return kernels.bounded_many_vs_all_arrays(
+                probe_slots[s:e], store.data, store.lengths, store.counts,
+                hull, bucket_hull, bucket_occ, targets, thresholds[s:e], *args,
+            )
+
+        if len(slices) == 1:
+            best, best_idx, pruned = run(0, P)
+        else:
+            best = np.empty(P, dtype=np.float64)
+            best_idx = np.empty(P, dtype=np.int64)
+            pruned = np.zeros(P, dtype=np.int64)
+            futures = [(s, self._thread_pool().submit(run, s, e)) for s, e in slices]
+            for s, fut in futures:
+                b, bi, pr = fut.result()
+                best[s : s + b.shape[0]] = b
+                best_idx[s : s + b.shape[0]] = bi
+                pruned[s : s + b.shape[0]] = pr
+        self.n_bound_pruned += int(pruned.sum())
+        return best, best_idx, pruned
+
+    def bounded_many_vs_some(
+        self, probe_slots, store, bounds, targets_list, thresholds,
+        reverse_list, best_vals,
+    ):
+        """Fused bound-and-prune row sweep with reverse-aware skipping.
+
+        Returns per-probe rows with ``+inf`` sentinels at pruned
+        positions plus per-probe pruned counts.  ``reverse`` pairs are
+        only skipped when the bound also clears the target's cached
+        best (``best_vals``), keeping reverse propagation
+        value-transparent (DESIGN.md D13).
+        """
+        probe_slots = np.ascontiguousarray(probe_slots, dtype=np.int64)
+        P = probe_slots.shape[0]
+        pruned = np.zeros(P, dtype=np.int64)
+        if P == 0:
+            return [], pruned
+        t_arrays = [np.asarray(t, dtype=np.int64) for t in targets_list]
+        offsets = np.zeros(P + 1, dtype=np.int64)
+        np.cumsum([t.size for t in t_arrays], out=offsets[1:])
+        total = int(offsets[-1])
+        flat_out = np.empty(total, dtype=np.float64)
+        if total:
+            hull, bucket_hull, bucket_occ = bounds
+            flat_targets = np.concatenate(t_arrays)
+            flat_reverse = np.concatenate(
+                [np.asarray(r, dtype=bool) for r in reverse_list]
+            )
+            thresholds = np.ascontiguousarray(thresholds, dtype=np.float64)
+            best_vals = np.ascontiguousarray(best_vals, dtype=np.float64)
+            slices = [
+                (s, e) for s, e in self._probe_slices(P) if offsets[e] > offsets[s]
+            ]
+            self.n_boundary_crossings += len(slices)
+            args = self._args()
+
+            def run(s: int, e: int):
+                return kernels.bounded_many_vs_some_arrays(
+                    probe_slots[s:e], store.data, store.lengths, store.counts,
+                    hull, bucket_hull, bucket_occ,
+                    flat_targets[offsets[s] : offsets[e]],
+                    np.ascontiguousarray(offsets[s : e + 1] - offsets[s]),
+                    thresholds[s:e],
+                    flat_reverse[offsets[s] : offsets[e]],
+                    best_vals, *args,
+                )
+
+            if len(slices) == 1:
+                s, e = slices[0]
+                flat_out[offsets[s] : offsets[e]], pruned[s:e] = run(s, e)
+            else:
+                futures = [
+                    (s, e, self._thread_pool().submit(run, s, e)) for s, e in slices
+                ]
+                for s, e, fut in futures:
+                    flat_out[offsets[s] : offsets[e]], pruned[s:e] = fut.result()
+        self.n_probe_dispatches += P
+        self.n_batched_probes += P
+        self.n_bound_pruned += int(pruned.sum())
+        return [flat_out[offsets[p] : offsets[p + 1]] for p in range(P)], pruned
+
     def close(self) -> None:
         if self._threads is not None:
             self._threads.shutdown()
@@ -687,6 +814,7 @@ class AutoBackend(StretchBackend):
         if kernels.COMPILED_AVAILABLE:
             self._inline: StretchBackend = CompiledBackend(compute, stretch)
             self.fast_exact = True
+            self.supports_bounded = True
         else:
             self._inline = self._numpy
         self._process: Optional[ProcessBackend] = None
@@ -696,9 +824,24 @@ class AutoBackend(StretchBackend):
             self._process = ProcessBackend(self.compute, self.stretch)
         return self._process
 
+    def _prefer_pool(self, n_pairs_threshold: bool) -> bool:
+        """Route to the process pool only when the inline tier is the
+        NumPy reference.  At the measured per-pair costs (~0.97 µs
+        inline compiled vs ~26 µs pooled, kernel bench row) the
+        fork-and-pickle pool never beats the compiled inline tier, so
+        workload size alone must not send work there.
+        """
+        return (
+            self._inline is self._numpy
+            and self.workers > 1
+            and n_pairs_threshold
+        )
+
     def one_vs_all(self, probe_data, probe_count, packed, targets):
         targets = np.asarray(targets, dtype=np.int64)
-        if self.workers > 1 and targets.size >= self.compute.parallel_targets_threshold:
+        if self._prefer_pool(
+            targets.size >= self.compute.parallel_targets_threshold
+        ):
             return self._pooled().one_vs_all(probe_data, probe_count, packed, targets)
         return self._inline.one_vs_all(probe_data, probe_count, packed, targets)
 
@@ -708,12 +851,26 @@ class AutoBackend(StretchBackend):
     def many_vs_some(self, probes, probe_counts, packed, targets_list):
         return self._inline.many_vs_some(probes, probe_counts, packed, targets_list)
 
+    def bounded_many_vs_all(self, probe_slots, store, bounds, targets, thresholds):
+        return self._inline.bounded_many_vs_all(
+            probe_slots, store, bounds, targets, thresholds
+        )
+
+    def bounded_many_vs_some(
+        self, probe_slots, store, bounds, targets_list, thresholds,
+        reverse_list, best_vals,
+    ):
+        return self._inline.bounded_many_vs_some(
+            probe_slots, store, bounds, targets_list, thresholds,
+            reverse_list, best_vals,
+        )
+
     def pairwise_matrix(self, packed):
-        if self.workers > 1 and len(packed) >= self.compute.parallel_matrix_threshold:
+        if self._prefer_pool(len(packed) >= self.compute.parallel_matrix_threshold):
             return self._pooled().pairwise_matrix(packed)
         return self._inline.pairwise_matrix(packed)
 
-    def dispatch_counters(self) -> Tuple[int, int, int]:
+    def dispatch_counters(self) -> Tuple[int, int, int, int]:
         """Aggregate over the delegate tiers.
 
         Multi-probe calls route to the inline tier unconditionally;
@@ -731,11 +888,13 @@ class AutoBackend(StretchBackend):
         crossings = self.n_boundary_crossings
         probes = self.n_probe_dispatches
         batched = self.n_batched_probes
+        bound_pruned = self.n_bound_pruned
         for child in children:
             crossings += child.n_boundary_crossings
             probes += child.n_probe_dispatches
             batched += child.n_batched_probes
-        return (crossings, probes, batched)
+            bound_pruned += child.n_bound_pruned
+        return (crossings, probes, batched, bound_pruned)
 
     def close(self) -> None:
         if self._inline is not self._numpy:
@@ -875,6 +1034,13 @@ class StretchEngine:
         # prunes, so walkers consult this flag and stop at level 0.
         # Bound tightness never changes outputs, only eval counts.
         self.lb1_pruning = self.pruning and not self.backend.fast_exact
+        # Fused in-kernel bound-and-prune sweep (DESIGN.md D13): when
+        # the backend exposes the bounded entries, walkers hand the
+        # whole bound→sort→walk loop to one native call per pass and
+        # skip the Python-side bound sweep entirely.
+        self.fused_pruning = self.pruning and getattr(
+            self.backend, "supports_bounded", False
+        )
         if self.pruning:
             self._init_bounds()
 
@@ -932,6 +1098,56 @@ class StretchEngine:
     def pairwise_matrix(self) -> np.ndarray:
         """Full matrix over the currently stored slots."""
         return self.backend.pairwise_matrix(self.store.view())
+
+    # -- fused bound-and-prune dispatch (DESIGN.md D13) -----------------
+    def _bounds_pack(self):
+        return (self._hull, self._bucket_hull, self._bucket_occ)
+
+    def _thresholds(self, n: int, thresholds) -> np.ndarray:
+        if thresholds is None:
+            return np.full(n, np.inf, dtype=np.float64)
+        return np.ascontiguousarray(thresholds, dtype=np.float64)
+
+    def bounded_argmin(
+        self, slots: Sequence[int], targets: np.ndarray, thresholds=None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fused ``(min, argmin, pruned)`` per probe slot over ``targets``.
+
+        Requires :attr:`fused_pruning`.  Self-pairs are skipped
+        in-kernel; a probe whose exact minimum is not strictly below
+        its threshold reports ``(threshold, -1)``.  Without thresholds
+        (``+inf``) the result is bitwise the lowest-index argmin of the
+        exact :meth:`row` — the in-kernel running best only prunes
+        pairs that cannot win (DESIGN.md D13).
+        """
+        slots_arr = np.ascontiguousarray(slots, dtype=np.int64)
+        return self.backend.bounded_many_vs_all(
+            slots_arr, self.store, self._bounds_pack(),
+            targets, self._thresholds(slots_arr.size, thresholds),
+        )
+
+    def bounded_rows_some(
+        self,
+        slots: Sequence[int],
+        targets_list: Sequence[np.ndarray],
+        reverse_list: Sequence[np.ndarray],
+        best_vals: np.ndarray,
+        thresholds=None,
+    ) -> Tuple[List[np.ndarray], np.ndarray]:
+        """Fused ragged rows with ``+inf`` sentinels at pruned positions.
+
+        Requires :attr:`fused_pruning`.  Entry ``p`` equals :meth:`row`
+        of ``slots[p]`` at every evaluated position; a pair is pruned
+        only when its bound exceeds the probe's running best *and* —
+        for ``reverse``-flagged targets — is at least the target's
+        cached best in ``best_vals``, so reverse propagation sees every
+        pair that could update it.
+        """
+        slots_arr = np.ascontiguousarray(slots, dtype=np.int64)
+        return self.backend.bounded_many_vs_some(
+            slots_arr, self.store, self._bounds_pack(), targets_list,
+            self._thresholds(slots_arr.size, thresholds), reverse_list, best_vals,
+        )
 
     # -- pruning summaries ---------------------------------------------
     def _init_bounds(self) -> None:

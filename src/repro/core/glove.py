@@ -92,6 +92,11 @@ class GloveStats:
     n_batched_probes:
         Probe rows that went through a batched multi-probe kernel
         entry; 0 when every dispatch was a per-probe call.
+    n_bound_pruned:
+        (probe, target) pairs whose exact evaluation the backend's
+        fused in-kernel bound sweep skipped (DESIGN.md D13); 0 on
+        tiers without bounded entries.  These pairs are also counted
+        in ``n_pruned_evaluations``.
     suppression:
         Sample-suppression statistics (zero counts when disabled).
     """
@@ -107,6 +112,7 @@ class GloveStats:
     n_boundary_crossings: int = 0
     n_probe_dispatches: int = 0
     n_batched_probes: int = 0
+    n_bound_pruned: int = 0
     suppression: Optional[SuppressionStats] = None
 
     def record_metrics(self, registry) -> None:
@@ -123,6 +129,7 @@ class GloveStats:
         registry.counter("engine.boundary_crossings").inc(self.n_boundary_crossings)
         registry.counter("engine.probe_dispatches").inc(self.n_probe_dispatches)
         registry.counter("engine.batched_probes").inc(self.n_batched_probes)
+        registry.counter("engine.bound_pruned").inc(self.n_bound_pruned)
 
 
 @dataclass(frozen=True)
@@ -186,6 +193,12 @@ class _NearestNeighbours:
         which the pruned walk visits them.
         """
         cands = np.asarray(candidates, dtype=np.int64)
+        engine = self.engine
+        if engine.fused_pruning and cands.size:
+            best, best_idx, pruned = engine.bounded_argmin([slot], cands)
+            self.stats.n_exact_evaluations += int(cands.size - pruned[0])
+            self.stats.n_pruned_evaluations += int(pruned[0])
+            return float(best[0]), int(best_idx[0])
         return self._walk(slot, cands, np.zeros(cands.size, dtype=bool))
 
     def refresh(self, slot: int, candidates: np.ndarray) -> None:
@@ -204,6 +217,18 @@ class _NearestNeighbours:
         """
         slots = np.asarray(slots, dtype=np.int64)
         cands = np.asarray(candidates, dtype=np.int64)
+        engine = self.engine
+        if engine.fused_pruning:
+            # The argmin kernel skips self-pairs in-kernel, so the
+            # shared candidate set goes down unmasked.
+            best, best_idx, pruned = engine.bounded_argmin(slots, cands)
+            n_valid = int((cands[None, :] != slots[:, None]).sum())
+            n_pruned = int(pruned.sum())
+            self.stats.n_exact_evaluations += n_valid - n_pruned
+            self.stats.n_pruned_evaluations += n_pruned
+            self.best_val[slots] = best
+            self.best_idx[slots] = best_idx
+            return
         valid = cands[None, :] != slots[:, None]
         reverse = np.zeros((slots.size, cands.size), dtype=bool)
         best, best_idx, _ = self._walk_many(slots, cands, valid, reverse)
@@ -225,12 +250,62 @@ class _NearestNeighbours:
         """
         self.ensure_capacity()
         initial = np.asarray(initial, dtype=np.int64)
+        if self.engine.fused_pruning:
+            self._build_fused(initial)
+            return
         for s in range(0, initial.size, _BUILD_BLOCK):
             block = initial[s : s + _BUILD_BLOCK]
             cands = initial[: s + block.size - 1]
             # Probe q (global position s+q) may only see its prefix.
             valid = np.arange(cands.size)[None, :] < (s + np.arange(block.size))[:, None]
             best, best_idx, proposals = self._walk_many(block, cands, valid, valid)
+            self.best_val[block] = best
+            self.best_idx[block] = best_idx
+            for tgt, (val, probe) in proposals.items():
+                if val < self.best_val[tgt]:
+                    self.best_val[tgt] = val
+                    self.best_idx[tgt] = probe
+
+    def _build_fused(self, initial: np.ndarray) -> None:
+        """Triangular build through the fused bounded row kernel.
+
+        Same block structure and proposal resolution as :meth:`build`,
+        but each probe's prefix row comes back from one bounded kernel
+        call with ``+inf`` sentinels at pruned positions.  Pruned pairs
+        have bound > the probe's running best (can't change its argmin)
+        and bound >= the target's cached best snapshot (can't win a
+        resolved proposal: the sequential path applies a proposal only
+        on strict improvement), so results stay bitwise identical.
+        """
+        engine = self.engine
+        for s in range(0, initial.size, _BUILD_BLOCK):
+            block = initial[s : s + _BUILD_BLOCK]
+            # Probe q (global position s+q) sees exactly its prefix.
+            t_lists = [initial[: s + q] for q in range(block.size)]
+            rev_lists = [np.ones(t.size, dtype=bool) for t in t_lists]
+            rows, pruned = engine.bounded_rows_some(
+                block, t_lists, rev_lists, self.best_val
+            )
+            n_valid = sum(t.size for t in t_lists)
+            n_pruned = int(pruned.sum())
+            self.stats.n_exact_evaluations += n_valid - n_pruned
+            self.stats.n_pruned_evaluations += n_pruned
+            proposals: dict = {}
+            best = np.full(block.size, np.inf)
+            best_idx = np.full(block.size, -1, dtype=np.int64)
+            for q in range(block.size):
+                vals, tgts = rows[q], t_lists[q]
+                ev = vals < np.inf
+                if not ev.any():
+                    continue
+                vmin = float(vals.min())
+                best[q] = vmin
+                best_idx[q] = int(tgts[vals == vmin].min())
+                p_slot = int(block[q])
+                for t, v in zip(tgts[ev].tolist(), vals[ev].tolist()):
+                    cur = proposals.get(t)
+                    if cur is None or v < cur[0] or (v == cur[0] and p_slot < cur[1]):
+                        proposals[t] = (v, p_slot)
             self.best_val[block] = best
             self.best_idx[block] = best_idx
             for tgt, (val, probe) in proposals.items():
@@ -265,6 +340,23 @@ class _NearestNeighbours:
         if cands.size == 0:
             return np.inf, -1
         engine = self.engine
+
+        if engine.fused_pruning:
+            rows, pruned = engine.bounded_rows_some(
+                [slot], [cands], [reverse], self.best_val
+            )
+            vals = rows[0]
+            self.stats.n_exact_evaluations += int(cands.size - pruned[0])
+            self.stats.n_pruned_evaluations += int(pruned[0])
+            # +inf sentinels at pruned positions lose both comparisons
+            # below by construction (bound > running best, and for
+            # reverse targets bound >= their cached best).
+            upd = reverse & (vals < self.best_val[cands])
+            tgt = cands[upd]
+            self.best_val[tgt] = vals[upd]
+            self.best_idx[tgt] = slot
+            vmin = float(vals.min())
+            return vmin, int(cands[vals == vmin].min())
 
         def propagate(sub: np.ndarray, vals: np.ndarray) -> None:
             upd = reverse[sub] & (vals < self.best_val[cands[sub]])
@@ -462,6 +554,7 @@ def glove(
             stats.n_boundary_crossings,
             stats.n_probe_dispatches,
             stats.n_batched_probes,
+            stats.n_bound_pruned,
         ) = engine.backend.dispatch_counters()
     return finalize_result(out, stats, config)
 

@@ -308,12 +308,305 @@ def _build_kernels(decorate):
                 )
         return out
 
+    @decorate
+    def interval_gap(a_lo, a_hi, b_lo, b_hi):
+        # np.maximum(0.0, np.maximum(a_lo - b_hi, b_lo - a_hi)) with
+        # NumPy's tie rule (in1 > in2 ? in1 : in2) written out, so the
+        # scalar bound is bitwise the broadcast bound.
+        g1 = a_lo - b_hi
+        g2 = b_lo - a_hi
+        g = g1 if g1 > g2 else g2
+        return 0.0 if 0.0 > g else g
+
+    @decorate
+    def hull_bound(hull, a, t, w_sigma, w_tau, phi_sigma, phi_tau):
+        # Level-0 bound: gap between the (6, cap) component-major hull
+        # SoA columns of slots a and t — the scalar twin of
+        # StretchEngine.hull_lower_bounds.
+        gx = interval_gap(hull[0, a], hull[1, a], hull[0, t], hull[1, t])
+        gy = interval_gap(hull[2, a], hull[3, a], hull[2, t], hull[3, t])
+        gt = interval_gap(hull[4, a], hull[5, a], hull[4, t], hull[5, t])
+        s_term = (gx + gy) / phi_sigma
+        if not s_term < 1.0:
+            s_term = 1.0
+        t_term = gt / phi_tau
+        if not t_term < 1.0:
+            t_term = 1.0
+        return w_sigma * s_term + w_tau * t_term
+
+    @decorate
+    def bucket_bound(
+        data, lengths, bucket_hull, bucket_occ, a, c, lbbuf,
+        w_sigma, w_tau, phi_sigma, phi_tau,
+    ):
+        # Level-1 bound: samples vs per-time-bucket hulls following
+        # Eq. 10's longer-side rule — the scalar twin of
+        # StretchEngine.bucket_lower_bounds.  The a-side direction folds
+        # the minimum over *all* buckets (unoccupied contribute +inf);
+        # the c-side direction folds only the probe's occupied buckets
+        # and sums a zero-padded width-m_max vector, replicating the
+        # reference's block-composition-independent masked mean.
+        ma = lengths[a]
+        mc = lengths[c]
+        m_max = data.shape[1]
+        n_buckets = bucket_occ.shape[1]
+        la = 0.0
+        lb = 0.0
+        if ma >= mc:
+            for i in range(ma):
+                sx = data[a, i, X]
+                shx = sx + data[a, i, DX]
+                sy = data[a, i, Y]
+                shy = sy + data[a, i, DY]
+                st = data[a, i, T]
+                sht = st + data[a, i, DT]
+                m = np.inf
+                for b in range(n_buckets):
+                    if bucket_occ[c, b]:
+                        gx = interval_gap(sx, shx, bucket_hull[c, b, 0], bucket_hull[c, b, 1])
+                        gy = interval_gap(sy, shy, bucket_hull[c, b, 2], bucket_hull[c, b, 3])
+                        gt = interval_gap(st, sht, bucket_hull[c, b, 4], bucket_hull[c, b, 5])
+                        s_term = (gx + gy) / phi_sigma
+                        if not s_term < 1.0:
+                            s_term = 1.0
+                        t_term = gt / phi_tau
+                        if not t_term < 1.0:
+                            t_term = 1.0
+                        v = w_sigma * s_term + w_tau * t_term
+                    else:
+                        v = np.inf
+                    if not m < v:
+                        m = v
+                lbbuf[i] = m
+            la = pairwise_sum(lbbuf, 0, ma) / ma
+        if mc >= ma:
+            for j in range(mc):
+                sx = data[c, j, X]
+                shx = sx + data[c, j, DX]
+                sy = data[c, j, Y]
+                shy = sy + data[c, j, DY]
+                st = data[c, j, T]
+                sht = st + data[c, j, DT]
+                m = np.inf
+                for b in range(n_buckets):
+                    if bucket_occ[a, b]:
+                        gx = interval_gap(sx, shx, bucket_hull[a, b, 0], bucket_hull[a, b, 1])
+                        gy = interval_gap(sy, shy, bucket_hull[a, b, 2], bucket_hull[a, b, 3])
+                        gt = interval_gap(st, sht, bucket_hull[a, b, 4], bucket_hull[a, b, 5])
+                        s_term = (gx + gy) / phi_sigma
+                        if not s_term < 1.0:
+                            s_term = 1.0
+                        t_term = gt / phi_tau
+                        if not t_term < 1.0:
+                            t_term = 1.0
+                        v = w_sigma * s_term + w_tau * t_term
+                        if not m < v:
+                            m = v
+                lbbuf[j] = m
+            for j in range(mc, m_max):
+                lbbuf[j] = 0.0
+            lb = pairwise_sum(lbbuf, 0, m_max) / mc
+        if ma > mc:
+            return la
+        if mc > ma:
+            return lb
+        return (la + lb) / 2.0
+
+    @decorate
+    def stable_argsort(keys, idx, tmp):
+        # Bottom-up stable mergesort of indices by key.  A stable sort's
+        # permutation is unique, so this matches np.argsort(kind="stable")
+        # exactly — the property the walkers' visit order relies on.
+        n = keys.shape[0]
+        for i in range(n):
+            idx[i] = i
+        width = 1
+        while width < n:
+            lo = 0
+            while lo < n:
+                mid = lo + width
+                if mid > n:
+                    mid = n
+                hi = lo + 2 * width
+                if hi > n:
+                    hi = n
+                i = lo
+                j = mid
+                k = lo
+                while i < mid and j < hi:
+                    # Take from the right run only on a strict key win:
+                    # equal keys keep their left-first (stable) order.
+                    if keys[idx[j]] < keys[idx[i]]:
+                        tmp[k] = idx[j]
+                        j += 1
+                    else:
+                        tmp[k] = idx[i]
+                        i += 1
+                    k += 1
+                while i < mid:
+                    tmp[k] = idx[i]
+                    i += 1
+                    k += 1
+                while j < hi:
+                    tmp[k] = idx[j]
+                    j += 1
+                    k += 1
+                lo = hi
+            for i in range(n):
+                idx[i] = tmp[i]
+            width *= 2
+
+    @decorate
+    def bounded_many_vs_some_arrays(
+        probe_slots, data, lengths, counts,
+        hull, bucket_hull, bucket_occ,
+        flat_targets, offsets, thresholds, reverse, best_vals,
+        w_sigma, w_tau, phi_sigma, phi_tau,
+    ):
+        # Fused bound-and-prune ragged sweep (CSR layout like
+        # many_vs_some_arrays, but slot-addressed: probes are slot ids
+        # into the same store tensors, because both bound levels need
+        # the probe's hull and bucket summaries).  Each probe walks its
+        # targets in level-0 bound order and runs the exact kernel only
+        # where the level-0 then level-1 bound could still beat the
+        # probe's running best (seeded from thresholds[p]) or — where
+        # reverse allows — strictly beat the target's own cached best
+        # (best_vals[t]).  Pruned positions get a +inf sentinel (exact
+        # efforts never exceed 1.0, so the sentinel is unambiguous) and
+        # count into the per-probe pruned total.
+        P = probe_slots.shape[0]
+        m_max = data.shape[1]
+        out = np.empty(flat_targets.shape[0])
+        pruned = np.zeros(P, dtype=np.int64)
+        n_max = 0
+        for p in range(P):
+            n = offsets[p + 1] - offsets[p]
+            if n > n_max:
+                n_max = n
+        lb0 = np.empty(n_max)
+        order = np.empty(n_max, dtype=np.int64)
+        tmp = np.empty(n_max, dtype=np.int64)
+        scratch_a = np.zeros(m_max)
+        scratch_b = np.zeros(m_max)
+        lbbuf = np.empty(m_max)
+        for p in range(P):
+            a = probe_slots[p]
+            ma = lengths[a]
+            a_data = data[a, :ma]
+            n_a = float(counts[a])
+            off = offsets[p]
+            n = offsets[p + 1] - off
+            if n == 0:
+                continue
+            for idx in range(n):
+                lb0[idx] = hull_bound(
+                    hull, a, flat_targets[off + idx],
+                    w_sigma, w_tau, phi_sigma, phi_tau,
+                )
+            stable_argsort(lb0[:n], order[:n], tmp[:n])
+            best = thresholds[p]
+            best_idx = np.int64(-1)
+            for k in range(n):
+                j = order[k]
+                t = flat_targets[off + j]
+                rev = reverse[off + j] != 0
+                lb = lb0[j]
+                if lb > best and ((not rev) or lb >= best_vals[t]):
+                    out[off + j] = np.inf
+                    pruned[p] += 1
+                    continue
+                lb1 = bucket_bound(
+                    data, lengths, bucket_hull, bucket_occ, a, t, lbbuf,
+                    w_sigma, w_tau, phi_sigma, phi_tau,
+                )
+                if lb1 > best and ((not rev) or lb1 >= best_vals[t]):
+                    out[off + j] = np.inf
+                    pruned[p] += 1
+                    continue
+                v = pair_effort(
+                    a_data, n_a, data[t], lengths[t], float(counts[t]),
+                    scratch_a, scratch_b, m_max,
+                    w_sigma, w_tau, phi_sigma, phi_tau,
+                )
+                out[off + j] = v
+                if v < best or (v == best and t < best_idx):
+                    best = v
+                    best_idx = t
+        return out, pruned
+
+    @decorate
+    def bounded_many_vs_all_arrays(
+        probe_slots, data, lengths, counts,
+        hull, bucket_hull, bucket_occ,
+        targets, thresholds,
+        w_sigma, w_tau, phi_sigma, phi_tau,
+    ):
+        # Fused sweep with in-kernel (argmin, min) reduction over one
+        # shared target set — for callers that only need the winner, so
+        # no row is materialized at all.  Same walk as the ragged entry
+        # minus reverse propagation; a probe meeting itself in the
+        # shared set is skipped without counting as pruned.  Returns
+        # (best, best_idx, pruned); a probe whose threshold no target
+        # strictly beats keeps (thresholds[p], -1).
+        P = probe_slots.shape[0]
+        n = targets.shape[0]
+        m_max = data.shape[1]
+        best_out = np.empty(P)
+        best_idx_out = np.empty(P, dtype=np.int64)
+        pruned = np.zeros(P, dtype=np.int64)
+        lb0 = np.empty(n)
+        order = np.empty(n, dtype=np.int64)
+        tmp = np.empty(n, dtype=np.int64)
+        scratch_a = np.zeros(m_max)
+        scratch_b = np.zeros(m_max)
+        lbbuf = np.empty(m_max)
+        for p in range(P):
+            a = probe_slots[p]
+            ma = lengths[a]
+            a_data = data[a, :ma]
+            n_a = float(counts[a])
+            for idx in range(n):
+                lb0[idx] = hull_bound(
+                    hull, a, targets[idx], w_sigma, w_tau, phi_sigma, phi_tau
+                )
+            stable_argsort(lb0, order, tmp)
+            best = thresholds[p]
+            best_idx = np.int64(-1)
+            for k in range(n):
+                j = order[k]
+                t = targets[j]
+                if t == a:
+                    continue
+                if lb0[j] > best:
+                    pruned[p] += 1
+                    continue
+                lb1 = bucket_bound(
+                    data, lengths, bucket_hull, bucket_occ, a, t, lbbuf,
+                    w_sigma, w_tau, phi_sigma, phi_tau,
+                )
+                if lb1 > best:
+                    pruned[p] += 1
+                    continue
+                v = pair_effort(
+                    a_data, n_a, data[t], lengths[t], float(counts[t]),
+                    scratch_a, scratch_b, m_max,
+                    w_sigma, w_tau, phi_sigma, phi_tau,
+                )
+                if v < best or (v == best and t < best_idx):
+                    best = v
+                    best_idx = t
+            best_out[p] = best
+            best_idx_out[p] = best_idx
+        return best_out, best_idx_out, pruned
+
     return (
         pairwise_sum,
         one_vs_all_arrays,
         pairwise_matrix_arrays,
         many_vs_all_arrays,
         many_vs_some_arrays,
+        bounded_many_vs_all_arrays,
+        bounded_many_vs_some_arrays,
     )
 
 
@@ -326,6 +619,8 @@ def _build_kernels(decorate):
     pairwise_matrix_pure,
     many_vs_all_pure,
     many_vs_some_pure,
+    bounded_many_vs_all_pure,
+    bounded_many_vs_some_pure,
 ) = _build_kernels(lambda f: f)
 
 
@@ -400,7 +695,73 @@ def _bind_cc():
             raise MemoryError("stretch kernel scratch allocation failed")
         return out
 
-    return one_vs_all_cc, pairwise_matrix_cc, many_vs_all_cc, many_vs_some_cc
+    def _occ_u8(bucket_occ):
+        # The C entries take the occupancy mask as uint8; a bool array
+        # is one byte per element, so this is a free reinterpret.
+        return np.ascontiguousarray(bucket_occ).view(np.uint8)
+
+    def bounded_many_vs_all_cc(
+        probe_slots, data, lengths, counts,
+        hull, bucket_hull, bucket_occ,
+        targets, thresholds,
+        w_sigma, w_tau, phi_sigma, phi_tau,
+    ):
+        P = probe_slots.shape[0]
+        best = np.empty(P, dtype=np.float64)
+        best_idx = np.empty(P, dtype=np.int64)
+        pruned = np.zeros(P, dtype=np.int64)
+        if P == 0:
+            return best, best_idx, pruned
+        rc = lib.glove_bounded_many_vs_all(
+            np.ascontiguousarray(probe_slots), P,
+            data, data.shape[1], lengths, counts,
+            np.ascontiguousarray(hull), hull.shape[1],
+            np.ascontiguousarray(bucket_hull), _occ_u8(bucket_occ),
+            bucket_occ.shape[1],
+            np.ascontiguousarray(targets), targets.shape[0],
+            np.ascontiguousarray(thresholds),
+            w_sigma, w_tau, phi_sigma, phi_tau,
+            best, best_idx, pruned,
+        )
+        if rc != 0:
+            raise MemoryError("stretch kernel scratch allocation failed")
+        return best, best_idx, pruned
+
+    def bounded_many_vs_some_cc(
+        probe_slots, data, lengths, counts,
+        hull, bucket_hull, bucket_occ,
+        flat_targets, offsets, thresholds, reverse, best_vals,
+        w_sigma, w_tau, phi_sigma, phi_tau,
+    ):
+        P = probe_slots.shape[0]
+        out = np.empty(flat_targets.shape[0], dtype=np.float64)
+        pruned = np.zeros(P, dtype=np.int64)
+        if P == 0 or out.size == 0:
+            return out, pruned
+        rc = lib.glove_bounded_many_vs_some(
+            np.ascontiguousarray(probe_slots), P,
+            data, data.shape[1], lengths, counts,
+            np.ascontiguousarray(hull), hull.shape[1],
+            np.ascontiguousarray(bucket_hull), _occ_u8(bucket_occ),
+            bucket_occ.shape[1],
+            np.ascontiguousarray(flat_targets), np.ascontiguousarray(offsets),
+            np.ascontiguousarray(thresholds), _occ_u8(reverse),
+            np.ascontiguousarray(best_vals),
+            w_sigma, w_tau, phi_sigma, phi_tau,
+            out, pruned,
+        )
+        if rc != 0:
+            raise MemoryError("stretch kernel scratch allocation failed")
+        return out, pruned
+
+    return (
+        one_vs_all_cc,
+        pairwise_matrix_cc,
+        many_vs_all_cc,
+        many_vs_some_cc,
+        bounded_many_vs_all_cc,
+        bounded_many_vs_some_cc,
+    )
 
 
 if NUMBA_AVAILABLE:  # pragma: no cover - exercised via compiled-parity CI
@@ -414,6 +775,8 @@ if NUMBA_AVAILABLE:  # pragma: no cover - exercised via compiled-parity CI
         pairwise_matrix_arrays,
         many_vs_all_arrays,
         many_vs_some_arrays,
+        bounded_many_vs_all_arrays,
+        bounded_many_vs_some_arrays,
     ) = _build_kernels(njit(cache=True, nogil=True))
 else:
     _cc = _bind_cc()
@@ -424,6 +787,8 @@ else:
             pairwise_matrix_arrays,
             many_vs_all_arrays,
             many_vs_some_arrays,
+            bounded_many_vs_all_arrays,
+            bounded_many_vs_some_arrays,
         ) = _cc
     else:
         COMPILED_TIER = None
@@ -431,6 +796,8 @@ else:
         pairwise_matrix_arrays = pairwise_matrix_pure
         many_vs_all_arrays = many_vs_all_pure
         many_vs_some_arrays = many_vs_some_pure
+        bounded_many_vs_all_arrays = bounded_many_vs_all_pure
+        bounded_many_vs_some_arrays = bounded_many_vs_some_pure
 
 #: True when an accelerated binding (numba or cc) backs the ``compiled``
 #: backend; the pure twins alone do not qualify.

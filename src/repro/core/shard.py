@@ -150,7 +150,9 @@ def _shard_task(args) -> Tuple[List[Fingerprint], Optional[Fingerprint], tuple]:
         finished, leftover, _ = _greedy_merge(engine, fps, config, stats)
         finished_fps = [engine.store.fps[s] for s in finished]
         leftover_fp = engine.store.fps[leftover] if leftover is not None else None
-        crossings, dispatches, batched = engine.backend.dispatch_counters()
+        crossings, dispatches, batched, bound_pruned = (
+            engine.backend.dispatch_counters()
+        )
     counters = (
         stats.n_merges,
         stats.n_exact_evaluations,
@@ -158,6 +160,7 @@ def _shard_task(args) -> Tuple[List[Fingerprint], Optional[Fingerprint], tuple]:
         crossings,
         dispatches,
         batched,
+        bound_pruned,
     )
     return finished_fps, leftover_fp, counters
 
@@ -190,13 +193,16 @@ def _boundary_repair(
             if leftover is not None:
                 _fold_leftover(engine, nn, fin, leftover, config, sub)
             finished.extend(engine.store.fps[s] for s in fin)
-            crossings, dispatches, batched = engine.backend.dispatch_counters()
+            crossings, dispatches, batched, bound_pruned = (
+                engine.backend.dispatch_counters()
+            )
         stats.n_merges += sub.n_merges
         stats.n_exact_evaluations += sub.n_exact_evaluations
         stats.n_pruned_evaluations += sub.n_pruned_evaluations
         stats.n_boundary_crossings += crossings
         stats.n_probe_dispatches += dispatches
         stats.n_batched_probes += batched
+        stats.n_bound_pruned += bound_pruned
         stats.leftover_merged = stats.leftover_merged or sub.leftover_merged
         return
     packed = PaddedFingerprints(finished)
@@ -282,6 +288,7 @@ def sharded_glove(
         stats.n_boundary_crossings += counters[3]
         stats.n_probe_dispatches += counters[4]
         stats.n_batched_probes += counters[5]
+        stats.n_bound_pruned += counters[6]
 
     _boundary_repair(finished, leftovers, config, inner, stats)
 

@@ -205,6 +205,7 @@ def _batch_result(
     wstats.n_boundary_crossings = result.stats.n_boundary_crossings
     wstats.n_probe_dispatches = result.stats.n_probe_dispatches
     wstats.n_batched_probes = result.stats.n_batched_probes
+    wstats.n_bound_pruned = result.stats.n_bound_pruned
     return result
 
 
@@ -271,6 +272,7 @@ def _finalize(pending: _PendingWindow, config: GloveConfig) -> WindowResult:
     pending.wstats.n_boundary_crossings = pending.glove_stats.n_boundary_crossings
     pending.wstats.n_probe_dispatches = pending.glove_stats.n_probe_dispatches
     pending.wstats.n_batched_probes = pending.glove_stats.n_batched_probes
+    pending.wstats.n_bound_pruned = pending.glove_stats.n_bound_pruned
     pending.wstats.wall_s += time.perf_counter() - t0
     return WindowResult(
         index=pending.index,
@@ -368,6 +370,7 @@ def iter_stream_glove(
                 glove_stats.n_boundary_crossings,
                 glove_stats.n_probe_dispatches,
                 glove_stats.n_batched_probes,
+                glove_stats.n_bound_pruned,
             ) = engine.backend.dispatch_counters()
         if leftover_fp is not None:
             carry = [leftover_fp]

@@ -83,6 +83,7 @@ class WindowStats:
     n_boundary_crossings: int = 0
     n_probe_dispatches: int = 0
     n_batched_probes: int = 0
+    n_bound_pruned: int = 0
 
 
 @dataclass
@@ -114,6 +115,7 @@ class StreamStats:
     n_boundary_crossings: int = 0
     n_probe_dispatches: int = 0
     n_batched_probes: int = 0
+    n_bound_pruned: int = 0
     suppression_total_samples: int = 0
     suppression_discarded_samples: int = 0
     suppression_discarded_fingerprints: int = 0
@@ -175,6 +177,7 @@ class StreamStats:
         self.n_boundary_crossings += window.n_boundary_crossings
         self.n_probe_dispatches += window.n_probe_dispatches
         self.n_batched_probes += window.n_batched_probes
+        self.n_bound_pruned += window.n_bound_pruned
         if window.suppression is not None:
             self.suppression_total_samples += window.suppression.total_samples
             self.suppression_discarded_samples += window.suppression.discarded_samples
@@ -206,6 +209,7 @@ class StreamStats:
             "engine.boundary_crossings": self.n_boundary_crossings,
             "engine.probe_dispatches": self.n_probe_dispatches,
             "engine.batched_probes": self.n_batched_probes,
+            "engine.bound_pruned": self.n_bound_pruned,
         }
         for name, value in counters.items():
             registry.counter(name).set_to(value)

